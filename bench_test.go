@@ -1,0 +1,266 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation (each regenerates the corresponding experiment at reduced
+// scale; run cmd/optchain-bench for the full-scale reports recorded in
+// EXPERIMENTS.md), plus micro-benchmarks of the hot paths: T2S score
+// maintenance, placement strategies, the ledger, the partitioner, and the
+// event kernel.
+package optchain_test
+
+import (
+	"io"
+	"testing"
+
+	"optchain"
+	"optchain/internal/bench"
+	"optchain/internal/chain"
+	"optchain/internal/core"
+	"optchain/internal/dataset"
+	"optchain/internal/des"
+	"optchain/internal/metis"
+	"optchain/internal/placement"
+	"optchain/internal/sim"
+	"optchain/internal/stats"
+	"optchain/internal/txgraph"
+)
+
+// benchHarness builds a reduced-scale harness per iteration batch.
+func benchHarness() *bench.Harness {
+	return bench.NewHarness(bench.Params{Quick: true, N: 4000, TableN: 20000, Seed: 1})
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		if err := bench.Experiments[name](h, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkFig2TaNStats(b *testing.B)         { runExperiment(b, "fig2") }
+func BenchmarkTableICrossTxScratch(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTableIICrossTxWarm(b *testing.B)   { runExperiment(b, "table2") }
+func BenchmarkFig3Sweep(b *testing.B)            { runExperiment(b, "fig3") }
+func BenchmarkFig4Throughput(b *testing.B)       { runExperiment(b, "fig4") }
+func BenchmarkFig5CommitTimeline(b *testing.B)   { runExperiment(b, "fig5") }
+func BenchmarkFig6QueueSizes(b *testing.B)       { runExperiment(b, "fig6") }
+func BenchmarkFig7QueueRatio(b *testing.B)       { runExperiment(b, "fig7") }
+func BenchmarkFig8AvgLatency(b *testing.B)       { runExperiment(b, "fig8") }
+func BenchmarkFig9MaxLatency(b *testing.B)       { runExperiment(b, "fig9") }
+func BenchmarkFig10LatencyCDF(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11Scalability(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkAblationL2S(b *testing.B)          { runExperiment(b, "ablation-l2s") }
+func BenchmarkAblationAlpha(b *testing.B)        { runExperiment(b, "ablation-alpha") }
+func BenchmarkAblationWeight(b *testing.B)       { runExperiment(b, "ablation-weight") }
+func BenchmarkAblationBackend(b *testing.B)      { runExperiment(b, "ablation-backend") }
+
+// --- Micro-benchmarks: placement hot paths ---
+
+func benchDataset(b *testing.B, n int) *dataset.Dataset {
+	b.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.N = n
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkPlaceOptChain measures the full Temporal-Fitness placement cost
+// per transaction (the paper claims O(k) on the scale-free TaN network).
+func BenchmarkPlaceOptChain(b *testing.B) {
+	d := benchDataset(b, 50_000)
+	tel := core.StaticTelemetry{Comm: make([]float64, 16), Verify: make([]float64, 16)}
+	for i := range tel.Comm {
+		tel.Comm[i], tel.Verify[i] = 10, 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := core.NewOptChain(core.OptChainConfig{K: 16, N: d.Len(), Latency: core.FastL2S{Tel: tel}})
+		p.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
+		var buf []txgraph.Node
+		b.StartTimer()
+		for j := 0; j < d.Len(); j++ {
+			buf = d.InputTxNodes(j, buf)
+			p.Place(txgraph.Node(j), buf)
+		}
+	}
+	b.ReportMetric(float64(d.Len()), "tx/op")
+}
+
+// BenchmarkPlaceOptChainExactL2S isolates the exact-quadrature L2S cost —
+// the reason FastL2S is the simulation default.
+func BenchmarkPlaceOptChainExactL2S(b *testing.B) {
+	d := benchDataset(b, 5_000)
+	tel := core.StaticTelemetry{Comm: make([]float64, 16), Verify: make([]float64, 16)}
+	for i := range tel.Comm {
+		tel.Comm[i], tel.Verify[i] = 10, 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := core.NewOptChain(core.OptChainConfig{K: 16, N: d.Len(), Latency: core.ExactL2S{Tel: tel}})
+		p.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
+		var buf []txgraph.Node
+		b.StartTimer()
+		for j := 0; j < d.Len(); j++ {
+			buf = d.InputTxNodes(j, buf)
+			p.Place(txgraph.Node(j), buf)
+		}
+	}
+	b.ReportMetric(float64(d.Len()), "tx/op")
+}
+
+func benchPlacer(b *testing.B, mk func(d *dataset.Dataset) placement.Placer) {
+	b.Helper()
+	d := benchDataset(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := mk(d)
+		var buf []txgraph.Node
+		b.StartTimer()
+		for j := 0; j < d.Len(); j++ {
+			buf = d.InputTxNodes(j, buf)
+			p.Place(txgraph.Node(j), buf)
+		}
+	}
+	b.ReportMetric(float64(d.Len()), "tx/op")
+}
+
+func BenchmarkPlaceRandom(b *testing.B) {
+	benchPlacer(b, func(d *dataset.Dataset) placement.Placer {
+		return placement.NewRandom(16, d.Len())
+	})
+}
+
+func BenchmarkPlaceGreedy(b *testing.B) {
+	benchPlacer(b, func(d *dataset.Dataset) placement.Placer {
+		return placement.NewGreedy(16, d.Len(), 0.1)
+	})
+}
+
+func BenchmarkPlaceT2S(b *testing.B) {
+	benchPlacer(b, func(d *dataset.Dataset) placement.Placer {
+		p := core.NewT2SPlacer(16, d.Len(), 0.5, 0.1)
+		p.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
+		return p
+	})
+}
+
+// --- Micro-benchmarks: substrates ---
+
+func BenchmarkDatasetGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := dataset.DefaultConfig()
+		cfg.N = 100_000
+		if _, err := dataset.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100_000, "tx/op")
+}
+
+func BenchmarkTaNGraphBuild(b *testing.B) {
+	d := benchDataset(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.BuildGraph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetisPartition(b *testing.B) {
+	d := benchDataset(b, 50_000)
+	g, err := d.BuildGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	xadj, adj := g.UndirectedCSR()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metis.PartitionKWay(xadj, adj, 16, &metis.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLedgerSameShardCommit(b *testing.B) {
+	d := benchDataset(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := chain.NewLedger(0)
+		for j := 0; j < d.Len(); j++ {
+			tx := d.Tx(j)
+			if !tx.IsCoinbase() {
+				if err := l.LockAndSpend(tx.ID, tx.Inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := l.AddOutputs(tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(d.Len()), "tx/op")
+}
+
+func BenchmarkDESThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := des.New()
+		count := 0
+		var loop func(*des.Simulator)
+		loop = func(sim *des.Simulator) {
+			count++
+			if count < 1_000_000 {
+				sim.Schedule(1, "tick", loop)
+			}
+		}
+		s.Schedule(0, "tick", loop)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1e6, "events/op")
+}
+
+func BenchmarkL2SQuadrature(b *testing.B) {
+	hs := []stats.Hypoexponential2{
+		{Lc: 10, Lv: 0.5}, {Lc: 8, Lv: 0.7}, {Lc: 12, Lv: 0.3},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.L2S(hs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEndToEnd measures one full small simulation — the unit of
+// cost behind every figure sweep cell.
+func BenchmarkSimEndToEnd(b *testing.B) {
+	d := benchDataset(b, 10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := optchain.Simulate(sim.Config{
+			Dataset:    d,
+			Shards:     8,
+			Validators: 32,
+			Rate:       2000,
+			Placer:     sim.PlacerOptChain,
+			Seed:       1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Committed != d.Len() {
+			b.Fatalf("committed %d of %d", res.Committed, d.Len())
+		}
+	}
+	b.ReportMetric(float64(d.Len()), "tx/op")
+}

@@ -1,0 +1,75 @@
+// Command optchain-bench regenerates the tables and figures of the
+// OptChain paper's evaluation (ICDCS 2019, §IV-B and §V) on the synthetic
+// Bitcoin-like workload, printing each as a text report.
+//
+// Usage:
+//
+//	optchain-bench -experiment all
+//	optchain-bench -experiment table1 -table-n 500000
+//	optchain-bench -experiment fig3 -n 100000 -validators 400
+//	optchain-bench -quick -experiment all       # fast smoke pass
+//
+// Experiment names: fig2 table1 table2 fig3..fig11 ablation-{l2s,alpha,
+// weight,backend}. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"optchain/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run, or 'all'")
+		n          = flag.Int("n", 60_000, "transactions per simulation run")
+		tableN     = flag.Int("table-n", 200_000, "transactions for offline tables")
+		seed       = flag.Int64("seed", 1, "random seed")
+		validators = flag.Int("validators", 400, "validators per shard committee")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = NumCPU)")
+		quick      = flag.Bool("quick", false, "shrink all grids for a fast smoke pass")
+		list       = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.Names(), "\n"))
+		return 0
+	}
+
+	h := bench.NewHarness(bench.Params{
+		N:          *n,
+		TableN:     *tableN,
+		Seed:       *seed,
+		Validators: *validators,
+		Workers:    *workers,
+		Quick:      *quick,
+	})
+
+	start := time.Now()
+	var err error
+	if *experiment == "all" {
+		err = bench.RunAll(h, os.Stdout)
+	} else if fn, ok := bench.Experiments[*experiment]; ok {
+		err = fn(h, os.Stdout)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n",
+			*experiment, strings.Join(bench.Names(), " "))
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+	return 0
+}

@@ -1,0 +1,98 @@
+// Command optchain-sim runs a single sharded-blockchain simulation and
+// prints its metrics: throughput, latency distribution, cross-shard
+// fraction, queue behavior.
+//
+// Usage:
+//
+//	optchain-sim -shards 16 -rate 4000 -placer OptChain
+//	optchain-sim -shards 8 -rate 2000 -placer OmniLedger -protocol rapidchain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optchain/internal/dataset"
+	"optchain/internal/metis"
+	"optchain/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		n          = flag.Int("n", 60_000, "number of transactions")
+		seed       = flag.Int64("seed", 1, "random seed")
+		shards     = flag.Int("shards", 16, "number of shards")
+		validators = flag.Int("validators", 400, "validators per shard")
+		rate       = flag.Float64("rate", 4000, "offered load, tx/s")
+		placer     = flag.String("placer", "OptChain", "OptChain | T2S | OmniLedger | Greedy | Metis")
+		protocol   = flag.String("protocol", "omniledger", "omniledger | rapidchain")
+		exactL2S   = flag.Bool("exact-l2s", false, "use exact quadrature for the L2S score")
+		validate   = flag.Bool("validate-utxo", false, "strict in-order UTXO validation (see DESIGN.md)")
+		maxSim     = flag.Duration("max-sim-time", 20*time.Minute, "virtual-time cap")
+	)
+	flag.Parse()
+
+	cfg := dataset.DefaultConfig()
+	cfg.N = *n
+	cfg.Seed = *seed
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
+		return 1
+	}
+
+	simCfg := sim.Config{
+		Dataset:      d,
+		Shards:       *shards,
+		Validators:   *validators,
+		Rate:         *rate,
+		Placer:       sim.PlacerKind(*placer),
+		Protocol:     sim.ProtocolKind(*protocol),
+		Seed:         *seed,
+		ExactL2S:     *exactL2S,
+		ValidateUTXO: *validate,
+		MaxSimTime:   *maxSim,
+	}
+	if simCfg.Placer == sim.PlacerMetis {
+		g, err := d.BuildGraph()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
+			return 1
+		}
+		xadj, adj := g.UndirectedCSR()
+		part, err := metis.PartitionKWay(xadj, adj, *shards, &metis.Options{Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
+			return 1
+		}
+		simCfg.MetisPart = part
+	}
+
+	start := time.Now()
+	res, err := sim.Run(simCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("placer=%s protocol=%s shards=%d rate=%.0f\n", res.Placer, res.Protocol, res.Shards, res.Rate)
+	fmt.Printf("committed           %d / %d\n", res.Committed, res.Total)
+	fmt.Printf("makespan            %.1f s (issue window %.1f s)\n", res.MakespanSeconds, res.IssueSeconds)
+	fmt.Printf("throughput          %.0f tps total, %.0f tps steady-state\n", res.ThroughputTPS, res.SteadyTPS)
+	fmt.Printf("latency             avg %.2f s | P50 %.2f | P99 %.2f | max %.2f\n",
+		res.AvgLatency, res.P50, res.P99, res.MaxLatency)
+	fmt.Printf("within 10 s         %.1f%%\n", 100*res.Latencies.FractionWithin(10*time.Second))
+	fmt.Printf("cross-shard         %.1f%% (%d same / %d cross)\n", 100*res.CrossFraction, res.SameShard, res.CrossShard)
+	fmt.Printf("blocks              %d cut, %d items committed, %d deferred, avg consensus %.2f s\n",
+		res.BlocksCut, res.ItemsCommitted, res.ItemsDeferred, res.AvgConsensusSecs)
+	fmt.Printf("queues              peak max %d\n", res.Queues.PeakMax())
+	fmt.Printf("retries/aborts      %d / %d\n", res.Retries, res.Aborts)
+	fmt.Printf("wall time           %.1f s\n", time.Since(start).Seconds())
+	return 0
+}

@@ -1,0 +1,101 @@
+// Command tanstats prints the TaN-network characterization of a dataset —
+// the statistics of the paper's Fig. 2: degree distributions, cumulative
+// fractions, average degree over time, and the node census.
+//
+// Usage:
+//
+//	tanstats -i txs.tan
+//	tanstats -n 200000          # generate on the fly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optchain/internal/dataset"
+	"optchain/internal/txgraph"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		in   = flag.String("i", "", "input dataset file (omit to generate)")
+		n    = flag.Int("n", 200_000, "transactions to generate when -i is not set")
+		seed = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	var d *dataset.Dataset
+	var err error
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		d, err = dataset.Decode(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
+			return 1
+		}
+	} else {
+		cfg := dataset.DefaultConfig()
+		cfg.N = *n
+		cfg.Seed = *seed
+		d, err = dataset.Generate(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
+			return 1
+		}
+	}
+
+	g, err := d.BuildGraph()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
+		return 1
+	}
+	c := g.TakeCensus()
+	fmt.Printf("nodes       %d\n", c.Nodes)
+	fmt.Printf("edges       %d\n", c.Edges)
+	fmt.Printf("avg degree  %.3f (paper Bitcoin TaN: 2.3)\n", c.AvgInDeg)
+	fmt.Printf("coinbase    %d\n", c.Coinbase)
+	fmt.Printf("unspent     %d\n", c.Unspent)
+	fmt.Printf("isolated    %d\n", c.Isolated)
+
+	in2, out2 := g.DegreeHistograms()
+	inCum := txgraph.CumulativeFraction(in2)
+	outCum := txgraph.CumulativeFraction(out2)
+	at := func(cum []float64, d int) float64 {
+		if d >= len(cum) {
+			return 1
+		}
+		return cum[d]
+	}
+	fmt.Printf("P(in<3)     %.3f (paper: 0.931)\n", at(inCum, 2))
+	fmt.Printf("P(out<3)    %.3f (paper: 0.863)\n", at(outCum, 2))
+	fmt.Printf("P(out<10)   %.3f (paper: 0.976)\n", at(outCum, 9))
+
+	fmt.Println("degree distribution (powers of two):")
+	fmt.Printf("  %-8s %-12s %-12s\n", "degree", "in-count", "out-count")
+	for deg := 1; deg < len(in2) || deg < len(out2); deg *= 2 {
+		ic, oc := int64(0), int64(0)
+		if deg < len(in2) {
+			ic = in2[deg]
+		}
+		if deg < len(out2) {
+			oc = out2[deg]
+		}
+		fmt.Printf("  %-8d %-12d %-12d\n", deg, ic, oc)
+	}
+
+	fmt.Println("average degree over time (deciles):")
+	for i, v := range g.AverageDegreeSeries(10) {
+		fmt.Printf("  %3d%%: %.3f\n", (i+1)*10, v)
+	}
+	return 0
+}

@@ -1,0 +1,354 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§IV-B Tables I-II, §V Figs. 2-11) plus the ablations listed
+// in DESIGN.md. Each experiment prints rows/series in the same layout the
+// paper reports, so paper-vs-measured comparison is line-by-line.
+//
+// Experiments share a run cache: the Fig. 3 sweep produces the simulation
+// results that Figs. 4-10 present as different views, so an `all` run pays
+// for the sweep once.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"optchain/internal/dataset"
+	"optchain/internal/metis"
+	"optchain/internal/sim"
+)
+
+// Params scales the experiments. Zero values take defaults.
+type Params struct {
+	// N is the stream length for simulation experiments (default 60k;
+	// the paper used 10M — shapes are scale-stable, see EXPERIMENTS.md).
+	N int
+	// TableN is the stream length for the offline placement tables
+	// (default 200k).
+	TableN int
+	// Seed drives dataset generation and simulations.
+	Seed int64
+	// Validators per shard (default 400, the paper's committee size).
+	Validators int
+	// Quick shrinks every grid for smoke tests and testing.B benchmarks.
+	Quick bool
+	// Workers bounds parallel simulation runs (default NumCPU).
+	Workers int
+}
+
+func (p *Params) fillDefaults() {
+	if p.N <= 0 {
+		p.N = 60_000
+	}
+	if p.TableN <= 0 {
+		p.TableN = 200_000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Validators <= 0 {
+		p.Validators = 400
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.NumCPU()
+	}
+	if p.Quick {
+		if p.N > 12_000 {
+			p.N = 12_000
+		}
+		if p.TableN > 30_000 {
+			p.TableN = 30_000
+		}
+		if p.Validators > 16 {
+			p.Validators = 16
+		}
+	}
+}
+
+// Harness owns the shared dataset, partitions, and simulation cache.
+type Harness struct {
+	p Params
+
+	mu     sync.Mutex
+	data   map[int]*dataset.Dataset // by length
+	parts  map[partKey][]int32
+	runs   map[runKey]*sim.Result
+	graphs sync.Mutex // serializes expensive partition computation
+}
+
+type partKey struct {
+	n, k int
+}
+
+type runKey struct {
+	placer sim.PlacerKind
+	proto  sim.ProtocolKind
+	shards int
+	rate   int
+	tag    string // distinguishes ablation variants
+}
+
+// NewHarness prepares a harness with the given parameters.
+func NewHarness(p Params) *Harness {
+	p.fillDefaults()
+	return &Harness{
+		p:     p,
+		data:  make(map[int]*dataset.Dataset),
+		parts: make(map[partKey][]int32),
+		runs:  make(map[runKey]*sim.Result),
+	}
+}
+
+// Params returns the effective (default-filled) parameters.
+func (h *Harness) Params() Params { return h.p }
+
+// Dataset returns (generating once) the synthetic stream of length n.
+func (h *Harness) Dataset(n int) (*dataset.Dataset, error) {
+	h.mu.Lock()
+	if d, ok := h.data[n]; ok {
+		h.mu.Unlock()
+		return d, nil
+	}
+	h.mu.Unlock()
+
+	cfg := dataset.DefaultConfig()
+	cfg.N = n
+	cfg.Seed = h.p.Seed
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.data[n] = d
+	h.mu.Unlock()
+	return d, nil
+}
+
+// Partition returns (computing once) a Metis k-way partition of the first
+// n transactions' TaN network.
+func (h *Harness) Partition(n, k int) ([]int32, error) {
+	key := partKey{n: n, k: k}
+	h.mu.Lock()
+	if part, ok := h.parts[key]; ok {
+		h.mu.Unlock()
+		return part, nil
+	}
+	h.mu.Unlock()
+
+	d, err := h.Dataset(n)
+	if err != nil {
+		return nil, err
+	}
+	h.graphs.Lock()
+	defer h.graphs.Unlock()
+	h.mu.Lock()
+	if part, ok := h.parts[key]; ok {
+		h.mu.Unlock()
+		return part, nil
+	}
+	h.mu.Unlock()
+
+	g, err := d.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	xadj, adj := g.UndirectedCSR()
+	part, err := metis.PartitionKWay(xadj, adj, k, &metis.Options{Seed: h.p.Seed, Imbalance: 0.1})
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.parts[key] = part
+	h.mu.Unlock()
+	return part, nil
+}
+
+// simGrids returns the shard and rate grids for simulation experiments.
+func (h *Harness) simGrids() (shards []int, rates []float64) {
+	if h.p.Quick {
+		return []int{4, 8}, []float64{1000, 2000}
+	}
+	return []int{4, 6, 8, 10, 12, 14, 16}, []float64{2000, 3000, 4000, 5000, 6000}
+}
+
+// tableShards returns the shard grid for Tables I-II.
+func (h *Harness) tableShards() []int {
+	if h.p.Quick {
+		return []int{4, 16}
+	}
+	return []int{4, 8, 16, 32, 64}
+}
+
+// simPlacers is the strategy set compared in the figures.
+func simPlacers() []sim.PlacerKind {
+	return []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom, sim.PlacerMetis, sim.PlacerGreedy}
+}
+
+// Run executes (or returns cached) one simulation cell.
+func (h *Harness) Run(placer sim.PlacerKind, proto sim.ProtocolKind, shards int, rate float64, mutate func(*sim.Config)) (*sim.Result, error) {
+	tag := ""
+	if mutate != nil {
+		tag = "custom"
+	}
+	key := runKey{placer: placer, proto: proto, shards: shards, rate: int(rate), tag: tag}
+	if tag == "" {
+		h.mu.Lock()
+		if res, ok := h.runs[key]; ok {
+			h.mu.Unlock()
+			return res, nil
+		}
+		h.mu.Unlock()
+	}
+
+	d, err := h.Dataset(h.p.N)
+	if err != nil {
+		return nil, err
+	}
+	// Scale the Fig. 5 window and the queue-sampling cadence with the run
+	// length: the paper's 50 s windows suit 10M-transaction runs; shorter
+	// streams need proportionally finer buckets to draw the same curves.
+	issue := time.Duration(float64(h.p.N) / rate * float64(time.Second))
+	window := issue / 12
+	if window < time.Second {
+		window = time.Second
+	}
+	sample := issue / 25
+	if sample < 500*time.Millisecond {
+		sample = 500 * time.Millisecond
+	}
+	cfg := sim.Config{
+		Dataset:          d,
+		Shards:           shards,
+		Validators:       h.p.Validators,
+		Rate:             rate,
+		Placer:           placer,
+		Protocol:         proto,
+		Seed:             h.p.Seed,
+		MaxSimTime:       20 * time.Minute,
+		CommitWindow:     window,
+		QueueSampleEvery: sample,
+	}
+	if placer == sim.PlacerMetis {
+		part, err := h.Partition(h.p.N, shards)
+		if err != nil {
+			return nil, err
+		}
+		cfg.MetisPart = part
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tag == "" {
+		h.mu.Lock()
+		h.runs[key] = res
+		h.mu.Unlock()
+	}
+	return res, nil
+}
+
+// cell identifies one grid element for parallel execution.
+type cell struct {
+	placer sim.PlacerKind
+	shards int
+	rate   float64
+}
+
+// runGrid executes all cells in parallel and blocks until done.
+func (h *Harness) runGrid(cells []cell) error {
+	sem := make(chan struct{}, h.p.Workers)
+	errs := make(chan error, len(cells))
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		c := c
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, err := h.Run(c.placer, sim.ProtoOmniLedger, c.shards, c.rate, nil)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fullGrid lists every (placer, shards, rate) cell of the Fig. 3 sweep.
+func (h *Harness) fullGrid() []cell {
+	shards, rates := h.simGrids()
+	var cells []cell
+	for _, p := range simPlacers() {
+		for _, k := range shards {
+			for _, r := range rates {
+				cells = append(cells, cell{placer: p, shards: k, rate: r})
+			}
+		}
+	}
+	return cells
+}
+
+// maxGrid returns the largest shard count and rate of the sweep — the
+// configuration Figs. 5-7 and 10 single out (paper: 16 shards, 6000 tps).
+func (h *Harness) maxGrid() (int, float64) {
+	shards, rates := h.simGrids()
+	return shards[len(shards)-1], rates[len(rates)-1]
+}
+
+// Experiments maps CLI names to runners.
+var Experiments = map[string]func(h *Harness, w io.Writer) error{
+	"fig2":             Fig2,
+	"table1":           TableI,
+	"table2":           TableII,
+	"fig3":             Fig3,
+	"fig4":             Fig4,
+	"fig5":             Fig5,
+	"fig6":             Fig6,
+	"fig7":             Fig7,
+	"fig8":             Fig8,
+	"fig9":             Fig9,
+	"fig10":            Fig10,
+	"fig11":            Fig11,
+	"ablation-l2s":     AblationL2S,
+	"ablation-alpha":   AblationAlpha,
+	"ablation-weight":  AblationWeight,
+	"ablation-backend": AblationBackend,
+}
+
+// Names returns the experiment names in canonical order.
+func Names() []string {
+	names := make([]string, 0, len(Experiments))
+	for n := range Experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunAll executes every experiment in canonical order.
+func RunAll(h *Harness, w io.Writer) error {
+	order := []string{
+		"fig2", "table1", "table2",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"ablation-l2s", "ablation-alpha", "ablation-weight", "ablation-backend",
+	}
+	for _, name := range order {
+		if err := Experiments[name](h, w); err != nil {
+			return fmt.Errorf("bench: %s: %w", name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optchain/internal/sim"
+)
+
+func quickHarness() *Harness {
+	return NewHarness(Params{Quick: true, N: 4000, TableN: 20000, Seed: 1})
+}
+
+func TestNamesCoversAll(t *testing.T) {
+	names := Names()
+	if len(names) != len(Experiments) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(Experiments))
+	}
+	for _, want := range []string{"table1", "table2", "fig2", "fig3", "fig11", "ablation-weight"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("experiment %q missing", want)
+		}
+	}
+}
+
+func TestTableIQuick(t *testing.T) {
+	h := quickHarness()
+	var buf bytes.Buffer
+	if err := TableI(h, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Metis", "Greedy", "OmniLedger", "T2S"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Two shard-count rows in quick mode.
+	if strings.Count(out, "\n") < 5 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+}
+
+func TestTableIIQuick(t *testing.T) {
+	h := quickHarness()
+	var buf bytes.Buffer
+	if err := TableII(h, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "warm start") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestFig2Quick(t *testing.T) {
+	h := quickHarness()
+	var buf bytes.Buffer
+	if err := Fig2(h, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"avg-degree", "P(in<3)", "prefix"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestSimFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	h := quickHarness()
+	for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		var buf bytes.Buffer
+		if err := Experiments[name](h, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in -short mode")
+	}
+	h := quickHarness()
+	for _, name := range []string{"ablation-l2s", "ablation-alpha", "ablation-weight", "ablation-backend"} {
+		var buf bytes.Buffer
+		if err := Experiments[name](h, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "Ablation") {
+			t.Fatalf("%s output:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestRunCacheReusesResults(t *testing.T) {
+	h := quickHarness()
+	a, err := h.Run(sim.PlacerRandom, sim.ProtoOmniLedger, 4, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run(sim.PlacerRandom, sim.ProtoOmniLedger, 4, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache miss for identical cell")
+	}
+}
+
+func TestDatasetCacheKeyedByLength(t *testing.T) {
+	h := quickHarness()
+	a, err := h.Dataset(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Dataset(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("dataset cache miss")
+	}
+	c, err := h.Dataset(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a || c.Len() != 2000 {
+		t.Fatal("wrong dataset for different length")
+	}
+}

@@ -1,0 +1,260 @@
+package chain
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsumeOptimisticExistingOutput(t *testing.T) {
+	l := NewLedger(0)
+	if err := l.AddOutputs(mkTx(1, nil, 100)); err != nil {
+		t.Fatal(err)
+	}
+	op := Outpoint{Tx: 1, Index: 0}
+	if err := l.ConsumeOptimistic(2, []Outpoint{op}); err != nil {
+		t.Fatal(err)
+	}
+	if l.HasUTXO(op) {
+		t.Fatal("consumed output still live")
+	}
+	// Second consumer must fail: genuinely spent.
+	if err := l.ConsumeOptimistic(3, []Outpoint{op}); !errors.Is(err, ErrSpentUTXO) {
+		t.Fatalf("double consume err = %v", err)
+	}
+}
+
+func TestConsumeOptimisticFutureOutput(t *testing.T) {
+	l := NewLedger(0)
+	op := Outpoint{Tx: 9, Index: 0}
+	// Spend before the creating transaction exists.
+	if err := l.ConsumeOptimistic(2, []Outpoint{op}); err != nil {
+		t.Fatal(err)
+	}
+	if l.PendingSpends() != 1 {
+		t.Fatalf("pending = %d", l.PendingSpends())
+	}
+	// A second claimant must conflict.
+	if err := l.ConsumeOptimistic(3, []Outpoint{op}); !errors.Is(err, ErrSpentUTXO) {
+		t.Fatalf("conflicting claim err = %v", err)
+	}
+	// When the creator arrives, the output is born consumed.
+	if err := l.AddOutputs(mkTx(9, nil, 50, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if l.PendingSpends() != 0 {
+		t.Fatalf("pending after resolution = %d", l.PendingSpends())
+	}
+	if l.HasUTXO(op) {
+		t.Fatal("claimed output became visible")
+	}
+	// The unclaimed sibling output must be live.
+	if !l.HasUTXO(Outpoint{Tx: 9, Index: 1}) {
+		t.Fatal("unclaimed sibling missing")
+	}
+}
+
+func TestConsumeOptimisticIdempotentClaim(t *testing.T) {
+	l := NewLedger(0)
+	op := Outpoint{Tx: 9, Index: 0}
+	if err := l.ConsumeOptimistic(2, []Outpoint{op}); err != nil {
+		t.Fatal(err)
+	}
+	// The same spender re-claiming (e.g. a retried lock) must succeed.
+	if err := l.ConsumeOptimistic(2, []Outpoint{op}); err != nil {
+		t.Fatalf("re-claim by same spender: %v", err)
+	}
+	if l.PendingSpends() != 1 {
+		t.Fatalf("pending = %d", l.PendingSpends())
+	}
+}
+
+func TestConsumeOptimisticRealDoubleSpendDetected(t *testing.T) {
+	l := NewLedger(0)
+	if err := l.AddOutputs(mkTx(1, nil, 100)); err != nil {
+		t.Fatal(err)
+	}
+	op := Outpoint{Tx: 1, Index: 0}
+	if err := l.LockAndSpend(5, []Outpoint{op}); err != nil {
+		t.Fatal(err)
+	}
+	// The creator is committed and the output is gone: ErrSpentUTXO, not a
+	// pending claim.
+	if err := l.ConsumeOptimistic(6, []Outpoint{op}); !errors.Is(err, ErrSpentUTXO) {
+		t.Fatalf("err = %v", err)
+	}
+	if l.PendingSpends() != 0 {
+		t.Fatal("double spend registered as pending")
+	}
+}
+
+func TestConsumeOptimisticAllOrNothing(t *testing.T) {
+	l := NewLedger(0)
+	if err := l.AddOutputs(mkTx(1, nil, 100)); err != nil {
+		t.Fatal(err)
+	}
+	good := Outpoint{Tx: 1, Index: 0}
+	if err := l.ConsumeOptimistic(7, []Outpoint{good}); err != nil {
+		t.Fatal(err)
+	}
+	// Batch with one conflicting op must leave no new state behind.
+	fresh := Outpoint{Tx: 33, Index: 0}
+	err := l.ConsumeOptimistic(8, []Outpoint{fresh, good})
+	if err == nil {
+		t.Fatal("conflicting batch accepted")
+	}
+	if l.PendingSpends() != 0 {
+		t.Fatalf("partial claim leaked: pending = %d", l.PendingSpends())
+	}
+}
+
+func TestReleaseOptimisticPendingClaim(t *testing.T) {
+	l := NewLedger(0)
+	op := Outpoint{Tx: 9, Index: 0}
+	if err := l.ConsumeOptimistic(2, []Outpoint{op}); err != nil {
+		t.Fatal(err)
+	}
+	l.ReleaseOptimistic(2, []Outpoint{op}, nil)
+	if l.PendingSpends() != 0 {
+		t.Fatal("claim not released")
+	}
+	// Another spender can now claim.
+	if err := l.ConsumeOptimistic(3, []Outpoint{op}); err != nil {
+		t.Fatalf("claim after release: %v", err)
+	}
+}
+
+func TestReleaseOptimisticConsumedOutputRestores(t *testing.T) {
+	l := NewLedger(0)
+	if err := l.AddOutputs(mkTx(1, nil, 100)); err != nil {
+		t.Fatal(err)
+	}
+	op := Outpoint{Tx: 1, Index: 0}
+	if err := l.ConsumeOptimistic(2, []Outpoint{op}); err != nil {
+		t.Fatal(err)
+	}
+	l.ReleaseOptimistic(2, []Outpoint{op}, func(Outpoint) int64 { return 100 })
+	if !l.HasUTXO(op) {
+		t.Fatal("consumed output not restored")
+	}
+	if v, ok := l.OutputValue(op); !ok || v != 100 {
+		t.Fatalf("restored value = %d", v)
+	}
+}
+
+func TestReleaseOptimisticForeignClaimIgnored(t *testing.T) {
+	l := NewLedger(0)
+	op := Outpoint{Tx: 9, Index: 0}
+	if err := l.ConsumeOptimistic(2, []Outpoint{op}); err != nil {
+		t.Fatal(err)
+	}
+	// A different spender's release must not drop tx 2's claim.
+	l.ReleaseOptimistic(3, []Outpoint{op}, nil)
+	if l.PendingSpends() != 1 {
+		t.Fatal("foreign release dropped the claim")
+	}
+}
+
+func TestRestoreUTXO(t *testing.T) {
+	l := NewLedger(0)
+	op := Outpoint{Tx: 4, Index: 0}
+	l.RestoreUTXO(op, 77)
+	if v, ok := l.OutputValue(op); !ok || v != 77 {
+		t.Fatalf("restored = %d, %v", v, ok)
+	}
+	// Restoring a live outpoint must not clobber its value.
+	l.RestoreUTXO(op, 1)
+	if v, _ := l.OutputValue(op); v != 77 {
+		t.Fatalf("restore clobbered value: %d", v)
+	}
+}
+
+// Property: replaying a valid chain of spends in ANY order through
+// ConsumeOptimistic + AddOutputs conserves exactly-once consumption: at the
+// end, every output is either live or was consumed by exactly one spender,
+// and no pending claims remain.
+func TestPropertyOptimisticOrderIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a random valid mini-chain: coinbase 1; txs 2..n spend a
+		// distinct output of an earlier tx.
+		type spend struct {
+			id  TxID
+			ops []Outpoint
+		}
+		n := 12
+		outputs := []Outpoint{}
+		var txs []*Transaction
+		cb := mkTx(1, nil, 10, 10, 10, 10)
+		txs = append(txs, cb)
+		for i := 0; i < len(cb.Outputs); i++ {
+			outputs = append(outputs, Outpoint{Tx: 1, Index: uint32(i)})
+		}
+		spent := map[Outpoint]bool{}
+		var spends []spend
+		for id := TxID(2); id <= TxID(n); id++ {
+			// pick an unspent output
+			var op Outpoint
+			found := false
+			for _, cand := range rng.Perm(len(outputs)) {
+				if !spent[outputs[cand]] {
+					op = outputs[cand]
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+			spent[op] = true
+			tx := mkTx(id, []Outpoint{op}, 5, 5)
+			txs = append(txs, tx)
+			spends = append(spends, spend{id: id, ops: tx.Inputs})
+			for i := range tx.Outputs {
+				outputs = append(outputs, Outpoint{Tx: id, Index: uint32(i)})
+			}
+		}
+
+		// Apply in random interleaved order: consume ops and add outputs
+		// as separate shuffled steps.
+		type step struct {
+			isConsume bool
+			idx       int
+		}
+		var stepsList []step
+		for i := range txs {
+			stepsList = append(stepsList, step{isConsume: false, idx: i})
+		}
+		for i := range spends {
+			stepsList = append(stepsList, step{isConsume: true, idx: i})
+		}
+		rng.Shuffle(len(stepsList), func(i, j int) { stepsList[i], stepsList[j] = stepsList[j], stepsList[i] })
+
+		l := NewLedger(0)
+		for _, st := range stepsList {
+			if st.isConsume {
+				if err := l.ConsumeOptimistic(spends[st.idx].id, spends[st.idx].ops); err != nil {
+					return false
+				}
+			} else {
+				if err := l.AddOutputs(txs[st.idx]); err != nil {
+					return false
+				}
+			}
+		}
+		if l.PendingSpends() != 0 {
+			return false
+		}
+		// Every spent output must be gone; every unspent one live.
+		for _, op := range outputs {
+			if spent[op] == l.HasUTXO(op) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

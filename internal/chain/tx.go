@@ -1,0 +1,112 @@
+// Package chain implements the UTXO-model ledger substrate the paper's
+// sharding protocols operate on (§III-A): transactions with multi-input /
+// multi-output structure, outpoints, blocks, and a per-shard ledger with
+// lock/commit semantics for OmniLedger-style atomic cross-shard commits.
+package chain
+
+import (
+	"fmt"
+	"hash/maphash"
+)
+
+// TxID identifies a transaction. The simulator uses dense integer IDs
+// assigned in arrival order (which is also a topological order of the TaN
+// network); Hash provides a uniform 64-bit digest standing in for the
+// SHA-256 txid that OmniLedger's random placement hashes.
+type TxID int64
+
+// hashSeed is fixed so that placement decisions are reproducible run-to-run.
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a uniformly distributed 64-bit digest of the ID.
+func (id TxID) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	var buf [8]byte
+	v := uint64(id)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Outpoint references one output of a prior transaction.
+type Outpoint struct {
+	Tx    TxID
+	Index uint32
+}
+
+func (o Outpoint) String() string { return fmt.Sprintf("%d:%d", o.Tx, o.Index) }
+
+// Output is a spendable transaction output carrying a value in atomic units
+// (satoshi-like).
+type Output struct {
+	Value int64
+}
+
+// Transaction is a UTXO-model transaction. A transaction with no inputs is a
+// coinbase (mining reward) and mints its output value.
+type Transaction struct {
+	ID      TxID
+	Inputs  []Outpoint
+	Outputs []Output
+}
+
+// IsCoinbase reports whether the transaction has no inputs.
+func (tx *Transaction) IsCoinbase() bool { return len(tx.Inputs) == 0 }
+
+// InputTxs returns the distinct transactions referenced by the inputs, in
+// first-appearance order. Multiple inputs spending different outputs of the
+// same prior transaction contribute a single entry (TaN network edges are
+// deduplicated, §IV-A).
+func (tx *Transaction) InputTxs() []TxID {
+	if len(tx.Inputs) == 0 {
+		return nil
+	}
+	out := make([]TxID, 0, len(tx.Inputs))
+	for _, in := range tx.Inputs {
+		dup := false
+		for _, seen := range out {
+			if seen == in.Tx {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, in.Tx)
+		}
+	}
+	return out
+}
+
+// Bitcoin-like serialized size model: a fixed header plus per-input and
+// per-output costs. With the generator's degree mix this averages close to
+// the paper's "about 500 bytes" per transaction.
+const (
+	txBaseSize   = 10
+	txInputSize  = 148
+	txOutputSize = 34
+)
+
+// SizeBytes estimates the serialized size of the transaction.
+func (tx *Transaction) SizeBytes() int {
+	return txBaseSize + txInputSize*len(tx.Inputs) + txOutputSize*len(tx.Outputs)
+}
+
+// OutputSum returns the total value created by the transaction.
+func (tx *Transaction) OutputSum() int64 {
+	var s int64
+	for _, o := range tx.Outputs {
+		s += o.Value
+	}
+	return s
+}
+
+// Block is an ordered batch of transactions committed together by one shard.
+type Block struct {
+	Shard  int
+	Height int
+	Txs    []TxID
+	Bytes  int
+}

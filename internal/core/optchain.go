@@ -1,0 +1,186 @@
+package core
+
+import (
+	"optchain/internal/placement"
+	"optchain/internal/txgraph"
+)
+
+// Default parameter values from the paper.
+const (
+	// DefaultAlpha is the PageRank damping factor (§IV-B experiment setup).
+	DefaultAlpha = 0.5
+	// DefaultWeight is the L2S coefficient in the Temporal Fitness score
+	// p(u)[j] − 0.01·E(j) (Alg. 1 line 9).
+	DefaultWeight = 0.01
+	// DefaultCapacityEps is the (1+ε) balance bound used by the offline
+	// T2S-based and Greedy comparisons (§IV-B: ε = 0.1).
+	DefaultCapacityEps = 0.1
+	// DefaultTruncate bounds p' vector support with no measurable effect on
+	// placement decisions (see TestTruncationBarelyChangesDecisions).
+	DefaultTruncate = 1e-4
+)
+
+// T2SPlacer is the paper's "T2S-based" strategy (§IV-B, Tables I-II):
+// place u into argmax_i p(u)[i], subject to the same (1+ε)⌊n/k⌋ capacity
+// bound as Greedy. Ties (including all coinbase transactions, whose score
+// vector is empty) go to the least-loaded eligible shard.
+type T2SPlacer struct {
+	idx *T2SIndex
+	cap int64
+}
+
+// NewT2SPlacer creates a T2S-based placer over k shards for an expected
+// stream of n transactions.
+func NewT2SPlacer(k, n int, alpha, eps float64) *T2SPlacer {
+	asn := placement.NewAssignment(k, n)
+	capPerShard := int64(float64(n/k) * (1 + eps))
+	if capPerShard < 1 {
+		capPerShard = 1
+	}
+	return &T2SPlacer{
+		idx: NewT2SIndex(alpha, DefaultTruncate, asn, n),
+		cap: capPerShard,
+	}
+}
+
+// Place implements placement.Placer.
+func (p *T2SPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	scores := p.idx.Prepare(u, inputs)
+	asn := p.idx.asn
+	k := asn.K()
+	best := -1
+	for j := 0; j < k; j++ {
+		if asn.Count(j) >= p.cap {
+			continue
+		}
+		if best == -1 ||
+			scores[j] > scores[best] ||
+			(scores[j] == scores[best] && asn.Count(j) < asn.Count(best)) {
+			best = j
+		}
+	}
+	if best == -1 {
+		best = leastLoaded(asn)
+	}
+	p.idx.Commit(u, best)
+	asn.Place(u, best)
+	return best
+}
+
+// Assignment implements placement.Placer.
+func (p *T2SPlacer) Assignment() *placement.Assignment { return p.idx.asn }
+
+// Name implements placement.Placer.
+func (p *T2SPlacer) Name() string { return "T2S" }
+
+// Scores exposes the T2S index (ablations, inspection).
+func (p *T2SPlacer) Scores() *T2SIndex { return p.idx }
+
+// OptChainPlacer is the full OptChain algorithm (Alg. 1): Temporal Fitness
+// placement combining the T2S score with the L2S latency estimate,
+// su = argmax_j p(u)[j] − w·E(j).
+type OptChainPlacer struct {
+	idx    *T2SIndex
+	lat    LatencyModel
+	weight float64
+
+	shardBuf []int
+}
+
+// OptChainConfig parameterizes NewOptChain. Zero fields take the paper's
+// defaults.
+type OptChainConfig struct {
+	K     int // number of shards (required)
+	N     int // expected stream length (capacity hint only)
+	Alpha float64
+	// Weight is the L2S coefficient (paper: 0.01).
+	Weight float64
+	// Truncate is the relative sparse-vector truncation threshold
+	// (0 < x < 1); negative means exact (no truncation).
+	Truncate float64
+	// Latency estimates E(j); defaults to ZeroLatency (pure T2S) when nil.
+	Latency LatencyModel
+	// NormalizeScores divides p'(u)[i] by |Si| as the paper's formula
+	// writes. Off by default for the temporal-fitness placer: with a fixed
+	// weight, the normalized score's magnitude decays as shards grow
+	// (∝1/|Si|) while E(j) stays in seconds, so the fitness degenerates to
+	// pure load balancing over time. Un-normalized p' keeps the two terms
+	// on comparable scales at every stream position; the L2S term carries
+	// the balancing duty the normalization was doubling up on. The
+	// normalization ablation is exercised in the benchmark harness.
+	NormalizeScores bool
+}
+
+// NewOptChain builds the full placer.
+func NewOptChain(cfg OptChainConfig) *OptChainPlacer {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultAlpha
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = DefaultWeight
+	}
+	switch {
+	case cfg.Truncate == 0:
+		cfg.Truncate = DefaultTruncate
+	case cfg.Truncate < 0:
+		cfg.Truncate = 0
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = ZeroLatency{}
+	}
+	asn := placement.NewAssignment(cfg.K, cfg.N)
+	idx := NewT2SIndex(cfg.Alpha, cfg.Truncate, asn, cfg.N)
+	idx.SetNormalize(cfg.NormalizeScores)
+	return &OptChainPlacer{
+		idx:    idx,
+		lat:    cfg.Latency,
+		weight: cfg.Weight,
+	}
+}
+
+// Place implements placement.Placer: Alg. 1 of the paper.
+func (p *OptChainPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	scores := p.idx.Prepare(u, inputs) // lines 2-3
+	asn := p.idx.asn
+	k := asn.K()
+	p.shardBuf = asn.InputShards(inputs, p.shardBuf)
+
+	best := -1
+	var bestFit float64
+	for j := 0; j < k; j++ {
+		fit := scores[j] - p.weight*p.lat.ProofLatency(j, p.shardBuf) // lines 4-9
+		if best == -1 || fit > bestFit ||
+			(fit == bestFit && asn.Count(j) < asn.Count(best)) {
+			best = j
+			bestFit = fit
+		}
+	}
+	p.idx.Commit(u, best)
+	asn.Place(u, best) // line 10
+	return best
+}
+
+// Assignment implements placement.Placer.
+func (p *OptChainPlacer) Assignment() *placement.Assignment { return p.idx.asn }
+
+// Name implements placement.Placer.
+func (p *OptChainPlacer) Name() string { return "OptChain" }
+
+// Scores exposes the T2S index for inspection (examples, debugging).
+func (p *OptChainPlacer) Scores() *T2SIndex { return p.idx }
+
+func leastLoaded(asn *placement.Assignment) int {
+	best := 0
+	for j := 1; j < asn.K(); j++ {
+		if asn.Count(j) < asn.Count(best) {
+			best = j
+		}
+	}
+	return best
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ placement.Placer = (*T2SPlacer)(nil)
+	_ placement.Placer = (*OptChainPlacer)(nil)
+)

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"optchain/internal/placement"
+)
+
+func TestInsertSortedKeepsOrder(t *testing.T) {
+	var vec []sparseEntry
+	for _, s := range []int32{5, 1, 9, 3, 7} {
+		vec = insertSorted(vec, sparseEntry{shard: s, val: float64(s)})
+	}
+	if !sort.SliceIsSorted(vec, func(i, j int) bool { return vec[i].shard < vec[j].shard }) {
+		t.Fatalf("not sorted: %v", vec)
+	}
+	if len(vec) != 5 || vec[0].shard != 1 || vec[4].shard != 9 {
+		t.Fatalf("vec = %v", vec)
+	}
+}
+
+func TestTruncateVecKeepsHeavyEntries(t *testing.T) {
+	vec := []sparseEntry{
+		{shard: 0, val: 1.0},
+		{shard: 1, val: 0.5},
+		{shard: 2, val: 1e-9},
+	}
+	got := truncateVec(vec, 1e-4)
+	if len(got) != 2 {
+		t.Fatalf("truncated to %v", got)
+	}
+	for _, e := range got {
+		if e.shard == 2 {
+			t.Fatal("negligible entry survived")
+		}
+	}
+	// Zero threshold keeps everything.
+	vec2 := []sparseEntry{{shard: 0, val: 1}, {shard: 1, val: 1e-300}}
+	if got := truncateVec(vec2, 0); len(got) != 2 {
+		t.Fatalf("zero threshold dropped entries: %v", got)
+	}
+}
+
+// Property: a T2S vector's entries are always non-negative, sorted, and
+// deduplicated, for arbitrary placement sequences.
+func TestPropertyT2SVectorWellFormed(t *testing.T) {
+	f := func(placements []uint8) bool {
+		const k = 6
+		asn := placement.NewAssignment(k, len(placements)+4)
+		idx := NewT2SIndex(0.5, 0, asn, len(placements)+4)
+		// Seed two coinbases.
+		for u := 0; u < 2; u++ {
+			idx.Prepare(int32(u), nil)
+			idx.Commit(int32(u), u%k)
+			asn.Place(int32(u), u%k)
+		}
+		for i, p := range placements {
+			u := int32(i + 2)
+			inputs := []int32{0, u - 1}
+			idx.Prepare(u, inputs)
+			s := int(p) % k
+			idx.Commit(u, s)
+			asn.Place(u, s)
+			vec := idx.vecs[u]
+			prev := int32(-1)
+			for _, e := range vec {
+				if e.val < 0 {
+					return false
+				}
+				if e.shard <= prev {
+					return false
+				}
+				prev = e.shard
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestT2SOutCountsDivisorDilutesFanout(t *testing.T) {
+	const k = 2
+	asn := placement.NewAssignment(k, 8)
+	idx := NewT2SIndex(0.5, 0, asn, 8)
+	// Node 0: a batch payer with 100 outputs in shard 0.
+	// Node 1: a chain tx with 2 outputs in shard 1.
+	outs := map[int32]int{0: 100, 1: 2}
+	idx.SetOutCounts(func(v int32) int { return outs[v] })
+	for u, s := range []int{0, 1} {
+		idx.Prepare(int32(u), nil)
+		idx.Commit(int32(u), s)
+		asn.Place(int32(u), s)
+	}
+	scores := idx.Prepare(2, []int32{0, 1})
+	if scores[0] >= scores[1] {
+		t.Fatalf("fan-out source not diluted: scores=%v", scores)
+	}
+	idx.Commit(2, 1)
+	asn.Place(2, 1)
+}

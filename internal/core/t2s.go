@@ -1,0 +1,241 @@
+// Package core implements the paper's primary contribution (§IV): the
+// Transaction-to-Shard (T2S) score — an incrementally maintained,
+// PageRank-style fitness between each arriving transaction and every shard —
+// the Latency-to-Shard (L2S) confirmation-latency estimate, and the
+// OptChain placement rule (Alg. 1) that maximizes the Temporal Fitness
+// p(u)[j] − w·E(j).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"optchain/internal/placement"
+	"optchain/internal/txgraph"
+)
+
+// sparseEntry is one non-zero coordinate of an un-normalized score vector
+// p'(u), kept sorted by shard.
+type sparseEntry struct {
+	shard int32
+	val   float64
+}
+
+// T2SIndex maintains the incremental T2S state of §IV-B: for every placed
+// transaction v, the un-normalized vector p'(v); for every transaction, the
+// current out-degree |Nout(v)| (distinct spenders seen so far — the online
+// estimate of the final TaN out-degree).
+//
+// Per paper, for a new transaction u:
+//
+//	p'(u) = (1−α) Σ_{v∈Nin(u)} p'(v)/|Nout(v)|
+//	p(u)[i] = p'(u)[i]/|Si|
+//
+// and after placing u into shard s, p'(u)[s] += α. The computation is
+// O(|Nin(u)|·k) worst case and O(k) on the scale-free TaN network.
+type T2SIndex struct {
+	alpha    float64
+	truncate float64 // relative threshold; entries below truncate·max are dropped (0 = exact)
+	asn      *placement.Assignment
+
+	// normalize selects whether Prepare divides p'(u)[i] by |Si| (the
+	// paper's formula). Exposed for the normalization ablation.
+	normalize bool
+
+	// outCounts, when non-nil, supplies |Nout(v)| as the number of outputs
+	// transaction v created — the UTXO-model reading of "output
+	// transactions of v": each output is spent exactly once, so the
+	// eventual TaN out-degree of v equals its output count (less the
+	// never-spent tail). This is known the moment v arrives, and it
+	// immediately discounts wide fan-out transactions (batch payouts)
+	// whose thousands of recipients should not all follow the payer's
+	// shard. When nil, the divisor is the number of distinct spenders seen
+	// so far (including the one being scored).
+	outCounts func(txgraph.Node) int
+
+	vecs   [][]sparseEntry
+	outDeg []int32
+
+	// pending holds p'(u) between Prepare and Commit.
+	pending     []sparseEntry
+	pendingNode txgraph.Node
+	hasPending  bool
+
+	scores []float64 // reusable dense buffer
+	merge  []float64 // reusable dense accumulation buffer
+	inUse  []bool
+	order  []int32 // shards touched by the current merge
+}
+
+// NewT2SIndex creates an index over the given assignment with damping
+// factor alpha (paper: 0.5) and relative truncation threshold truncate
+// (0 keeps vectors exact; ~1e-4 keeps them small with no measurable effect
+// on decisions).
+func NewT2SIndex(alpha, truncate float64, asn *placement.Assignment, n int) *T2SIndex {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if truncate < 0 {
+		truncate = 0
+	}
+	k := asn.K()
+	return &T2SIndex{
+		alpha:     alpha,
+		truncate:  truncate,
+		asn:       asn,
+		normalize: true,
+		vecs:      make([][]sparseEntry, 0, n),
+		outDeg:    make([]int32, 0, n),
+		scores:    make([]float64, k),
+		merge:     make([]float64, k),
+		inUse:     make([]bool, k),
+	}
+}
+
+// SetNormalize toggles the 1/|Si| score normalization (default on).
+func (t *T2SIndex) SetNormalize(on bool) { t.normalize = on }
+
+// SetOutCounts installs an output-count source used as the |Nout(v)|
+// divisor (see the outCounts field). Passing nil restores the
+// spenders-so-far divisor.
+func (t *T2SIndex) SetOutCounts(fn func(txgraph.Node) int) { t.outCounts = fn }
+
+// Alpha returns the damping factor.
+func (t *T2SIndex) Alpha() float64 { return t.alpha }
+
+// Prepare computes p'(u) for the next transaction u and returns the dense
+// normalized score vector p(u) (valid until the next Prepare call). It also
+// advances the out-degree of each input to include u, matching the online
+// random-walk interpretation. Prepare must be followed by exactly one
+// Commit for the same node.
+func (t *T2SIndex) Prepare(u txgraph.Node, inputs []txgraph.Node) []float64 {
+	if t.hasPending {
+		panic(fmt.Sprintf("core: Prepare(%d) before Commit(%d)", u, t.pendingNode))
+	}
+	if int(u) != len(t.vecs) {
+		panic(fmt.Sprintf("core: out-of-order Prepare(%d), expected %d", u, len(t.vecs)))
+	}
+
+	// Accumulate (1−α) Σ p'(v)/|Nout(v)| into the dense merge buffer,
+	// tracking which shards were touched.
+	for _, v := range inputs {
+		t.outDeg[v]++ // u is now a spender of v
+		div := float64(t.outDeg[v])
+		if t.outCounts != nil {
+			if c := t.outCounts(v); c > 0 {
+				div = float64(c)
+			}
+		}
+		for _, e := range t.vecs[v] {
+			if !t.inUse[e.shard] {
+				t.inUse[e.shard] = true
+				t.merge[e.shard] = 0
+				t.order = append(t.order, e.shard)
+			}
+			t.merge[e.shard] += e.val / div
+		}
+	}
+	scale := 1 - t.alpha
+	t.pending = t.pending[:0]
+	sort.Slice(t.order, func(i, j int) bool { return t.order[i] < t.order[j] })
+	for _, s := range t.order {
+		if v := t.merge[s] * scale; v > 0 {
+			t.pending = append(t.pending, sparseEntry{shard: s, val: v})
+		}
+		t.inUse[s] = false
+		t.merge[s] = 0
+	}
+	t.order = t.order[:0]
+
+	// Normalize into dense scores: p(u)[i] = p'(u)[i]/|Si| (0 for empty
+	// shards — no transaction there to be related to).
+	for i := range t.scores {
+		t.scores[i] = 0
+	}
+	for _, e := range t.pending {
+		if !t.normalize {
+			t.scores[e.shard] = e.val
+			continue
+		}
+		if c := t.asn.Count(int(e.shard)); c > 0 {
+			t.scores[e.shard] = e.val / float64(c)
+		}
+	}
+	t.pendingNode = u
+	t.hasPending = true
+	return t.scores
+}
+
+// Commit finalizes the placement of the prepared node into shard s: it adds
+// the α restart mass at s, truncates, and stores p'(u). The caller is
+// responsible for also recording the decision in the Assignment (the
+// placers in this package do both).
+func (t *T2SIndex) Commit(u txgraph.Node, shard int) {
+	if !t.hasPending || t.pendingNode != u {
+		panic(fmt.Sprintf("core: Commit(%d) without matching Prepare", u))
+	}
+	vec := make([]sparseEntry, 0, len(t.pending)+1)
+	added := false
+	for _, e := range t.pending {
+		if int(e.shard) == shard {
+			e.val += t.alpha
+			added = true
+		}
+		vec = append(vec, e)
+	}
+	if !added {
+		vec = insertSorted(vec, sparseEntry{shard: int32(shard), val: t.alpha})
+	}
+	if t.truncate > 0 {
+		vec = truncateVec(vec, t.truncate)
+	}
+	t.vecs = append(t.vecs, vec)
+	t.outDeg = append(t.outDeg, 0)
+	t.hasPending = false
+}
+
+// Vector returns a copy of p'(v) for inspection.
+func (t *T2SIndex) Vector(v txgraph.Node) map[int]float64 {
+	out := make(map[int]float64, len(t.vecs[v]))
+	for _, e := range t.vecs[v] {
+		out[int(e.shard)] = e.val
+	}
+	return out
+}
+
+// OutDegree returns the current online out-degree of v.
+func (t *T2SIndex) OutDegree(v txgraph.Node) int { return int(t.outDeg[v]) }
+
+func insertSorted(vec []sparseEntry, e sparseEntry) []sparseEntry {
+	pos := len(vec)
+	for i, x := range vec {
+		if x.shard > e.shard {
+			pos = i
+			break
+		}
+	}
+	vec = append(vec, sparseEntry{})
+	copy(vec[pos+1:], vec[pos:])
+	vec[pos] = e
+	return vec
+}
+
+// truncateVec drops entries below rel·max to bound memory; the surviving
+// mass is untouched (no renormalization), matching the paper's update rule
+// as closely as possible.
+func truncateVec(vec []sparseEntry, rel float64) []sparseEntry {
+	var max float64
+	for _, e := range vec {
+		if e.val > max {
+			max = e.val
+		}
+	}
+	threshold := max * rel
+	out := vec[:0]
+	for _, e := range vec {
+		if e.val >= threshold {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary stream format (all integers unsigned varints unless noted):
+//
+//	magic "TANDS01\n"
+//	count N
+//	per transaction:
+//	  nIn, then nIn × (input tx index, output index)
+//	  nOut, then nOut × output value
+//
+// The format is deliberately simple so real Bitcoin trace extracts can be
+// converted to it with a few lines of scripting.
+
+var magic = []byte("TANDS01\n")
+
+// ErrBadFormat reports a stream that is not a dataset encoding.
+var ErrBadFormat = errors.New("dataset: bad stream format")
+
+// Encode writes the dataset to w.
+func (d *Dataset) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(d.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < d.Len(); i++ {
+		nIn := d.NumInputs(i)
+		if err := put(uint64(nIn)); err != nil {
+			return err
+		}
+		base := d.inOff[i]
+		for j := 0; j < nIn; j++ {
+			if err := put(uint64(d.inTx[base+int64(j)])); err != nil {
+				return err
+			}
+			if err := put(uint64(d.inIdx[base+int64(j)])); err != nil {
+				return err
+			}
+		}
+		nOut := d.NumOutputs(i)
+		if err := put(uint64(nOut)); err != nil {
+			return err
+		}
+		vbase := d.outOff[i]
+		for j := 0; j < nOut; j++ {
+			if err := put(uint64(d.outVal[vbase+int64(j)])); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a dataset written by Encode. It validates referential
+// integrity: inputs must reference earlier transactions and existing output
+// indices.
+func Decode(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head) != string(magic) {
+		return nil, fmt.Errorf("%w: wrong magic", ErrBadFormat)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	n64, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadFormat, err)
+	}
+	if n64 > 1<<31 {
+		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, n64)
+	}
+	n := int(n64)
+	d := newDataset(n)
+	for i := 0; i < n; i++ {
+		nIn, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: tx %d: %v", ErrBadFormat, i, err)
+		}
+		for j := uint64(0); j < nIn; j++ {
+			txi, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("%w: tx %d input: %v", ErrBadFormat, i, err)
+			}
+			if txi >= uint64(i) {
+				return nil, fmt.Errorf("%w: tx %d references future tx %d", ErrBadFormat, i, txi)
+			}
+			oi, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("%w: tx %d input idx: %v", ErrBadFormat, i, err)
+			}
+			if oi >= uint64(d.NumOutputs(int(txi))) {
+				return nil, fmt.Errorf("%w: tx %d references output %d:%d out of range", ErrBadFormat, i, txi, oi)
+			}
+			d.inTx = append(d.inTx, int32(txi))
+			d.inIdx = append(d.inIdx, uint32(oi))
+		}
+		d.inOff = append(d.inOff, int64(len(d.inTx)))
+		nOut, err := get()
+		if err != nil || nOut == 0 {
+			return nil, fmt.Errorf("%w: tx %d outputs: %v", ErrBadFormat, i, err)
+		}
+		for j := uint64(0); j < nOut; j++ {
+			v, err := get()
+			if err != nil {
+				return nil, fmt.Errorf("%w: tx %d value: %v", ErrBadFormat, i, err)
+			}
+			d.outVal = append(d.outVal, int64(v))
+		}
+		d.outOff = append(d.outOff, int64(len(d.outVal)))
+		d.comm = append(d.comm, -1)
+	}
+	return d, nil
+}

@@ -1,0 +1,620 @@
+// Package dataset produces and stores Bitcoin-like transaction streams.
+//
+// The paper evaluates on the first 10M transactions of the MIT Bitcoin
+// dataset (senseable2015-6.mit.edu), which is not redistributable here. This
+// package substitutes a synthetic generator calibrated to the TaN-network
+// statistics the paper publishes in §IV-A/Fig. 2: power-law in/out degree
+// with mean ≈ 2.3, ~90% of in-degrees below 3, ~97% of out-degrees below 10,
+// coinbase transactions interleaved at block cadence, and UTXO-consistent
+// spend structure with recency-biased (log-uniform age) input selection —
+// the temporal locality that transaction-placement strategies exploit.
+// A codec (Encode/Decode) lets a real trace extract be substituted.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"optchain/internal/chain"
+	"optchain/internal/stats"
+	"optchain/internal/txgraph"
+)
+
+// Config parameterizes the generator. Zero fields are filled from
+// DefaultConfig by Generate.
+type Config struct {
+	// N is the number of transactions to generate.
+	N int
+	// Seed makes generation reproducible.
+	Seed int64
+
+	// CoinbaseEvery emits a mining-reward transaction every that many
+	// transactions (a block cadence proxy). Additional coinbases are
+	// emitted whenever the UTXO pool runs dry, which concentrates them at
+	// the start of the stream — mirroring Bitcoin's early history and the
+	// paper's Fig. 2c observation.
+	CoinbaseEvery int
+	// CoinbaseValue is the minted value per coinbase output.
+	CoinbaseValue int64
+
+	// Input-count mixture: P(1), P(2), and a power-law tail on
+	// [3, MaxInputs] with exponent InTailExp for the remainder.
+	PSingleInput, PDoubleInput float64
+	InTailExp                  float64
+	MaxInputs                  int
+
+	// Output-count mixture, same shape.
+	PSingleOutput, PDoubleOutput float64
+	OutTailExp                   float64
+	MaxOutputs                   int
+
+	// FeePerMille is the fee retained per transaction, in 1/1000 of the
+	// input sum.
+	FeePerMille int64
+
+	// Communities models wallet/entity clustering: at any time this many
+	// communities are active; each transaction belongs to one and, with
+	// probability IntraProb, draws its inputs from the unspent outputs its
+	// own community created. Real Bitcoin transaction graphs are strongly
+	// clustered by entity — this is the multi-hop relatedness structure
+	// that graph-aware placement (Metis, T2S) exploits and that one-hop
+	// Greedy cannot see. Setting Communities to 1 disables clustering.
+	Communities int
+	// IntraProb is the probability an input is drawn from the
+	// transaction's own community (default 0.8).
+	IntraProb float64
+	// TurnoverEvery retires one community (round-robin) every that many
+	// transactions, modelling entity churn (default 2000).
+	TurnoverEvery int
+
+	// HubEvery emits a hub transaction every that many transactions
+	// (default 150). Hubs model the high-fan-out payers that dominate the
+	// early Bitcoin economy (mining-pool payouts, faucets, exchanges,
+	// SatoshiDice): they consolidate many of their own outputs and create a
+	// large batch of outputs whose OWNERSHIP is scattered across
+	// communities as payments. Recipients later co-spend those payments
+	// with their own change — the case where one-hop Greedy must guess
+	// while T2S's 1/|Nout| dilution keeps the recipient's lineage at home.
+	HubEvery int
+	// HubFanout bounds a hub transaction's output count: sampled uniformly
+	// in [HubFanout/4, HubFanout] (default 200).
+	HubFanout int
+}
+
+// DefaultConfig returns the calibration used throughout the benchmarks.
+// With it the generated TaN network has mean degree ≈ 2.3 and degree tails
+// matching the paper's Fig. 2 within a few percent (see generator tests).
+func DefaultConfig() Config {
+	return Config{
+		N:             100_000,
+		Seed:          1,
+		CoinbaseEvery: 500,
+		CoinbaseValue: 50_0000_0000, // 50 BTC in satoshi
+		PSingleInput:  0.55,
+		PDoubleInput:  0.34,
+		InTailExp:     1.7,
+		MaxInputs:     300,
+		PSingleOutput: 0.28,
+		PDoubleOutput: 0.48,
+		OutTailExp:    2.3,
+		MaxOutputs:    1000,
+		FeePerMille:   2,
+		Communities:   64,
+		IntraProb:     1.0,
+		TurnoverEvery: 2000,
+		HubEvery:      250,
+		HubFanout:     60,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.N <= 0 {
+		c.N = d.N
+	}
+	if c.CoinbaseEvery <= 0 {
+		c.CoinbaseEvery = d.CoinbaseEvery
+	}
+	if c.CoinbaseValue <= 0 {
+		c.CoinbaseValue = d.CoinbaseValue
+	}
+	if c.PSingleInput <= 0 {
+		c.PSingleInput = d.PSingleInput
+	}
+	if c.PDoubleInput <= 0 {
+		c.PDoubleInput = d.PDoubleInput
+	}
+	if c.InTailExp <= 1 {
+		c.InTailExp = d.InTailExp
+	}
+	if c.MaxInputs <= 0 {
+		c.MaxInputs = d.MaxInputs
+	}
+	if c.PSingleOutput <= 0 {
+		c.PSingleOutput = d.PSingleOutput
+	}
+	if c.PDoubleOutput <= 0 {
+		c.PDoubleOutput = d.PDoubleOutput
+	}
+	if c.OutTailExp <= 1 {
+		c.OutTailExp = d.OutTailExp
+	}
+	if c.MaxOutputs <= 0 {
+		c.MaxOutputs = d.MaxOutputs
+	}
+	if c.FeePerMille <= 0 {
+		c.FeePerMille = d.FeePerMille
+	}
+	if c.Communities <= 0 {
+		c.Communities = d.Communities
+	}
+	if c.IntraProb <= 0 {
+		c.IntraProb = d.IntraProb
+	}
+	if c.TurnoverEvery <= 0 {
+		c.TurnoverEvery = d.TurnoverEvery
+	}
+	if c.HubEvery <= 0 {
+		c.HubEvery = d.HubEvery
+	}
+	if c.HubFanout <= 0 {
+		c.HubFanout = d.HubFanout
+	}
+}
+
+// Validate rejects probability mixtures that don't fit in [0,1].
+func (c Config) Validate() error {
+	if c.PSingleInput+c.PDoubleInput > 1 {
+		return errors.New("dataset: input probabilities exceed 1")
+	}
+	if c.PSingleOutput+c.PDoubleOutput > 1 {
+		return errors.New("dataset: output probabilities exceed 1")
+	}
+	if c.IntraProb > 1 {
+		return errors.New("dataset: IntraProb exceeds 1")
+	}
+	return nil
+}
+
+// outRef is one unspent output in the generator's pool.
+type outRef struct {
+	tx      int32
+	idx     uint32
+	value   int64
+	payment bool // created by a hub as a cross-community payment
+}
+
+type generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	inTail  *stats.PowerLaw
+	outTail *stats.PowerLaw
+
+	pool  []outRef // creation order
+	spent []bool   // parallel to pool
+	live  int
+
+	comms      [][]int // per community: pool indices of outputs it created
+	commCursor int     // round-robin turnover position
+}
+
+// Generate produces a synthetic dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		inTail:  stats.NewPowerLaw(cfg.InTailExp, cfg.MaxInputs-2),
+		outTail: stats.NewPowerLaw(cfg.OutTailExp, cfg.MaxOutputs-2),
+		comms:   make([][]int, cfg.Communities),
+	}
+	d := newDataset(cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		g.emit(d, int32(i))
+	}
+	return d, nil
+}
+
+// emit appends transaction i to the dataset.
+func (g *generator) emit(d *Dataset, i int32) {
+	// Retire one community round-robin to model entity churn; its unspent
+	// outputs remain in the global pool.
+	if int(i) > 0 && int(i)%g.cfg.TurnoverEvery == 0 {
+		g.comms[g.commCursor] = nil
+		g.commCursor = (g.commCursor + 1) % len(g.comms)
+	}
+	community := g.rng.Intn(len(g.comms))
+	hub := int(i) > 0 && int(i)%g.cfg.HubEvery == 0
+
+	coinbase := g.live == 0 || int(i)%g.cfg.CoinbaseEvery == 0
+	var ins []outRef
+	if !coinbase {
+		nIn := g.sampleInputs()
+		if hub {
+			// Hubs consolidate a batch of their own (or any) outputs.
+			nIn = 4 + g.rng.Intn(12)
+		}
+		if nIn > g.live {
+			nIn = g.live
+		}
+		ins = g.takeInputs(nIn, community)
+	}
+	var inSum int64
+	for _, r := range ins {
+		inSum += r.value
+	}
+	nOut := g.sampleOutputs()
+	if hub {
+		nOut = g.cfg.HubFanout/4 + g.rng.Intn(g.cfg.HubFanout*3/4+1)
+	}
+	var outSum int64
+	if coinbase {
+		outSum = g.cfg.CoinbaseValue
+	} else {
+		outSum = inSum - inSum*g.cfg.FeePerMille/1000
+	}
+	d.append(ins, nOut, outSum, community)
+	// Register the new outputs in the pool. Ordinary outputs are owned by
+	// the creating community; hub outputs are payments owned by random
+	// communities.
+	per := outSum / int64(nOut)
+	rem := outSum - per*int64(nOut)
+	for o := 0; o < nOut; o++ {
+		v := per
+		if o == 0 {
+			v += rem
+		}
+		g.pool = append(g.pool, outRef{tx: i, idx: uint32(o), value: v, payment: hub})
+		g.spent = append(g.spent, false)
+		owner := community
+		if hub {
+			owner = g.rng.Intn(len(g.comms))
+		}
+		g.comms[owner] = append(g.comms[owner], len(g.pool)-1)
+		g.live++
+	}
+	g.maybeCompact()
+}
+
+func (g *generator) sampleInputs() int {
+	u := g.rng.Float64()
+	switch {
+	case u < g.cfg.PSingleInput:
+		return 1
+	case u < g.cfg.PSingleInput+g.cfg.PDoubleInput:
+		return 2
+	default:
+		return 2 + g.inTail.Sample(g.rng)
+	}
+}
+
+func (g *generator) sampleOutputs() int {
+	u := g.rng.Float64()
+	switch {
+	case u < g.cfg.PSingleOutput:
+		return 1
+	case u < g.cfg.PSingleOutput+g.cfg.PDoubleOutput:
+		return 2
+	default:
+		return 2 + g.outTail.Sample(g.rng)
+	}
+}
+
+// takeInputs selects n distinct unspent outputs, marking them spent. Each
+// input is drawn from the transaction's own community with probability
+// IntraProb (recency-biased within the community's outputs), otherwise from
+// the global pool with log-uniform age bias (P(age) ∝ 1/age). The
+// transaction's own outputs cannot be selected because they are appended
+// only after selection.
+func (g *generator) takeInputs(n, community int) []outRef {
+	out := make([]outRef, 0, n)
+	spentPayment := false
+	for len(out) < n && g.live > 0 {
+		i := -1
+		if g.rng.Float64() < g.cfg.IntraProb {
+			i = g.pickFromCommunity(community)
+		}
+		if i < 0 {
+			i = g.pickUnspent()
+		}
+		if i < 0 {
+			break
+		}
+		g.spent[i] = true
+		g.live--
+		spentPayment = spentPayment || g.pool[i].payment
+		out = append(out, g.pool[i])
+	}
+	// Co-spend: wallets cover an amount by combining coins, so a received
+	// payment is normally spent together with the wallet's own change. If
+	// only payments were consumed, draw one extra own (preferably
+	// change-lineage) input. This is the pattern where lineage-aware
+	// placement has to out-decide one-hop heuristics.
+	if spentPayment && g.live > 0 {
+		onlyPayments := true
+		for _, r := range out {
+			if !r.payment {
+				onlyPayments = false
+				break
+			}
+		}
+		if onlyPayments {
+			if i := g.pickChangeFromCommunity(community); i >= 0 {
+				g.spent[i] = true
+				g.live--
+				out = append(out, g.pool[i])
+			}
+		}
+	}
+	return out
+}
+
+// pickChangeFromCommunity prefers a non-payment (change-lineage) owned
+// output, falling back to any owned output.
+func (g *generator) pickChangeFromCommunity(c int) int {
+	best := -1
+	for tries := 0; tries < 6; tries++ {
+		i := g.pickFromCommunity(c)
+		if i < 0 {
+			break
+		}
+		if !g.pool[i].payment {
+			return i
+		}
+		best = i
+	}
+	return best
+}
+
+// pickFromCommunity draws a recency-biased unspent output owned by the
+// community. Interior spent entries are compacted away when the sampling
+// keeps landing on them, so the list stays mostly live and the pick almost
+// never fails while the community owns anything — a silent fall-through to
+// the global pool would defect the community's lineage to a foreign shard.
+// Returns -1 when the community owns nothing spendable.
+func (g *generator) pickFromCommunity(c int) int {
+	for attempt := 0; attempt < 2; attempt++ {
+		list := g.comms[c]
+		// Prune the (spent) tail so recency bias sees live entries.
+		for len(list) > 0 && g.spent[list[len(list)-1]] {
+			list = list[:len(list)-1]
+		}
+		g.comms[c] = list
+		if len(list) == 0 {
+			return -1
+		}
+		for tries := 0; tries < 12; tries++ {
+			age := int(math.Pow(float64(len(list)), g.rng.Float64()))
+			j := len(list) - age
+			if j < 0 {
+				j = 0
+			}
+			if idx := list[j]; !g.spent[idx] {
+				return idx
+			}
+		}
+		// Too many dead interior entries: compact (preserving order) and
+		// retry once; if the compacted list is still unlucky, scan it.
+		kept := list[:0]
+		for _, idx := range list {
+			if !g.spent[idx] {
+				kept = append(kept, idx)
+			}
+		}
+		g.comms[c] = kept
+	}
+	for j := len(g.comms[c]) - 1; j >= 0; j-- {
+		if idx := g.comms[c][j]; !g.spent[idx] {
+			return idx
+		}
+	}
+	return -1
+}
+
+// pickUnspent draws a pool index with log-uniform age from the end, falling
+// back to a bounded scan when the draw lands on spent entries.
+func (g *generator) pickUnspent() int {
+	n := len(g.pool)
+	if n == 0 || g.live == 0 {
+		return -1
+	}
+	for tries := 0; tries < 24; tries++ {
+		age := int(math.Pow(float64(n), g.rng.Float64()))
+		i := n - age
+		if i < 0 {
+			i = 0
+		}
+		if !g.spent[i] {
+			return i
+		}
+	}
+	// Scan outward from a uniform position; bounded by pool length.
+	start := g.rng.Intn(n)
+	for off := 0; off < n; off++ {
+		if i := start - off; i >= 0 && !g.spent[i] {
+			return i
+		}
+		if i := start + off; i < n && !g.spent[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// maybeCompact rebuilds the pool (preserving creation order) once mostly
+// spent, keeping memory proportional to the live UTXO set. Community lists
+// reference pool indices, so they are remapped in the same pass.
+func (g *generator) maybeCompact() {
+	if len(g.pool) < 4096 || g.live*2 > len(g.pool) {
+		return
+	}
+	remap := make([]int, len(g.pool))
+	newPool := make([]outRef, 0, g.live)
+	for i, r := range g.pool {
+		if g.spent[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(newPool)
+		newPool = append(newPool, r)
+	}
+	for c, list := range g.comms {
+		kept := list[:0]
+		for _, idx := range list {
+			if remap[idx] >= 0 {
+				kept = append(kept, remap[idx])
+			}
+		}
+		g.comms[c] = kept
+	}
+	g.pool = newPool
+	g.spent = make([]bool, len(newPool))
+}
+
+// Dataset is a columnar, immutable transaction stream. Transaction i has
+// chain ID i+1 (IDs are 1-based so that 0 can serve as a "no transaction"
+// sentinel in ledger lock bookkeeping).
+type Dataset struct {
+	inOff  []int64  // n+1
+	inTx   []int32  // input transaction indices (0-based)
+	inIdx  []uint32 // output index within the input transaction
+	outOff []int64  // n+1
+	outVal []int64
+	comm   []int16 // generator community of each tx (-1 when unknown/loaded)
+}
+
+func newDataset(n int) *Dataset {
+	return &Dataset{
+		inOff:  make([]int64, 1, n+1),
+		inTx:   make([]int32, 0, n*2),
+		inIdx:  make([]uint32, 0, n*2),
+		outOff: make([]int64, 1, n+1),
+		outVal: make([]int64, 0, n*2),
+		comm:   make([]int16, 0, n),
+	}
+}
+
+func (d *Dataset) append(ins []outRef, nOut int, outSum int64, community int) {
+	d.comm = append(d.comm, int16(community))
+	for _, r := range ins {
+		d.inTx = append(d.inTx, r.tx)
+		d.inIdx = append(d.inIdx, r.idx)
+	}
+	d.inOff = append(d.inOff, int64(len(d.inTx)))
+	per := outSum / int64(nOut)
+	rem := outSum - per*int64(nOut)
+	for o := 0; o < nOut; o++ {
+		v := per
+		if o == 0 {
+			v += rem
+		}
+		d.outVal = append(d.outVal, v)
+	}
+	d.outOff = append(d.outOff, int64(len(d.outVal)))
+}
+
+// Len returns the number of transactions.
+func (d *Dataset) Len() int { return len(d.inOff) - 1 }
+
+// TxID maps a 0-based index to its chain transaction ID.
+func (d *Dataset) TxID(i int) chain.TxID { return chain.TxID(i + 1) }
+
+// Index maps a chain transaction ID back to its 0-based index.
+func Index(id chain.TxID) int { return int(id) - 1 }
+
+// NumInputs returns the number of inputs (outpoints) of transaction i.
+func (d *Dataset) NumInputs(i int) int { return int(d.inOff[i+1] - d.inOff[i]) }
+
+// NumOutputs returns the number of outputs of transaction i.
+func (d *Dataset) NumOutputs(i int) int { return int(d.outOff[i+1] - d.outOff[i]) }
+
+// IsCoinbase reports whether transaction i has no inputs.
+func (d *Dataset) IsCoinbase(i int) bool { return d.NumInputs(i) == 0 }
+
+// Community returns the generator community (entity) of transaction i, or
+// -1 for datasets loaded from external sources. It is ground-truth metadata
+// for analysis and tests, never an input to placement algorithms.
+func (d *Dataset) Community(i int) int { return int(d.comm[i]) }
+
+// Tx materializes transaction i.
+func (d *Dataset) Tx(i int) *chain.Transaction {
+	nIn := d.NumInputs(i)
+	nOut := d.NumOutputs(i)
+	tx := &chain.Transaction{
+		ID:      d.TxID(i),
+		Inputs:  make([]chain.Outpoint, nIn),
+		Outputs: make([]chain.Output, nOut),
+	}
+	base := d.inOff[i]
+	for j := 0; j < nIn; j++ {
+		tx.Inputs[j] = chain.Outpoint{
+			Tx:    chain.TxID(d.inTx[base+int64(j)] + 1),
+			Index: d.inIdx[base+int64(j)],
+		}
+	}
+	vbase := d.outOff[i]
+	for j := 0; j < nOut; j++ {
+		tx.Outputs[j] = chain.Output{Value: d.outVal[vbase+int64(j)]}
+	}
+	return tx
+}
+
+// InputTxNodes appends the deduplicated input transaction indices of
+// transaction i to buf and returns it. The order is first-appearance.
+func (d *Dataset) InputTxNodes(i int, buf []txgraph.Node) []txgraph.Node {
+	buf = buf[:0]
+	for _, t := range d.inTx[d.inOff[i]:d.inOff[i+1]] {
+		dup := false
+		for _, seen := range buf {
+			if seen == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, t)
+		}
+	}
+	return buf
+}
+
+// SizeBytes estimates the serialized size of transaction i using the same
+// model as chain.Transaction.SizeBytes.
+func (d *Dataset) SizeBytes(i int) int {
+	return 10 + 148*d.NumInputs(i) + 34*d.NumOutputs(i)
+}
+
+// BuildGraph constructs the TaN network of the whole dataset.
+func (d *Dataset) BuildGraph() (*txgraph.Graph, error) {
+	g := txgraph.New(d.Len(), len(d.inTx))
+	var buf []txgraph.Node
+	for i := 0; i < d.Len(); i++ {
+		buf = d.InputTxNodes(i, buf)
+		if _, err := g.AddNode(buf); err != nil {
+			return nil, fmt.Errorf("dataset: tx %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// Slice returns a view-like copy of transactions [0, n). It copies the
+// column prefixes so the two datasets are independent.
+func (d *Dataset) Slice(n int) *Dataset {
+	if n > d.Len() {
+		n = d.Len()
+	}
+	s := &Dataset{
+		inOff:  append([]int64(nil), d.inOff[:n+1]...),
+		inTx:   append([]int32(nil), d.inTx[:d.inOff[n]]...),
+		inIdx:  append([]uint32(nil), d.inIdx[:d.inOff[n]]...),
+		outOff: append([]int64(nil), d.outOff[:n+1]...),
+		outVal: append([]int64(nil), d.outVal[:d.outOff[n]]...),
+		comm:   append([]int16(nil), d.comm[:n]...),
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 2000
+	cfg.Seed = 13
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.EncodeText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("len %d != %d", got.Len(), d.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if got.NumInputs(i) != d.NumInputs(i) || got.NumOutputs(i) != d.NumOutputs(i) {
+			t.Fatalf("tx %d arity mismatch", i)
+		}
+	}
+	// Text → binary must equal original binary encoding except communities
+	// (text carries no community metadata).
+	a, b := &bytes.Buffer{}, &bytes.Buffer{}
+	if err := d.Encode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("text round trip changed transaction content")
+	}
+}
+
+func TestDecodeTextHandWritten(t *testing.T) {
+	src := `
+# a tiny hand-written trace
+out 5000000000
+in 0:0 out 3000000000,1999000000
+in 1:0,1:1 out 4998000000
+`
+	d, err := DecodeText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if !d.IsCoinbase(0) || d.IsCoinbase(1) {
+		t.Fatal("coinbase detection")
+	}
+	if d.NumInputs(2) != 2 || d.NumOutputs(1) != 2 {
+		t.Fatal("arity")
+	}
+	if d.Community(1) != -1 {
+		t.Fatal("imported trace must have unknown communities")
+	}
+	tx := d.Tx(2)
+	if tx.Inputs[0].Tx != 2 || tx.Inputs[1].Index != 1 {
+		t.Fatalf("outpoints = %v", tx.Inputs)
+	}
+}
+
+func TestDecodeTextRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"in 0:0 out 5",        // forward reference (tx 0 spends itself)
+		"out 5\nin 0:3 out 1", // output index out of range
+		"out 5\nin 0 out 1",   // malformed outpoint
+		"out 5\nin 0:0",       // missing out clause
+		"out",                 // empty outputs
+		"out -4",              // negative value
+		"out 5\nin 1:0 out 1", // future reference
+	}
+	for _, src := range cases {
+		if _, err := DecodeText(strings.NewReader(src)); err == nil {
+			t.Fatalf("accepted %q", src)
+		}
+	}
+}
+
+func TestDecodeTextBuildsGraphAndReplays(t *testing.T) {
+	src := "out 100\nin 0:0 out 60,39\nin 1:1 out 38"
+	d, err := DecodeText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.BuildGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}

@@ -1,0 +1,188 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// The kernel plays the role OMNeT++ plays in the paper's evaluation: it owns
+// a virtual clock and an event queue, and advances time by executing events
+// in non-decreasing timestamp order. Determinism is guaranteed by breaking
+// timestamp ties with a monotonically increasing sequence number, so two
+// runs with the same inputs produce identical schedules.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a scheduled callback. The callback receives the simulator so it
+// can schedule follow-up events.
+type Event struct {
+	// At is the virtual time at which the event fires.
+	At time.Duration
+	// Name is an optional label used in traces and error messages.
+	Name string
+	// Fn is invoked when the event fires. A nil Fn is a no-op event.
+	Fn func(sim *Simulator)
+
+	seq   uint64
+	index int
+	dead  bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *Event }
+
+// Cancel marks the event dead; it will be skipped when dequeued.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// eventQueue is a binary min-heap ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator is a discrete-event simulator. The zero value is not usable;
+// construct with New.
+type Simulator struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+
+	// Executed counts events that have fired (excluding cancelled ones).
+	executed uint64
+	// MaxEvents, when non-zero, aborts Run with ErrEventBudget after that
+	// many events. It guards against runaway simulations.
+	MaxEvents uint64
+}
+
+// ErrEventBudget is returned by Run when MaxEvents is exceeded.
+var ErrEventBudget = errors.New("des: event budget exceeded")
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Executed reports how many events have fired so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet dequeued).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule enqueues fn to run after delay. A negative delay is treated as
+// zero (the event fires at the current time, after events already queued for
+// that time). It returns a Handle that can cancel the event.
+func (s *Simulator) Schedule(delay time.Duration, name string, fn func(*Simulator)) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, name, fn)
+}
+
+// ScheduleAt enqueues fn at an absolute virtual time. Times in the past are
+// clamped to the current time.
+func (s *Simulator) ScheduleAt(at time.Duration, name string, fn func(*Simulator)) Handle {
+	if at < s.now {
+		at = s.now
+	}
+	ev := &Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}
+}
+
+// Stop makes Run return after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or the event
+// budget is exhausted.
+func (s *Simulator) Run() error {
+	return s.RunUntil(time.Duration(math.MaxInt64))
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is left at the last executed
+// event's time (it does not jump to the deadline).
+func (s *Simulator) RunUntil(deadline time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.At > deadline {
+			return nil
+		}
+		heap.Pop(&s.queue)
+		if next.dead {
+			continue
+		}
+		if next.At < s.now {
+			// Heap invariant violated; indicates kernel corruption.
+			return fmt.Errorf("des: event %q at %v is before clock %v", next.Name, next.At, s.now)
+		}
+		s.now = next.At
+		s.executed++
+		if s.MaxEvents != 0 && s.executed > s.MaxEvents {
+			return fmt.Errorf("%w (%d events)", ErrEventBudget, s.MaxEvents)
+		}
+		if next.Fn != nil {
+			next.Fn(s)
+		}
+	}
+	return nil
+}
+
+// Step executes exactly one live event and returns true, or returns false if
+// the queue is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		next := heap.Pop(&s.queue).(*Event)
+		if next.dead {
+			continue
+		}
+		s.now = next.At
+		s.executed++
+		if next.Fn != nil {
+			next.Fn(s)
+		}
+		return true
+	}
+	return false
+}

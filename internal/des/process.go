@@ -1,0 +1,37 @@
+package des
+
+import "time"
+
+// Ticker schedules fn at a fixed period starting at start. fn returns false
+// to stop the ticker. It is a convenience for simulation entities that poll
+// or emit periodically (clients issuing transactions, metric samplers).
+type Ticker struct {
+	Period time.Duration
+	handle Handle
+	done   bool
+}
+
+// StartTicker begins a periodic callback. The first invocation happens at
+// start (absolute virtual time). fn returning false stops the ticker.
+func StartTicker(sim *Simulator, start, period time.Duration, name string, fn func(*Simulator) bool) *Ticker {
+	t := &Ticker{Period: period}
+	var tick func(*Simulator)
+	tick = func(s *Simulator) {
+		if t.done {
+			return
+		}
+		if !fn(s) {
+			t.done = true
+			return
+		}
+		t.handle = s.Schedule(t.Period, name, tick)
+	}
+	t.handle = sim.ScheduleAt(start, name, tick)
+	return t
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.handle.Cancel()
+}

@@ -1,0 +1,130 @@
+package metis
+
+import "math/rand"
+
+// coarsenOnce contracts the graph one level using heavy-edge matching:
+// vertices are visited in random order and matched to the unmatched
+// neighbor connected by the heaviest edge. Unmatchable vertices are matched
+// with themselves. It returns the coarse graph and the fine→coarse map.
+func coarsenOnce(g *csr, rng *rand.Rand) (*csr, []int32) {
+	n := g.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	perm := rng.Perm(n)
+
+	ncoarse := int32(0)
+	cmap := make([]int32, n)
+	for _, vi := range perm {
+		v := int32(vi)
+		if match[v] != -1 {
+			continue
+		}
+		best := int32(-1)
+		bestW := int32(-1)
+		for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+			u := g.adj[e]
+			if u == v || match[u] != -1 {
+				continue
+			}
+			if g.adjw[e] > bestW {
+				bestW = g.adjw[e]
+				best = u
+			}
+		}
+		if best == -1 {
+			match[v] = v
+			cmap[v] = ncoarse
+		} else {
+			match[v] = best
+			match[best] = v
+			cmap[v] = ncoarse
+			cmap[best] = ncoarse
+		}
+		ncoarse++
+	}
+
+	coarse := &csr{vwgt: make([]int32, ncoarse)}
+	for v := 0; v < n; v++ {
+		coarse.vwgt[cmap[v]] += g.vwgt[v]
+	}
+
+	// Scan fine vertices grouped by coarse owner so a stamp array keyed by
+	// coarse neighbor deduplicates parallel edges in O(E).
+	order := fineOrderByCoarse(cmap, ncoarse)
+	lastSeen := make([]int32, ncoarse)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+
+	// Count pass: distinct coarse neighbors per coarse vertex.
+	deg := make([]int64, ncoarse)
+	for _, v := range order {
+		cv := cmap[v]
+		for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+			cu := cmap[g.adj[e]]
+			if cu == cv {
+				continue // internal edge collapses
+			}
+			if lastSeen[cu] != cv {
+				lastSeen[cu] = cv
+				deg[cv]++
+			}
+		}
+	}
+
+	coarse.xadj = make([]int64, ncoarse+1)
+	for i := int32(0); i < ncoarse; i++ {
+		coarse.xadj[i+1] = coarse.xadj[i] + deg[i]
+	}
+	total := coarse.xadj[ncoarse]
+	coarse.adj = make([]int32, total)
+	coarse.adjw = make([]int32, total)
+
+	// Fill pass: accumulate weights of parallel edges into a single slot.
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	slot := make([]int64, ncoarse)
+	next := make([]int64, ncoarse)
+	copy(next, coarse.xadj[:ncoarse])
+	for _, v := range order {
+		cv := cmap[v]
+		for e := g.xadj[v]; e < g.xadj[v+1]; e++ {
+			cu := cmap[g.adj[e]]
+			if cu == cv {
+				continue
+			}
+			if lastSeen[cu] != cv {
+				lastSeen[cu] = cv
+				slot[cu] = next[cv]
+				coarse.adj[next[cv]] = cu
+				coarse.adjw[next[cv]] = g.adjw[e]
+				next[cv]++
+			} else {
+				coarse.adjw[slot[cu]] += g.adjw[e]
+			}
+		}
+	}
+	return coarse, cmap
+}
+
+// fineOrderByCoarse returns fine vertices grouped by their coarse vertex so
+// scatter-array deduplication sees each coarse vertex's fine members
+// contiguously.
+func fineOrderByCoarse(cmap []int32, ncoarse int32) []int32 {
+	counts := make([]int32, ncoarse+1)
+	for _, cv := range cmap {
+		counts[cv+1]++
+	}
+	for i := int32(1); i <= ncoarse; i++ {
+		counts[i] += counts[i-1]
+	}
+	order := make([]int32, len(cmap))
+	for v, cv := range cmap {
+		order[counts[cv]] = int32(v)
+		counts[cv]++
+	}
+	return order
+}

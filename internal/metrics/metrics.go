@@ -1,0 +1,129 @@
+// Package metrics provides the collectors behind the paper's evaluation
+// figures: per-transaction latency (Figs. 3, 8, 9, 10), committed-per-window
+// timelines (Fig. 5), and per-shard queue-size series with max/min ratios
+// (Figs. 6, 7).
+package metrics
+
+import (
+	"time"
+
+	"optchain/internal/stats"
+)
+
+// LatencyRecorder accumulates per-transaction confirmation latencies.
+type LatencyRecorder struct {
+	samples []float64 // seconds
+}
+
+// Observe records one confirmation latency.
+func (r *LatencyRecorder) Observe(d time.Duration) {
+	r.samples = append(r.samples, d.Seconds())
+}
+
+// Count returns the number of recorded samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Summary returns descriptive statistics in seconds.
+func (r *LatencyRecorder) Summary() stats.Summary { return stats.Summarize(r.samples) }
+
+// Percentile returns the p-th percentile latency in seconds.
+func (r *LatencyRecorder) Percentile(p float64) float64 { return stats.Percentile(r.samples, p) }
+
+// CDF returns the empirical latency CDF with up to points entries (Fig. 10).
+func (r *LatencyRecorder) CDF(points int) []stats.CDFPoint {
+	return stats.EmpiricalCDF(r.samples, points)
+}
+
+// FractionWithin returns the fraction of transactions confirmed within d
+// (the paper quotes "70% of transactions within 10 seconds").
+func (r *LatencyRecorder) FractionWithin(d time.Duration) float64 {
+	return stats.FractionBelow(r.samples, d.Seconds())
+}
+
+// Samples returns the raw latencies in seconds (read-only view).
+func (r *LatencyRecorder) Samples() []float64 { return r.samples }
+
+// WindowCounts buckets event times into fixed windows and returns the count
+// per window — the Fig. 5 committed-transactions timeline. Times need not
+// be sorted.
+func WindowCounts(times []time.Duration, window time.Duration) []int64 {
+	if window <= 0 || len(times) == 0 {
+		return nil
+	}
+	var maxT time.Duration
+	for _, t := range times {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	buckets := make([]int64, int(maxT/window)+1)
+	for _, t := range times {
+		buckets[int(t/window)]++
+	}
+	return buckets
+}
+
+// QueueTracker samples per-shard queue lengths over time.
+type QueueTracker struct {
+	Times  []time.Duration
+	Queues [][]int // Queues[i][s] = queue length of shard s at Times[i]
+}
+
+// Sample appends one observation; lens is copied.
+func (q *QueueTracker) Sample(now time.Duration, lens []int) {
+	cp := make([]int, len(lens))
+	copy(cp, lens)
+	q.Times = append(q.Times, now)
+	q.Queues = append(q.Queues, cp)
+}
+
+// MaxMin returns the series of (max, min) queue sizes across shards — the
+// Fig. 6 curves.
+func (q *QueueTracker) MaxMin() (maxs, mins []int) {
+	maxs = make([]int, len(q.Queues))
+	mins = make([]int, len(q.Queues))
+	for i, lens := range q.Queues {
+		if len(lens) == 0 {
+			continue
+		}
+		mx, mn := lens[0], lens[0]
+		for _, v := range lens[1:] {
+			if v > mx {
+				mx = v
+			}
+			if v < mn {
+				mn = v
+			}
+		}
+		maxs[i], mins[i] = mx, mn
+	}
+	return maxs, mins
+}
+
+// Ratio returns the max/min queue-size ratio per sample (Fig. 7). Empty
+// minimum queues are clamped to 1 so the ratio stays finite, matching how
+// such plots are drawn.
+func (q *QueueTracker) Ratio() []float64 {
+	maxs, mins := q.MaxMin()
+	out := make([]float64, len(maxs))
+	for i := range maxs {
+		mn := mins[i]
+		if mn < 1 {
+			mn = 1
+		}
+		out[i] = float64(maxs[i]) / float64(mn)
+	}
+	return out
+}
+
+// PeakMax returns the largest queue length ever observed on any shard.
+func (q *QueueTracker) PeakMax() int {
+	maxs, _ := q.MaxMin()
+	peak := 0
+	for _, v := range maxs {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}

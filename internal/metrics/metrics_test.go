@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorder(t *testing.T) {
+	r := &LatencyRecorder{}
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second} {
+		r.Observe(d)
+	}
+	if r.Count() != 4 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	s := r.Summary()
+	if s.Mean != 2.5 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if got := r.Percentile(50); got != 2.5 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := r.FractionWithin(2 * time.Second); got != 0.5 {
+		t.Fatalf("FractionWithin(2s) = %v", got)
+	}
+	cdf := r.CDF(4)
+	if len(cdf) != 4 || cdf[3].Fraction != 1 {
+		t.Fatalf("cdf = %v", cdf)
+	}
+}
+
+func TestWindowCounts(t *testing.T) {
+	times := []time.Duration{
+		1 * time.Second, 2 * time.Second, // window 0
+		51 * time.Second,                     // window 1
+		149 * time.Second, 101 * time.Second, // window 2 (unsorted input)
+	}
+	got := WindowCounts(times, 50*time.Second)
+	want := []int64{2, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("windows = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("windows = %v, want %v", got, want)
+		}
+	}
+	if WindowCounts(nil, time.Second) != nil {
+		t.Fatal("empty times must yield nil")
+	}
+	if WindowCounts(times, 0) != nil {
+		t.Fatal("zero window must yield nil")
+	}
+}
+
+func TestQueueTracker(t *testing.T) {
+	q := &QueueTracker{}
+	lens := []int{5, 10, 0}
+	q.Sample(10*time.Second, lens)
+	lens[0] = 99 // mutation after sampling must not leak in
+	q.Sample(20*time.Second, []int{2, 2, 2})
+
+	maxs, mins := q.MaxMin()
+	if maxs[0] != 10 || mins[0] != 0 {
+		t.Fatalf("sample 0 max/min = %d/%d", maxs[0], mins[0])
+	}
+	if maxs[1] != 2 || mins[1] != 2 {
+		t.Fatalf("sample 1 max/min = %d/%d", maxs[1], mins[1])
+	}
+	ratios := q.Ratio()
+	if ratios[0] != 10 { // min clamped to 1
+		t.Fatalf("ratio[0] = %v", ratios[0])
+	}
+	if ratios[1] != 1 {
+		t.Fatalf("ratio[1] = %v", ratios[1])
+	}
+	if q.PeakMax() != 10 {
+		t.Fatalf("peak = %d", q.PeakMax())
+	}
+}
+
+func TestQueueTrackerEmpty(t *testing.T) {
+	q := &QueueTracker{}
+	maxs, mins := q.MaxMin()
+	if len(maxs) != 0 || len(mins) != 0 {
+		t.Fatal("empty tracker produced series")
+	}
+	if q.PeakMax() != 0 {
+		t.Fatal("empty peak")
+	}
+}

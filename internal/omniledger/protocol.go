@@ -1,0 +1,260 @@
+// Package omniledger implements the client-driven atomic commit protocol
+// for cross-shard transactions described in paper §III-A, over the shard
+// committee substrate:
+//
+//  1. Initialize — the client sends the transaction to every input shard
+//     (directly, per the paper's §V-A bottleneck fix: no global gossip).
+//  2. Lock — each input shard validates the inputs it manages inside its
+//     next block; success locks them and yields a proof-of-acceptance,
+//     failure yields a proof-of-rejection.
+//  3. Commit/Abort — with all proofs-of-acceptance, the client sends an
+//     unlock-to-commit to the output shard, which commits the transaction
+//     in its next block; on any rejection the client sends unlock-to-abort
+//     messages that release the held locks.
+//
+// Same-shard transactions (all inputs managed by the output shard) skip the
+// lock round entirely — the source of OptChain's latency and throughput
+// advantage.
+package omniledger
+
+import (
+	"fmt"
+
+	"optchain/internal/chain"
+	"optchain/internal/des"
+	"optchain/internal/shard"
+	"optchain/internal/simnet"
+)
+
+// Message size constants (bytes). Proofs and acks are small control
+// messages; lock and commit payloads carry the transaction.
+const (
+	ProofBytes = 256
+	AckBytes   = 128
+)
+
+// Protocol coordinates commits across shards.
+type Protocol struct {
+	// Optimistic applies ledger effects with out-of-order tolerance
+	// (chain.Ledger.ConsumeOptimistic): spends of outputs that have not
+	// been created yet succeed and resolve when the output appears. This
+	// is the paper's simulation regime — the replayed trace is globally
+	// valid, so arrival-order validation noise is excluded from the
+	// latency/throughput measurements. Strict mode (false) validates
+	// in-order and exercises the full defer/reject/abort machinery.
+	Optimistic bool
+
+	sim    *des.Simulator
+	net    *simnet.Network
+	shards []*shard.Shard
+	// locate maps a transaction to the shard holding its outputs.
+	locate func(chain.TxID) int
+
+	// Counters for reports.
+	SameShard  int64
+	CrossShard int64
+	Aborts     int64
+}
+
+// New builds the protocol layer. locate must return the shard that manages
+// the outputs of a given (already placed) transaction.
+func New(sim *des.Simulator, net *simnet.Network, shards []*shard.Shard, locate func(chain.TxID) int) *Protocol {
+	return &Protocol{sim: sim, net: net, shards: shards, locate: locate}
+}
+
+// Outcome reports how a submission ended.
+type Outcome struct {
+	// OK is true when the transaction committed.
+	OK bool
+	// Cross is true when the transaction involved more than one shard.
+	Cross bool
+}
+
+// Submit runs the commit protocol for tx from the given client node, with
+// the output shard already chosen by the placement strategy. done fires
+// exactly once, when the client learns the outcome (commit ack or abort).
+func (p *Protocol) Submit(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(sim *des.Simulator, out Outcome)) {
+	if outShard < 0 || outShard >= len(p.shards) {
+		panic(fmt.Sprintf("omniledger: output shard %d of %d", outShard, len(p.shards)))
+	}
+	groups := p.groupInputs(tx)
+	cross := len(groups) > 1 || (len(groups) == 1 && groups[0].shard != outShard)
+	if !cross {
+		p.SameShard++
+		p.submitSameShard(client, tx, outShard, done)
+		return
+	}
+	p.CrossShard++
+	p.submitCross(client, tx, outShard, groups, done)
+}
+
+// inputGroup is the set of a transaction's inputs managed by one shard.
+type inputGroup struct {
+	shard int
+	ops   []chain.Outpoint
+}
+
+func (p *Protocol) groupInputs(tx *chain.Transaction) []inputGroup {
+	var groups []inputGroup
+outer:
+	for _, op := range tx.Inputs {
+		s := p.locate(op.Tx)
+		for i := range groups {
+			if groups[i].shard == s {
+				groups[i].ops = append(groups[i].ops, op)
+				continue outer
+			}
+		}
+		groups = append(groups, inputGroup{shard: s, ops: []chain.Outpoint{op}})
+	}
+	return groups
+}
+
+// submitSameShard sends the transaction to its single shard, which locks,
+// spends, and credits outputs inside one block.
+func (p *Protocol) submitSameShard(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(*des.Simulator, Outcome)) {
+	sh := p.shards[outShard]
+	size := tx.SizeBytes()
+	p.net.Send(client, sh.Leader, size, "ol.sameshard", func(*des.Simulator) {
+		sh.Enqueue(&shard.Item{
+			Tx:        tx.ID,
+			Bytes:     size,
+			Kind:      "same",
+			MaxDefers: 8,
+			Execute: func() error {
+				if !tx.IsCoinbase() {
+					if err := p.consume(sh, tx.ID, tx.Inputs); err != nil {
+						return err
+					}
+				}
+				return sh.Ledger().AddOutputs(tx)
+			},
+			Done: func(sim *des.Simulator, err error) {
+				p.net.Send(sh.Leader, client, AckBytes, "ol.ack", func(sim *des.Simulator) {
+					done(sim, Outcome{OK: err == nil})
+				})
+			},
+		})
+	})
+}
+
+// submitCross runs Initialize → Lock → Commit/Abort.
+func (p *Protocol) submitCross(client simnet.NodeID, tx *chain.Transaction, outShard int, groups []inputGroup, done func(*des.Simulator, Outcome)) {
+	size := tx.SizeBytes()
+	pending := len(groups)
+	rejected := false
+
+	// Phase 3a: all proofs-of-acceptance collected — unlock-to-commit.
+	commit := func() {
+		// Finalize the input-side spends (the lock block already recorded
+		// them; this consumes the locks).
+		for _, g := range groups {
+			g := g
+			if g.shard == outShard {
+				continue
+			}
+			p.net.Send(client, p.shards[g.shard].Leader, AckBytes, "ol.finalize", func(*des.Simulator) {
+				if !p.Optimistic {
+					_ = p.shards[g.shard].Ledger().SpendLocked(tx.ID, g.ops)
+				}
+			})
+		}
+		sh := p.shards[outShard]
+		commitSize := size + ProofBytes*len(groups)
+		p.net.Send(client, sh.Leader, commitSize, "ol.commit", func(*des.Simulator) {
+			sh.Enqueue(&shard.Item{
+				Tx:    tx.ID,
+				Bytes: commitSize,
+				Kind:  "commit",
+				Execute: func() error {
+					// Inputs managed by the output shard itself were locked
+					// in the lock round; consume them now (optimistic mode
+					// already consumed them at lock time).
+					if !p.Optimistic {
+						for _, g := range groups {
+							if g.shard == outShard {
+								if err := sh.Ledger().SpendLocked(tx.ID, g.ops); err != nil {
+									return err
+								}
+							}
+						}
+					}
+					return sh.Ledger().AddOutputs(tx)
+				},
+				Done: func(sim *des.Simulator, err error) {
+					p.net.Send(sh.Leader, client, AckBytes, "ol.ack", func(sim *des.Simulator) {
+						done(sim, Outcome{OK: err == nil, Cross: true})
+					})
+				},
+			})
+		})
+	}
+
+	// Phase 3b: some shard rejected — unlock-to-abort the accepted locks.
+	abort := func(sim *des.Simulator, accepted []inputGroup) {
+		p.Aborts++
+		for _, g := range accepted {
+			g := g
+			p.net.Send(client, p.shards[g.shard].Leader, AckBytes, "ol.abort", func(*des.Simulator) {
+				if p.Optimistic {
+					p.shards[g.shard].Ledger().ReleaseOptimistic(tx.ID, g.ops, nil)
+				} else {
+					p.shards[g.shard].Ledger().Abort(tx.ID, g.ops)
+				}
+			})
+		}
+		done(sim, Outcome{OK: false, Cross: true})
+	}
+
+	// Phases 1+2: send lock requests; each input shard validates in-block.
+	var accepted []inputGroup
+	for _, g := range groups {
+		g := g
+		sh := p.shards[g.shard]
+		p.net.Send(client, sh.Leader, size, "ol.lock", func(*des.Simulator) {
+			sh.Enqueue(&shard.Item{
+				Tx:        tx.ID,
+				Bytes:     size,
+				Kind:      "lock",
+				MaxDefers: 8,
+				Execute:   func() error { return p.lockOrConsume(sh, tx.ID, g.ops) },
+				Done: func(sim *des.Simulator, err error) {
+					// Proof-of-acceptance or -rejection travels back.
+					p.net.Send(sh.Leader, client, ProofBytes, "ol.proof", func(sim *des.Simulator) {
+						if err == nil {
+							accepted = append(accepted, g)
+						} else {
+							rejected = true
+						}
+						pending--
+						if pending == 0 {
+							if rejected {
+								abort(sim, accepted)
+							} else {
+								commit()
+							}
+						}
+					})
+				},
+			})
+		})
+	}
+}
+
+// consume applies a same-shard spend under the configured validation mode.
+func (p *Protocol) consume(sh *shard.Shard, id chain.TxID, ops []chain.Outpoint) error {
+	if p.Optimistic {
+		return sh.Ledger().ConsumeOptimistic(id, ops)
+	}
+	return sh.Ledger().LockAndSpend(id, ops)
+}
+
+// lockOrConsume applies the lock-round effect under the configured mode: in
+// optimistic mode the inputs are consumed outright (OmniLedger marks locked
+// inputs spent), in strict mode they are locked pending the unlock message.
+func (p *Protocol) lockOrConsume(sh *shard.Shard, id chain.TxID, ops []chain.Outpoint) error {
+	if p.Optimistic {
+		return sh.Ledger().ConsumeOptimistic(id, ops)
+	}
+	return sh.Ledger().Lock(id, ops)
+}

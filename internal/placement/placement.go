@@ -1,0 +1,273 @@
+// Package placement defines the transaction-to-shard placement interface
+// (§III-C) and implements the paper's baseline strategies: OmniLedger's
+// hash-based random placement, the Greedy heuristic of §IV-B, and a replay
+// of an offline Metis k-way partition. The paper's own algorithm (T2S and
+// full OptChain) lives in internal/core, behind the same interface.
+package placement
+
+import (
+	"fmt"
+
+	"optchain/internal/chain"
+	"optchain/internal/txgraph"
+)
+
+// Placer decides which shard each arriving transaction is submitted to.
+// Place is invoked exactly once per transaction, in stream order, with the
+// transaction's deduplicated input transactions. Implementations must
+// record their own decision (Assignment does this) so later lookups of
+// input shards resolve.
+type Placer interface {
+	// Place returns the shard in [0, K) for transaction u.
+	Place(u txgraph.Node, inputs []txgraph.Node) int
+	// Assignment exposes the decisions made so far.
+	Assignment() *Assignment
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// Assignment records which shard each transaction was placed into.
+type Assignment struct {
+	k      int
+	shards []int32
+	counts []int64
+}
+
+// NewAssignment creates an empty assignment over k shards with a capacity
+// hint of n transactions.
+func NewAssignment(k, n int) *Assignment {
+	if k < 1 {
+		k = 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Assignment{
+		k:      k,
+		shards: make([]int32, 0, n),
+		counts: make([]int64, k),
+	}
+}
+
+// K returns the number of shards.
+func (a *Assignment) K() int { return a.k }
+
+// Len returns the number of placed transactions.
+func (a *Assignment) Len() int { return len(a.shards) }
+
+// Place records transaction u in shard s. Transactions must be placed in
+// order (u equal to Len()); this catches protocol misuse early.
+func (a *Assignment) Place(u txgraph.Node, s int) {
+	if int(u) != len(a.shards) {
+		panic(fmt.Sprintf("placement: out-of-order placement of %d (have %d)", u, len(a.shards)))
+	}
+	if s < 0 || s >= a.k {
+		panic(fmt.Sprintf("placement: shard %d out of range [0,%d)", s, a.k))
+	}
+	a.shards = append(a.shards, int32(s))
+	a.counts[s]++
+}
+
+// ShardOf returns the shard of a placed transaction.
+func (a *Assignment) ShardOf(v txgraph.Node) int { return int(a.shards[v]) }
+
+// Placed reports whether v has been placed.
+func (a *Assignment) Placed(v txgraph.Node) bool { return int(v) < len(a.shards) }
+
+// Count returns the number of transactions in shard s.
+func (a *Assignment) Count(s int) int64 { return a.counts[s] }
+
+// Counts returns a copy of all shard sizes.
+func (a *Assignment) Counts() []int64 {
+	out := make([]int64, a.k)
+	copy(out, a.counts)
+	return out
+}
+
+// InputShards appends the distinct shards of the given input transactions
+// to buf and returns it.
+func (a *Assignment) InputShards(inputs []txgraph.Node, buf []int) []int {
+	buf = buf[:0]
+	for _, v := range inputs {
+		s := int(a.shards[v])
+		dup := false
+		for _, seen := range buf {
+			if seen == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, s)
+		}
+	}
+	return buf
+}
+
+// IsCrossShard reports whether transaction u placed in shard s with the
+// given inputs is a cross-shard transaction: Sin(u) ≠ {S(u)} (§IV-A).
+// Coinbase transactions (no inputs) are never cross-shard.
+func (a *Assignment) IsCrossShard(inputs []txgraph.Node, s int) bool {
+	for _, v := range inputs {
+		if int(a.shards[v]) != s {
+			return true
+		}
+	}
+	return false
+}
+
+// InvolvedShards returns |Sin(u) ∪ {S(u)}| — the number of shard committees
+// that must participate in committing the transaction.
+func (a *Assignment) InvolvedShards(inputs []txgraph.Node, s int) int {
+	var buf [8]int
+	shards := a.InputShards(inputs, buf[:0])
+	for _, x := range shards {
+		if x == s {
+			return len(shards)
+		}
+	}
+	return len(shards) + 1
+}
+
+// CrossCounter tallies cross-shard statistics as transactions stream
+// through a placer.
+type CrossCounter struct {
+	Total int64
+	Cross int64
+}
+
+// Observe records one placement decision.
+func (c *CrossCounter) Observe(a *Assignment, inputs []txgraph.Node, s int) {
+	c.Total++
+	if a.IsCrossShard(inputs, s) {
+		c.Cross++
+	}
+}
+
+// Fraction returns the cross-shard fraction in [0,1].
+func (c *CrossCounter) Fraction() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Cross) / float64(c.Total)
+}
+
+// Random is OmniLedger's default placement: shard = hash(txid) mod k.
+type Random struct {
+	a *Assignment
+}
+
+// NewRandom returns a hash-based random placer for k shards and n expected
+// transactions.
+func NewRandom(k, n int) *Random {
+	return &Random{a: NewAssignment(k, n)}
+}
+
+// Place implements Placer.
+func (r *Random) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	s := int(chain.TxID(int64(u)+1).Hash() % uint64(r.a.k))
+	r.a.Place(u, s)
+	return s
+}
+
+// Assignment implements Placer.
+func (r *Random) Assignment() *Assignment { return r.a }
+
+// Name implements Placer.
+func (r *Random) Name() string { return "OmniLedger" }
+
+// Greedy places a transaction in the shard holding the most of its inputs,
+// subject to the capacity bound (1+eps)·⌊n/k⌋ from §IV-B. Note: the paper's
+// text literally says to *maximize* f(u,j) = |Sin(u)\Sj|, which would
+// maximize uncovered inputs and contradicts its own description ("the
+// greedy solution will help reduce the number of cross-TXs"); we implement
+// the evident intent of maximizing coverage.
+type Greedy struct {
+	a   *Assignment
+	cap int64
+}
+
+// NewGreedy returns a greedy placer for k shards over an expected stream of
+// n transactions with imbalance tolerance eps (paper: 0.1).
+func NewGreedy(k, n int, eps float64) *Greedy {
+	capPerShard := int64(float64(n/k) * (1 + eps))
+	if capPerShard < 1 {
+		capPerShard = 1
+	}
+	return &Greedy{a: NewAssignment(k, n), cap: capPerShard}
+}
+
+// Place implements Placer.
+func (g *Greedy) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	k := g.a.k
+	coverage := make([]int, k)
+	for _, v := range inputs {
+		coverage[g.a.shards[v]]++
+	}
+	best := -1
+	for j := 0; j < k; j++ {
+		if g.a.counts[j] >= g.cap {
+			continue
+		}
+		if best == -1 ||
+			coverage[j] > coverage[best] ||
+			(coverage[j] == coverage[best] && g.a.counts[j] < g.a.counts[best]) {
+			best = j
+		}
+	}
+	if best == -1 {
+		// Every shard is at capacity (possible only when n was
+		// underestimated); fall back to the least loaded.
+		best = 0
+		for j := 1; j < k; j++ {
+			if g.a.counts[j] < g.a.counts[best] {
+				best = j
+			}
+		}
+	}
+	g.a.Place(u, best)
+	return best
+}
+
+// Assignment implements Placer.
+func (g *Greedy) Assignment() *Assignment { return g.a }
+
+// Name implements Placer.
+func (g *Greedy) Name() string { return "Greedy" }
+
+// MetisReplay places transactions according to a precomputed offline
+// partition (the paper's Metis k-way baseline, §V-A: "we first input the
+// whole TaN network to get its Metis solution and then use the resulting
+// partitions to determine S(u)").
+type MetisReplay struct {
+	a    *Assignment
+	part []int32
+}
+
+// NewMetisReplay wraps a partition vector (one entry per transaction).
+func NewMetisReplay(k int, part []int32) *MetisReplay {
+	return &MetisReplay{a: NewAssignment(k, len(part)), part: part}
+}
+
+// Place implements Placer.
+func (m *MetisReplay) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	s := int(m.part[u])
+	if s >= m.a.k {
+		s = m.a.k - 1
+	}
+	m.a.Place(u, s)
+	return s
+}
+
+// Assignment implements Placer.
+func (m *MetisReplay) Assignment() *Assignment { return m.a }
+
+// Name implements Placer.
+func (m *MetisReplay) Name() string { return "Metis" }
+
+// Compile-time interface compliance checks.
+var (
+	_ Placer = (*Random)(nil)
+	_ Placer = (*Greedy)(nil)
+	_ Placer = (*MetisReplay)(nil)
+)

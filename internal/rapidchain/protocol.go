@@ -1,0 +1,233 @@
+// Package rapidchain implements the "yanking" cross-shard commit mechanism
+// sketched in paper §III-A: instead of a client-driven lock/unlock exchange,
+// the *output shard's committee* coordinates. Input UTXOs are yanked —
+// locked at their home shard inside a block, then transferred to the output
+// shard via an inter-committee message — and once every input has arrived,
+// the output shard commits the final transaction in its own block.
+//
+// The paper predicts OptChain's placement benefits transfer to RapidChain
+// ("we predict a similar level of improvement"); this backend exists to
+// test that prediction (ablation A4).
+package rapidchain
+
+import (
+	"fmt"
+
+	"optchain/internal/chain"
+	"optchain/internal/des"
+	"optchain/internal/shard"
+	"optchain/internal/simnet"
+)
+
+// Message size constants (bytes).
+const (
+	YankAckBytes = 512 // carries the yanked UTXO set and its proof
+	AckBytes     = 128
+)
+
+// Protocol coordinates yank-based commits.
+type Protocol struct {
+	// Optimistic mirrors omniledger.Protocol.Optimistic: ledger effects
+	// tolerate replay-order races via chain.Ledger.ConsumeOptimistic.
+	Optimistic bool
+
+	sim    *des.Simulator
+	net    *simnet.Network
+	shards []*shard.Shard
+	locate func(chain.TxID) int
+
+	SameShard  int64
+	CrossShard int64
+	Aborts     int64
+}
+
+// New builds the protocol layer; locate maps transactions to the shard
+// holding their outputs.
+func New(sim *des.Simulator, net *simnet.Network, shards []*shard.Shard, locate func(chain.TxID) int) *Protocol {
+	return &Protocol{sim: sim, net: net, shards: shards, locate: locate}
+}
+
+// Outcome mirrors the omniledger outcome shape.
+type Outcome struct {
+	OK    bool
+	Cross bool
+}
+
+// Submit sends tx from client to its output shard, which coordinates
+// yanking of remote inputs. done fires once, when the client learns the
+// outcome.
+func (p *Protocol) Submit(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(sim *des.Simulator, out Outcome)) {
+	if outShard < 0 || outShard >= len(p.shards) {
+		panic(fmt.Sprintf("rapidchain: output shard %d of %d", outShard, len(p.shards)))
+	}
+	out := p.shards[outShard]
+	size := tx.SizeBytes()
+
+	groups := p.groupInputs(tx)
+	var remote []inputGroup
+	var local []chain.Outpoint
+	for _, g := range groups {
+		if g.shard == outShard {
+			local = append(local, g.ops...)
+		} else {
+			remote = append(remote, g)
+		}
+	}
+
+	if len(remote) == 0 {
+		p.SameShard++
+	} else {
+		p.CrossShard++
+	}
+
+	// The client's only job: ship the transaction to the output committee.
+	p.net.Send(client, out.Leader, size, "rc.submit", func(*des.Simulator) {
+		p.coordinate(client, tx, outShard, local, remote, done)
+	})
+}
+
+type inputGroup struct {
+	shard  int
+	ops    []chain.Outpoint
+	values []int64 // captured at yank time so an abort can restore them
+}
+
+func (p *Protocol) groupInputs(tx *chain.Transaction) []inputGroup {
+	var groups []inputGroup
+outer:
+	for _, op := range tx.Inputs {
+		s := p.locate(op.Tx)
+		for i := range groups {
+			if groups[i].shard == s {
+				groups[i].ops = append(groups[i].ops, op)
+				continue outer
+			}
+		}
+		groups = append(groups, inputGroup{shard: s, ops: []chain.Outpoint{op}})
+	}
+	return groups
+}
+
+// coordinate runs at the output shard leader.
+func (p *Protocol) coordinate(client simnet.NodeID, tx *chain.Transaction, outShard int, local []chain.Outpoint, remote []inputGroup, done func(*des.Simulator, Outcome)) {
+	out := p.shards[outShard]
+	size := tx.SizeBytes()
+	cross := len(remote) > 0
+
+	finalCommit := func() {
+		out.Enqueue(&shard.Item{
+			Tx:        tx.ID,
+			Bytes:     size + YankAckBytes*len(remote),
+			Kind:      "commit",
+			MaxDefers: 4,
+			Execute: func() error {
+				if len(local) > 0 {
+					if err := p.consume(out, tx.ID, local); err != nil {
+						return err
+					}
+				}
+				// Remote inputs were consumed at their home shard when
+				// yanked; their value arrives with the yank proof.
+				return out.Ledger().AddOutputs(tx)
+			},
+			Done: func(sim *des.Simulator, err error) {
+				p.net.Send(out.Leader, client, AckBytes, "rc.ack", func(sim *des.Simulator) {
+					done(sim, Outcome{OK: err == nil, Cross: cross})
+				})
+			},
+		})
+	}
+
+	if !cross {
+		finalCommit()
+		return
+	}
+
+	pending := len(remote)
+	rejected := false
+	var yanked []*inputGroup
+	for i := range remote {
+		g := &remote[i]
+		in := p.shards[g.shard]
+		// Inter-committee yank request.
+		p.net.Send(out.Leader, in.Leader, size, "rc.yank", func(*des.Simulator) {
+			in.Enqueue(&shard.Item{
+				Tx:        tx.ID,
+				Bytes:     size,
+				Kind:      "yank",
+				MaxDefers: 8,
+				Execute: func() error {
+					// Capture values so an abort can restore them, then
+					// lock and consume in one step: the UTXO leaves this
+					// shard with the yank proof.
+					vals := make([]int64, len(g.ops))
+					for i, op := range g.ops {
+						vals[i], _ = in.Ledger().OutputValue(op)
+					}
+					if err := p.consume(in, tx.ID, g.ops); err != nil {
+						return err
+					}
+					g.values = vals
+					return nil
+				},
+				Done: func(sim *des.Simulator, err error) {
+					p.net.Send(in.Leader, out.Leader, YankAckBytes, "rc.yankack", func(sim *des.Simulator) {
+						if err == nil {
+							yanked = append(yanked, g)
+						} else {
+							rejected = true
+						}
+						pending--
+						if pending > 0 {
+							return
+						}
+						if rejected {
+							p.abort(sim, out.Leader, client, tx, yanked, done)
+							return
+						}
+						finalCommit()
+					})
+				},
+			})
+		})
+	}
+}
+
+// abort returns yanked UTXOs to their home shards (re-credit) and notifies
+// the client of failure. coordinator is the output shard's leader.
+func (p *Protocol) abort(sim *des.Simulator, coordinator, client simnet.NodeID, tx *chain.Transaction, yanked []*inputGroup, done func(*des.Simulator, Outcome)) {
+	p.Aborts++
+	for _, g := range yanked {
+		g := g
+		in := p.shards[g.shard]
+		p.net.Send(coordinator, in.Leader, AckBytes, "rc.unyank", func(*des.Simulator) {
+			// Restore the consumed outputs: the yank proof is void.
+			if p.Optimistic {
+				vals := g.values
+				in.Ledger().ReleaseOptimistic(tx.ID, g.ops, func(op chain.Outpoint) int64 {
+					for i, o := range g.ops {
+						if o == op {
+							return vals[i]
+						}
+					}
+					return 0
+				})
+				return
+			}
+			for i, op := range g.ops {
+				in.Ledger().RestoreUTXO(op, g.values[i])
+			}
+		})
+	}
+	p.net.Send(coordinator, client, AckBytes, "rc.nack", func(sim *des.Simulator) {
+		done(sim, Outcome{OK: false, Cross: true})
+	})
+}
+
+// consume applies a spend under the configured validation mode.
+func (p *Protocol) consume(sh *shard.Shard, id chain.TxID, ops []chain.Outpoint) error {
+	if p.Optimistic {
+		return sh.Ledger().ConsumeOptimistic(id, ops)
+	}
+	return sh.Ledger().LockAndSpend(id, ops)
+}

@@ -1,0 +1,319 @@
+// Package shard models one shard committee of the paper's evaluation
+// (§V-A): a leader and ~400 validators at random coordinates, a mempool
+// queue of pending work, and block consensus whose latency *emerges* from
+// the network model — the leader disseminates the block through a binary
+// tree over the committee (pipelined forwarding, per-sender bandwidth
+// serialization), validators verify and vote, and a small certificate round
+// finalizes the block once a 2/3 quorum is reached.
+//
+// The shard is protocol-agnostic: work items carry closures, so the
+// OmniLedger atomic-commit protocol and the RapidChain yanking protocol
+// compose on top without the shard knowing about locks or proofs.
+package shard
+
+import (
+	"math"
+	"time"
+
+	"optchain/internal/chain"
+	"optchain/internal/des"
+	"optchain/internal/simnet"
+	"optchain/internal/stats"
+)
+
+// Item is one unit of mempool work: a same-shard transaction, a cross-shard
+// lock request, an unlock-to-commit, or a yank transfer.
+type Item struct {
+	// Tx is the transaction this work belongs to.
+	Tx chain.TxID
+	// Bytes is the block space the item occupies.
+	Bytes int
+	// Kind labels the item for metrics ("same", "lock", "commit", "yank").
+	Kind string
+	// Execute applies the item's ledger effect. It runs exactly once, in
+	// block order, when the block reaches finality; a non-nil error means
+	// the item was rejected (e.g. proof-of-rejection for a lock whose
+	// UTXOs are missing).
+	Execute func() error
+	// Done is invoked right after Execute with its error, at block
+	// finality. Typically it sends a message back to the client.
+	Done func(sim *des.Simulator, err error)
+
+	// MaxDefers allows a failing Execute to be re-enqueued (to a later
+	// block) this many times before the failure is reported through Done.
+	// It models a real mempool's orphan pool: a transaction whose parent
+	// is still queued waits for a later block instead of being rejected.
+	MaxDefers int
+
+	enqueuedAt time.Duration
+	defers     int
+}
+
+// Config holds the committee and block parameters (§V-A defaults).
+type Config struct {
+	// BlockTxs caps transactions per block (paper: 2000).
+	BlockTxs int
+	// MaxBlockBytes caps block size (paper: 1 MB).
+	MaxBlockBytes int
+	// MaxBlockWait bounds how long a lone item waits before a partial
+	// block is cut when the shard is otherwise idle.
+	MaxBlockWait time.Duration
+	// VerifyPerTx is each validator's per-transaction verification cost.
+	VerifyPerTx time.Duration
+	// VerifyBase is the fixed per-block verification overhead.
+	VerifyBase time.Duration
+	// VoteBytes / CertBytes size the two small consensus rounds.
+	VoteBytes int
+	CertBytes int
+	// BlockOverheadBytes is the header cost added to every block.
+	BlockOverheadBytes int
+}
+
+// DefaultConfig returns parameters matching the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		BlockTxs:           2000,
+		MaxBlockBytes:      1 << 20,
+		MaxBlockWait:       2 * time.Second,
+		VerifyPerTx:        30 * time.Microsecond,
+		VerifyBase:         10 * time.Millisecond,
+		VoteBytes:          150,
+		CertBytes:          1024,
+		BlockOverheadBytes: 512,
+	}
+}
+
+// DebugRejections, when non-nil, is invoked on every final rejection
+// (diagnostic hook used by tools; not part of the stable API).
+var DebugRejections func(shard int, kind string, tx int64, err error)
+
+// Shard is one committee with its mempool, ledger, and consensus loop.
+type Shard struct {
+	ID         int
+	Leader     simnet.NodeID
+	Validators []simnet.NodeID
+
+	cfg    Config
+	sim    *des.Simulator
+	net    *simnet.Network
+	ledger *chain.Ledger
+
+	queue       []*Item
+	queuedBytes int
+	busy        bool
+	idleTimer   des.Handle
+	timerArmed  bool
+
+	consensusTime *stats.EWMA
+	arrivalRate   *stats.EWMA // items/second, per-block windows
+	arrivalCount  int
+	windowStart   time.Duration
+	height        int
+
+	// Metrics counters.
+	CommittedItems int64
+	RejectedItems  int64
+	DeferredItems  int64
+	BlocksCut      int64
+}
+
+// New creates a shard with the given committee placement.
+func New(id int, sim *des.Simulator, net *simnet.Network, leader simnet.NodeID, validators []simnet.NodeID, cfg Config) *Shard {
+	def := DefaultConfig()
+	if cfg.BlockTxs <= 0 {
+		cfg.BlockTxs = def.BlockTxs
+	}
+	if cfg.MaxBlockBytes <= 0 {
+		cfg.MaxBlockBytes = def.MaxBlockBytes
+	}
+	if cfg.MaxBlockWait <= 0 {
+		cfg.MaxBlockWait = def.MaxBlockWait
+	}
+	if cfg.VerifyPerTx <= 0 {
+		cfg.VerifyPerTx = def.VerifyPerTx
+	}
+	if cfg.VerifyBase <= 0 {
+		cfg.VerifyBase = def.VerifyBase
+	}
+	if cfg.VoteBytes <= 0 {
+		cfg.VoteBytes = def.VoteBytes
+	}
+	if cfg.CertBytes <= 0 {
+		cfg.CertBytes = def.CertBytes
+	}
+	if cfg.BlockOverheadBytes <= 0 {
+		cfg.BlockOverheadBytes = def.BlockOverheadBytes
+	}
+	return &Shard{
+		ID:            id,
+		Leader:        leader,
+		Validators:    validators,
+		cfg:           cfg,
+		sim:           sim,
+		net:           net,
+		ledger:        chain.NewLedger(id),
+		consensusTime: stats.NewEWMA(0.3),
+		arrivalRate:   stats.NewEWMA(0.3),
+	}
+}
+
+// Ledger exposes the shard's UTXO state to the protocol layer.
+func (s *Shard) Ledger() *chain.Ledger { return s.ledger }
+
+// QueueLen returns the current mempool length — the client-observable load
+// signal feeding the L2S verification-rate estimate.
+func (s *Shard) QueueLen() int { return len(s.queue) }
+
+// Height returns the number of committed blocks.
+func (s *Shard) Height() int { return s.height }
+
+// RecentConsensusSeconds returns the smoothed recent block consensus
+// latency, with a cold-start estimate derived from the network physics so
+// the very first placements aren't blind.
+func (s *Shard) RecentConsensusSeconds() float64 {
+	cold := s.estimateConsensusSeconds()
+	return s.consensusTime.Value(cold)
+}
+
+// estimateConsensusSeconds predicts consensus latency for a full block from
+// first principles: tree depth × (transfer + latency) + verification + vote
+// return. Used before any block has committed.
+func (s *Shard) estimateConsensusSeconds() float64 {
+	depth := math.Ceil(math.Log2(float64(len(s.Validators) + 1)))
+	if depth < 1 {
+		depth = 1
+	}
+	hop := s.net.TransferTime(s.cfg.MaxBlockBytes).Seconds() + 0.1
+	verify := (s.cfg.VerifyBase + time.Duration(s.cfg.BlockTxs)*s.cfg.VerifyPerTx).Seconds()
+	return depth*hop + verify + 0.2
+}
+
+// Enqueue adds a work item to the mempool and starts consensus when a full
+// block is available (or arms the idle timer for a partial block).
+func (s *Shard) Enqueue(it *Item) {
+	it.enqueuedAt = s.sim.Now()
+	s.queue = append(s.queue, it)
+	s.queuedBytes += it.Bytes
+	s.arrivalCount++
+	s.maybeStart()
+}
+
+func (s *Shard) maybeStart() {
+	if s.busy || len(s.queue) == 0 {
+		return
+	}
+	if len(s.queue) >= s.cfg.BlockTxs || s.queuedBytes >= s.cfg.MaxBlockBytes-s.cfg.BlockOverheadBytes {
+		s.startBlock()
+		return
+	}
+	if !s.timerArmed {
+		s.timerArmed = true
+		s.idleTimer = s.sim.Schedule(s.batchWait(), "shard.blockTimer", func(*des.Simulator) {
+			s.timerArmed = false
+			if !s.busy && len(s.queue) > 0 {
+				s.startBlock()
+			}
+		})
+	}
+}
+
+// batchWait estimates how long to wait for a full block at the recent
+// arrival rate, bounded by MaxBlockWait. Batching amortizes the fixed
+// consensus overhead (dissemination latency, vote and certificate rounds)
+// over more transactions; cutting immediately at moderate load would halve
+// effective capacity with half-empty blocks.
+func (s *Shard) batchWait() time.Duration {
+	rate := s.arrivalRate.Value(0)
+	if rate <= 0 {
+		return s.cfg.MaxBlockWait
+	}
+	missing := float64(s.cfg.BlockTxs - len(s.queue))
+	wait := time.Duration(missing / rate * float64(time.Second))
+	if wait > s.cfg.MaxBlockWait {
+		return s.cfg.MaxBlockWait
+	}
+	if wait < 10*time.Millisecond {
+		return 10 * time.Millisecond
+	}
+	return wait
+}
+
+// startBlock cuts a block from the head of the mempool and runs consensus.
+func (s *Shard) startBlock() {
+	s.busy = true
+	if s.timerArmed {
+		s.idleTimer.Cancel()
+		s.timerArmed = false
+	}
+
+	batch := make([]*Item, 0, min(len(s.queue), s.cfg.BlockTxs))
+	bytes := s.cfg.BlockOverheadBytes
+	for len(batch) < s.cfg.BlockTxs && len(s.queue) > len(batch) {
+		it := s.queue[len(batch)]
+		if len(batch) > 0 && bytes+it.Bytes > s.cfg.MaxBlockBytes {
+			break
+		}
+		bytes += it.Bytes
+		batch = append(batch, it)
+	}
+	s.queue = s.queue[len(batch):]
+	s.queuedBytes -= bytes - s.cfg.BlockOverheadBytes
+	s.BlocksCut++
+
+	start := s.sim.Now()
+	if elapsed := (start - s.windowStart).Seconds(); elapsed > 0 && s.arrivalCount > 0 {
+		s.arrivalRate.Observe(float64(s.arrivalCount) / elapsed)
+	}
+	s.arrivalCount = 0
+	s.windowStart = start
+	s.runConsensus(batch, bytes, func(sim *des.Simulator) {
+		s.finalizeBlock(batch, start)
+	})
+}
+
+// finalizeBlock applies items in order, notifies their owners, and
+// immediately cuts the next block if work is waiting.
+func (s *Shard) finalizeBlock(batch []*Item, start time.Duration) {
+	s.consensusTime.Observe((s.sim.Now() - start).Seconds())
+	s.height++
+	s.ledger.CommitBlock(&chain.Block{Shard: s.ID, Height: s.height})
+	for _, it := range batch {
+		var err error
+		if it.Execute != nil {
+			err = it.Execute()
+		}
+		if err != nil && it.defers < it.MaxDefers {
+			// Orphan-pool behavior: try again in a later block.
+			it.defers++
+			s.DeferredItems++
+			s.Enqueue(it)
+			continue
+		}
+		if err != nil {
+			s.RejectedItems++
+			if DebugRejections != nil {
+				DebugRejections(s.ID, it.Kind, int64(it.Tx), err)
+			}
+		} else {
+			s.CommittedItems++
+		}
+		if it.Done != nil {
+			it.Done(s.sim, err)
+		}
+	}
+	s.busy = false
+	// Block production continues immediately when a full block is waiting;
+	// otherwise the adaptive batch timer (see batchWait) decides.
+	if len(s.queue) >= s.cfg.BlockTxs || s.queuedBytes >= s.cfg.MaxBlockBytes-s.cfg.BlockOverheadBytes {
+		s.startBlock()
+		return
+	}
+	s.maybeStart()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

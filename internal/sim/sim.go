@@ -1,0 +1,552 @@
+// Package sim runs the paper's end-to-end evaluation (§V): a sharded
+// blockchain with leader/validator committees on a simulated network,
+// clients issuing a Bitcoin-like transaction stream at a configured rate, a
+// pluggable placement strategy deciding each transaction's output shard,
+// and a pluggable cross-shard commit protocol (OmniLedger atomic commit or
+// RapidChain yanking). It records the metrics behind every figure:
+// confirmation latency, throughput, committed-per-window timeline, and
+// per-shard queue series.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"optchain/internal/chain"
+	"optchain/internal/core"
+	"optchain/internal/dataset"
+	"optchain/internal/des"
+	"optchain/internal/metrics"
+	"optchain/internal/omniledger"
+	"optchain/internal/placement"
+	"optchain/internal/rapidchain"
+	"optchain/internal/shard"
+	"optchain/internal/simnet"
+	"optchain/internal/stats"
+	"optchain/internal/txgraph"
+)
+
+// PlacerKind selects the transaction placement strategy.
+type PlacerKind string
+
+// The strategies compared throughout §V.
+const (
+	PlacerOptChain PlacerKind = "OptChain"   // T2S + L2S temporal fitness (Alg. 1)
+	PlacerT2S      PlacerKind = "T2S"        // T2S only, capacity-bounded (§IV-B)
+	PlacerRandom   PlacerKind = "OmniLedger" // hash-based random placement
+	PlacerGreedy   PlacerKind = "Greedy"     // one-hop input coverage
+	PlacerMetis    PlacerKind = "Metis"      // offline Metis k-way replay
+)
+
+// ProtocolKind selects the cross-shard commit backend.
+type ProtocolKind string
+
+// Supported backends.
+const (
+	ProtoOmniLedger ProtocolKind = "omniledger"
+	ProtoRapidChain ProtocolKind = "rapidchain"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Dataset supplies the transaction stream; Txs limits to a prefix
+	// (0 = whole dataset).
+	Dataset *dataset.Dataset
+	Txs     int
+
+	// Shards and Validators shape the committees (paper: 4-16 shards, ~400
+	// validators each).
+	Shards     int
+	Validators int
+
+	// Rate is the offered load in transactions/second (paper: 2000-6000).
+	Rate float64
+
+	// Placer picks the placement strategy; MetisPart must hold the offline
+	// partition when Placer is PlacerMetis.
+	Placer    PlacerKind
+	MetisPart []int32
+
+	// Protocol picks the cross-shard backend (default OmniLedger).
+	Protocol ProtocolKind
+
+	// Clients is the number of client nodes issuing transactions.
+	Clients int
+
+	// Net and Shard expose the network and committee constants.
+	Net   simnet.Config
+	Shard shard.Config
+
+	// Seed drives node placement and client jitter.
+	Seed int64
+
+	// QueueSampleEvery sets the queue-size sampling cadence (Figs. 6-7).
+	QueueSampleEvery time.Duration
+	// CommitWindow sets the Fig. 5 histogram window (paper: 50 s).
+	CommitWindow time.Duration
+
+	// RetryDelay is the client backoff after a rejected transaction; it
+	// doubles per attempt up to 16×.
+	RetryDelay time.Duration
+
+	// MaxSimTime aborts a run whose backlog never drains (the run is
+	// reported with its partial commit count).
+	MaxSimTime time.Duration
+
+	// ValidateUTXO enables strict in-order ledger validation with the
+	// full defer/reject/abort machinery. The default (false) is the
+	// paper's regime: the replayed trace is globally valid, so spends
+	// resolve optimistically when replay compresses parent-child spacing
+	// below block time (see chain.Ledger.ConsumeOptimistic).
+	ValidateUTXO bool
+
+	// OptChain knobs (defaults are the paper's).
+	Alpha    float64
+	L2SWght  float64
+	ExactL2S bool
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Dataset == nil {
+		return errors.New("sim: Dataset is required")
+	}
+	if c.Txs <= 0 || c.Txs > c.Dataset.Len() {
+		c.Txs = c.Dataset.Len()
+	}
+	if c.Shards <= 0 {
+		return errors.New("sim: Shards must be positive")
+	}
+	if c.Validators < 0 {
+		return errors.New("sim: negative Validators")
+	}
+	if c.Validators == 0 {
+		c.Validators = 400
+	}
+	if c.Rate <= 0 {
+		return errors.New("sim: Rate must be positive")
+	}
+	if c.Placer == "" {
+		c.Placer = PlacerOptChain
+	}
+	if c.Placer == PlacerMetis && len(c.MetisPart) < c.Txs {
+		return errors.New("sim: PlacerMetis requires MetisPart covering the stream")
+	}
+	if c.Protocol == "" {
+		c.Protocol = ProtoOmniLedger
+	}
+	if c.Clients <= 0 {
+		c.Clients = 32
+	}
+	if c.QueueSampleEvery <= 0 {
+		c.QueueSampleEvery = 10 * time.Second
+	}
+	if c.CommitWindow <= 0 {
+		c.CommitWindow = 50 * time.Second
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 2 * time.Second
+	}
+	if c.MaxSimTime <= 0 {
+		// Issue time plus a generous drain allowance.
+		c.MaxSimTime = time.Duration(float64(c.Txs)/c.Rate*float64(time.Second)) + 30*time.Minute
+	}
+	return nil
+}
+
+// Result captures everything the figures need from one run.
+type Result struct {
+	Placer   string
+	Protocol string
+	Shards   int
+	Rate     float64
+
+	Total     int
+	Committed int
+
+	// MakespanSeconds is the time until the last commit (or the cap).
+	MakespanSeconds float64
+	// ThroughputTPS = Committed / MakespanSeconds — the paper's metric.
+	// On short streams it is biased low by the post-issue drain tail
+	// (negligible at the paper's 10M-transaction scale); SteadyTPS
+	// corrects for that.
+	ThroughputTPS float64
+	// SteadyTPS is the commit rate over the central portion of the issue
+	// window [0.2·T, T] (T = issue duration): the steady-state service
+	// rate, robust to warm-up and drain edges.
+	SteadyTPS float64
+	// IssueSeconds is the offered-load duration Total/Rate.
+	IssueSeconds float64
+
+	AvgLatency float64 // seconds
+	MaxLatency float64
+	P50, P99   float64
+	Latencies  *metrics.LatencyRecorder
+
+	CrossFraction float64
+	SameShard     int64
+	CrossShard    int64
+	Retries       int64
+	Aborts        int64
+
+	WindowSeconds float64
+	WindowCommits []int64
+
+	Queues *metrics.QueueTracker
+
+	// Diagnostics: total blocks cut, ledger items committed across shards,
+	// and the mean recent consensus latency.
+	BlocksCut        int64
+	ItemsCommitted   int64
+	ItemsDeferred    int64
+	AvgConsensusSecs float64
+}
+
+// Backend abstracts the two cross-shard protocols.
+type backend interface {
+	Submit(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(*des.Simulator, bool))
+	counters() (same, cross, aborts int64)
+}
+
+// Run executes one simulation to completion (or the time cap).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	r := newRunner(cfg)
+	return r.run()
+}
+
+// runner holds one run's mutable state.
+type runner struct {
+	cfg    Config
+	sim    *des.Simulator
+	net    *simnet.Network
+	shards []*shard.Shard
+	placer placement.Placer
+	tel    *liveTelemetry
+	proto  backend
+
+	clients []simnet.NodeID
+	rng     *rand.Rand
+
+	scheduledAt  []time.Duration
+	decidedShard []int32
+	issued       []bool
+
+	committed  int
+	lastCommit time.Duration
+	commitAt   []time.Duration
+
+	latency *metrics.LatencyRecorder
+	queues  *metrics.QueueTracker
+	cross   placement.CrossCounter
+	retries int64
+
+	inputBuf []txgraph.Node
+}
+
+func newRunner(cfg Config) *runner {
+	return &runner{
+		cfg:     cfg,
+		latency: &metrics.LatencyRecorder{},
+		queues:  &metrics.QueueTracker{},
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+func (r *runner) run() (*Result, error) {
+	cfg := r.cfg
+	n := cfg.Txs
+
+	r.sim = des.New()
+	r.net = simnet.New(r.sim, cfg.Net)
+
+	// Committees.
+	for i := 0; i < cfg.Shards; i++ {
+		leader := r.net.AddNode(r.rng.Float64(), r.rng.Float64())
+		validators := r.net.AddRandomNodes(cfg.Validators, r.rng)
+		r.shards = append(r.shards, shard.New(i, r.sim, r.net, leader, validators, cfg.Shard))
+	}
+	r.clients = r.net.AddRandomNodes(cfg.Clients, r.rng)
+
+	// Placement strategy.
+	r.tel = &liveTelemetry{runner: r}
+	placer, err := r.buildPlacer()
+	if err != nil {
+		return nil, err
+	}
+	r.placer = placer
+
+	// Protocol backend. locate resolves through the shared assignment.
+	locate := func(id chain.TxID) int {
+		return r.placer.Assignment().ShardOf(txgraph.Node(dataset.Index(id)))
+	}
+	switch cfg.Protocol {
+	case ProtoOmniLedger:
+		p := omniledger.New(r.sim, r.net, r.shards, locate)
+		p.Optimistic = !cfg.ValidateUTXO
+		r.proto = &omniBackend{p: p}
+	case ProtoRapidChain:
+		p := rapidchain.New(r.sim, r.net, r.shards, locate)
+		p.Optimistic = !cfg.ValidateUTXO
+		r.proto = &rapidBackend{p: p}
+	default:
+		return nil, fmt.Errorf("sim: unknown protocol %q", cfg.Protocol)
+	}
+
+	// Issue clock: one event per transaction at i/rate. Placement is
+	// decided at the tick (the wallet knows its transaction up front, and
+	// decisions happen in stream order, matching §IV's online model);
+	// submission additionally waits until all parents have committed,
+	// since a wallet can only spend confirmed outputs.
+	r.scheduledAt = make([]time.Duration, n)
+	r.decidedShard = make([]int32, n)
+	r.issued = make([]bool, n)
+	r.commitAt = make([]time.Duration, n)
+	perTx := time.Duration(float64(time.Second) / cfg.Rate)
+	for i := 0; i < n; i++ {
+		i := i
+		at := time.Duration(i) * perTx
+		r.scheduledAt[i] = at
+		r.sim.ScheduleAt(at, "sim.issue", func(*des.Simulator) { r.decide(i) })
+	}
+
+	// Queue sampler.
+	lens := make([]int, cfg.Shards)
+	des.StartTicker(r.sim, 0, cfg.QueueSampleEvery, "sim.queueSample", func(s *des.Simulator) bool {
+		for i, sh := range r.shards {
+			lens[i] = sh.QueueLen()
+		}
+		r.queues.Sample(s.Now(), lens)
+		return r.committed < n
+	})
+
+	// Safety caps: a generous event budget plus the configured time cap.
+	r.sim.MaxEvents = uint64(n)*2000 + 10_000_000
+	if err := r.sim.RunUntil(cfg.MaxSimTime); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	return r.buildResult(), nil
+}
+
+// buildPlacer constructs the placement strategy for this run.
+func (r *runner) buildPlacer() (placement.Placer, error) {
+	cfg := r.cfg
+	n := cfg.Txs
+	k := cfg.Shards
+	outCounts := func(v txgraph.Node) int { return cfg.Dataset.NumOutputs(int(v)) }
+	switch cfg.Placer {
+	case PlacerRandom:
+		return placement.NewRandom(k, n), nil
+	case PlacerGreedy:
+		return placement.NewGreedy(k, n, core.DefaultCapacityEps), nil
+	case PlacerMetis:
+		return placement.NewMetisReplay(k, cfg.MetisPart), nil
+	case PlacerT2S:
+		p := core.NewT2SPlacer(k, n, cfg.Alpha, core.DefaultCapacityEps)
+		p.Scores().SetOutCounts(outCounts)
+		return p, nil
+	case PlacerOptChain:
+		var lat core.LatencyModel
+		if cfg.ExactL2S {
+			lat = core.ExactL2S{Tel: r.tel}
+		} else {
+			lat = core.FastL2S{Tel: r.tel}
+		}
+		p := core.NewOptChain(core.OptChainConfig{
+			K: k, N: n,
+			Alpha:   cfg.Alpha,
+			Weight:  cfg.L2SWght,
+			Latency: lat,
+		})
+		p.Scores().SetOutCounts(outCounts)
+		return p, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown placer %q", cfg.Placer)
+	}
+}
+
+// decide runs the placement strategy for transaction i at its scheduled
+// issue tick (stream order, matching §IV's online model) and submits it.
+// Ordering races — a transaction reaching a shard before its parent
+// commits — are absorbed by the shards' orphan-pool deferral, as in real
+// mempools; only persistent failures surface as rejections and retries.
+func (r *runner) decide(i int) {
+	client := r.clients[i%len(r.clients)]
+	r.tel.client = client
+
+	r.inputBuf = r.cfg.Dataset.InputTxNodes(i, r.inputBuf)
+	s := r.placer.Place(txgraph.Node(i), r.inputBuf)
+	r.decidedShard[i] = int32(s)
+	r.cross.Observe(r.placer.Assignment(), r.inputBuf, s)
+
+	r.issued[i] = true
+	r.submit(i, client, r.cfg.Dataset.Tx(i), s, 0)
+}
+
+// submit sends the transaction, retrying with backoff on rejection
+// (transient ordering races, e.g. re-locks after an abort).
+func (r *runner) submit(i int, client simnet.NodeID, tx *chain.Transaction, s int, attempt int) {
+	r.proto.Submit(client, tx, s, func(sim *des.Simulator, ok bool) {
+		if ok {
+			r.onCommitted(i, sim.Now())
+			return
+		}
+		r.retries++
+		delay := r.cfg.RetryDelay << uint(min(attempt, 4))
+		sim.Schedule(delay, "sim.retry", func(*des.Simulator) {
+			r.submit(i, client, tx, s, attempt+1)
+		})
+	})
+}
+
+// onCommitted records metrics and wakes dependent transactions.
+func (r *runner) onCommitted(i int, now time.Duration) {
+	r.committed++
+	r.commitAt[i] = now
+	r.lastCommit = now
+	r.latency.Observe(now - r.scheduledAt[i])
+}
+
+func (r *runner) buildResult() *Result {
+	same, crossN, aborts := r.proto.counters()
+	makespan := r.lastCommit.Seconds()
+	if r.committed < r.cfg.Txs {
+		makespan = r.cfg.MaxSimTime.Seconds()
+	}
+	res := &Result{
+		Placer:          r.placer.Name(),
+		Protocol:        string(r.cfg.Protocol),
+		Shards:          r.cfg.Shards,
+		Rate:            r.cfg.Rate,
+		Total:           r.cfg.Txs,
+		Committed:       r.committed,
+		MakespanSeconds: makespan,
+		Latencies:       r.latency,
+		CrossFraction:   r.cross.Fraction(),
+		SameShard:       same,
+		CrossShard:      crossN,
+		Retries:         r.retries,
+		Aborts:          aborts,
+		Queues:          r.queues,
+		WindowSeconds:   r.cfg.CommitWindow.Seconds(),
+	}
+	if makespan > 0 {
+		res.ThroughputTPS = float64(r.committed) / makespan
+	}
+	sum := r.latency.Summary()
+	res.AvgLatency = sum.Mean
+	res.MaxLatency = sum.Max
+	res.P50 = r.latency.Percentile(50)
+	res.P99 = r.latency.Percentile(99)
+
+	var consensusSum float64
+	for _, sh := range r.shards {
+		res.BlocksCut += sh.BlocksCut
+		res.ItemsCommitted += sh.CommittedItems
+		res.ItemsDeferred += sh.DeferredItems
+		consensusSum += sh.RecentConsensusSeconds()
+	}
+	res.AvgConsensusSecs = consensusSum / float64(len(r.shards))
+
+	var commitTimes []time.Duration
+	for i, t := range r.commitAt {
+		if r.issued[i] && t > 0 {
+			commitTimes = append(commitTimes, t)
+		}
+	}
+	res.WindowCommits = metrics.WindowCounts(commitTimes, r.cfg.CommitWindow)
+
+	res.IssueSeconds = float64(r.cfg.Txs) / r.cfg.Rate
+	issueEnd := time.Duration(res.IssueSeconds * float64(time.Second))
+	// Shift the measurement window by the median confirmation latency so
+	// the commit stream is compared against the issue interval that
+	// produced it (commits lag issues by one pipeline depth).
+	lag := time.Duration(res.P50 * float64(time.Second))
+	start := issueEnd/5 + lag
+	end := issueEnd + lag
+	if window := (end - start).Seconds(); window > 0 {
+		steady := 0
+		for _, t := range commitTimes {
+			if t >= start && t <= end {
+				steady++
+			}
+		}
+		res.SteadyTPS = float64(steady) / window
+	}
+	return res
+}
+
+// liveTelemetry implements core.Telemetry from live simulation state — the
+// client-observable estimates the paper's wallet uses (§IV-C).
+type liveTelemetry struct {
+	runner *runner
+	client simnet.NodeID
+}
+
+// CommRate implements core.Telemetry: λc = 1 / round-trip estimate between
+// the issuing client and the shard leader (propagation + ~500 B transfer).
+func (t *liveTelemetry) CommRate(shard int) float64 {
+	r := t.runner
+	rtt := 2*r.net.Latency(t.client, r.shards[shard].Leader) + r.net.TransferTime(500)
+	return stats.RateFromMean(rtt.Seconds())
+}
+
+// VerifyRate implements core.Telemetry: λv from the shard's recent
+// consensus latency and its current queue depth.
+func (t *liveTelemetry) VerifyRate(shard int) float64 {
+	r := t.runner
+	sh := r.shards[shard]
+	blockTxs := r.cfg.Shard.BlockTxs
+	if blockTxs <= 0 {
+		blockTxs = 2000
+	}
+	return stats.VerificationRate(sh.RecentConsensusSeconds(), sh.QueueLen(), blockTxs)
+}
+
+// omniBackend adapts omniledger.Protocol to the backend interface.
+type omniBackend struct {
+	p *omniledger.Protocol
+}
+
+func (b *omniBackend) Submit(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(*des.Simulator, bool)) {
+	b.p.Submit(client, tx, outShard, func(sim *des.Simulator, o omniledger.Outcome) {
+		done(sim, o.OK)
+	})
+}
+
+func (b *omniBackend) counters() (int64, int64, int64) {
+	return b.p.SameShard, b.p.CrossShard, b.p.Aborts
+}
+
+// rapidBackend adapts rapidchain.Protocol to the backend interface.
+type rapidBackend struct {
+	p *rapidchain.Protocol
+}
+
+func (b *rapidBackend) Submit(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(*des.Simulator, bool)) {
+	b.p.Submit(client, tx, outShard, func(sim *des.Simulator, o rapidchain.Outcome) {
+		done(sim, o.OK)
+	})
+}
+
+func (b *rapidBackend) counters() (int64, int64, int64) {
+	return b.p.SameShard, b.p.CrossShard, b.p.Aborts
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ core.Telemetry = (*liveTelemetry)(nil)
+	_ backend        = (*omniBackend)(nil)
+	_ backend        = (*rapidBackend)(nil)
+)

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLiveTelemetryTracksQueues verifies the client-side λv estimate falls
+// as a shard's queue deepens — the signal that makes OptChain's L2S term
+// self-balancing in the closed loop.
+func TestLiveTelemetryTracksQueues(t *testing.T) {
+	d := smallDataset(t, 2000)
+	cfg := fastConfig(d, PlacerOptChain, 2, 300)
+	if err := cfg.fillDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(cfg)
+	if _, err := r.run(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-run, queues are drained: rates should be finite and positive.
+	tel := r.tel
+	tel.client = r.clients[0]
+	for s := 0; s < cfg.Shards; s++ {
+		if v := tel.VerifyRate(s); v <= 0 {
+			t.Fatalf("verify rate shard %d = %v", s, v)
+		}
+		if c := tel.CommRate(s); c <= 0 || c > 1e7 {
+			t.Fatalf("comm rate shard %d = %v", s, c)
+		}
+	}
+}
+
+func TestResultWindowCommitsCoverAllCommits(t *testing.T) {
+	d := smallDataset(t, 2000)
+	cfg := fastConfig(d, PlacerOptChain, 4, 500)
+	cfg.CommitWindow = 2 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range res.WindowCommits {
+		total += c
+	}
+	if total != int64(res.Committed) {
+		t.Fatalf("window commits sum %d != committed %d", total, res.Committed)
+	}
+}
+
+func TestResultSteadyTPSBounded(t *testing.T) {
+	d := smallDataset(t, 3000)
+	res, err := Run(fastConfig(d, PlacerOptChain, 4, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady-state throughput cannot exceed the offered rate by more than
+	// measurement-window jitter.
+	if res.SteadyTPS > res.Rate*1.3 {
+		t.Fatalf("steady %v far above offered %v", res.SteadyTPS, res.Rate)
+	}
+	if res.IssueSeconds != float64(res.Total)/res.Rate {
+		t.Fatalf("issue seconds %v", res.IssueSeconds)
+	}
+}
+
+func TestValidateUTXOModeCommits(t *testing.T) {
+	// Strict mode at a gentle rate: defer/retry machinery must still
+	// deliver every transaction.
+	d := smallDataset(t, 800)
+	cfg := fastConfig(d, PlacerOptChain, 2, 100)
+	cfg.ValidateUTXO = true
+	cfg.MaxSimTime = 10 * time.Minute
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != res.Total {
+		t.Fatalf("strict mode committed %d of %d (retries=%d aborts=%d)",
+			res.Committed, res.Total, res.Retries, res.Aborts)
+	}
+}
+
+func TestExactL2SModeRuns(t *testing.T) {
+	d := smallDataset(t, 800)
+	cfg := fastConfig(d, PlacerOptChain, 2, 200)
+	cfg.ExactL2S = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != res.Total {
+		t.Fatalf("committed %d of %d", res.Committed, res.Total)
+	}
+}
+
+func TestCrossFractionConsistentWithProtocolCounters(t *testing.T) {
+	d := smallDataset(t, 2000)
+	res, err := Run(fastConfig(d, PlacerRandom, 4, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The placement-level cross counter and the protocol's counter measure
+	// the same predicate.
+	protoFrac := float64(res.CrossShard) / float64(res.SameShard+res.CrossShard)
+	if diff := res.CrossFraction - protoFrac; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("placement cross %.4f vs protocol cross %.4f", res.CrossFraction, protoFrac)
+	}
+}
+
+func TestOptChainQueueBalanceBeatsNoL2SUnderSkewedLoad(t *testing.T) {
+	// T2S-only concentrates lineage-heavy load; full OptChain must keep the
+	// peak queue in the same ballpark or better at high rate.
+	d := smallDataset(t, 4000)
+	t2s, err := Run(fastConfig(d, PlacerT2S, 4, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := Run(fastConfig(d, PlacerOptChain, 4, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("peakQ: T2S=%d OptChain=%d", t2s.Queues.PeakMax(), oc.Queues.PeakMax())
+	if oc.Queues.PeakMax() > t2s.Queues.PeakMax()*3 {
+		t.Fatalf("OptChain peak queue %d far above T2S-only %d", oc.Queues.PeakMax(), t2s.Queues.PeakMax())
+	}
+}

@@ -1,0 +1,174 @@
+// Package stats provides the probability and estimation machinery behind
+// OptChain's Latency-to-Shard (L2S) score (paper §IV-C) plus the random
+// samplers used by the synthetic dataset generator and summary statistics
+// used by the benchmark harness.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Exponential is an exponential distribution with rate Lambda (>0).
+// Its mean is 1/Lambda.
+type Exponential struct {
+	Lambda float64
+}
+
+// PDF returns the density at t (0 for t < 0).
+func (e Exponential) PDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return e.Lambda * math.Exp(-e.Lambda*t)
+}
+
+// CDF returns P(X <= t).
+func (e Exponential) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Lambda*t)
+}
+
+// Mean returns 1/Lambda.
+func (e Exponential) Mean() float64 { return 1 / e.Lambda }
+
+// Hypoexponential2 is the sum of two independent exponentials with rates
+// Lc and Lv — the paper's model for the time to obtain one shard's
+// proof-of-acceptance: communication time ⊛ verification time.
+//
+// When Lc == Lv the distribution degenerates to an Erlang(2); the
+// closed-form below divides by (Lv − Lc), so rates are nudged apart by a
+// relative epsilon. The paper makes the same move implicitly by asserting
+// "with high precision, λv ≠ λc".
+type Hypoexponential2 struct {
+	Lc, Lv float64
+}
+
+// separated returns rates guaranteed to differ enough for the closed form.
+func (h Hypoexponential2) separated() (lc, lv float64) {
+	lc, lv = h.Lc, h.Lv
+	if diff := math.Abs(lv - lc); diff < 1e-9*math.Max(lc, lv) {
+		lv = lc * (1 + 1e-6)
+	}
+	return lc, lv
+}
+
+// PDF returns the density at t.
+func (h Hypoexponential2) PDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	lc, lv := h.separated()
+	return lc * lv / (lv - lc) * (math.Exp(-lc*t) - math.Exp(-lv*t))
+}
+
+// CDF returns P(X <= t).
+func (h Hypoexponential2) CDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	lc, lv := h.separated()
+	return lv/(lv-lc)*(1-math.Exp(-lc*t)) - lc/(lv-lc)*(1-math.Exp(-lv*t))
+}
+
+// Mean returns 1/Lc + 1/Lv.
+func (h Hypoexponential2) Mean() float64 { return 1/h.Lc + 1/h.Lv }
+
+// errBadRate reports a non-positive or non-finite rate.
+var errBadRate = errors.New("stats: rates must be positive and finite")
+
+// validRate reports whether l is usable as an exponential rate.
+func validRate(l float64) bool {
+	return l > 0 && !math.IsInf(l, 1) && !math.IsNaN(l)
+}
+
+// MaxHypoexpMean computes E[max_i X_i] where X_i ~ Hypoexponential2(shards[i])
+// are independent — the expected time until *all* involved shards have
+// returned a proof-of-acceptance. It integrates the survival function
+// 1 − Π_i CDF_i(t) with adaptive refinement.
+//
+// This is the inner quantity of the paper's L2S score: the L2S E(j) is the
+// expectation of the sum of two independent such maxima (lock round and
+// commit round), i.e. 2 × MaxHypoexpMean.
+func MaxHypoexpMean(shards []Hypoexponential2) (float64, error) {
+	if len(shards) == 0 {
+		return 0, nil
+	}
+	for _, h := range shards {
+		if !validRate(h.Lc) || !validRate(h.Lv) {
+			return 0, errBadRate
+		}
+	}
+	survival := func(t float64) float64 {
+		p := 1.0
+		for _, h := range shards {
+			p *= h.CDF(t)
+			if p == 0 {
+				return 1
+			}
+		}
+		return 1 - p
+	}
+	// Upper integration bound: the max is stochastically dominated by the
+	// sum of all means, and the survival of each hypoexp decays at rate
+	// min(Lc, Lv). 40 slowest-time-constants bounds the tail error far
+	// below quadrature error.
+	slowest := math.Inf(1)
+	total := 0.0
+	for _, h := range shards {
+		slowest = math.Min(slowest, math.Min(h.Lc, h.Lv))
+		total += h.Mean()
+	}
+	upper := math.Max(40/slowest, 4*total)
+	return integrate(survival, 0, upper, 1e-6), nil
+}
+
+// L2S returns the paper's Latency-to-Shard score for a transaction whose
+// proof set is the given shards: the expected value of the sum of two
+// independent draws of the all-proofs time (Alg. 1 line 6 computes the
+// expectation of the self-convolution of f_v, which equals twice the mean).
+func L2S(shards []Hypoexponential2) (float64, error) {
+	m, err := MaxHypoexpMean(shards)
+	if err != nil {
+		return 0, err
+	}
+	return 2 * m, nil
+}
+
+// integrate computes ∫_a^b f using adaptive Simpson's rule with absolute
+// tolerance tol. The interval is first stratified into fixed panels so
+// integrands whose mass concentrates in a small sub-interval (the usual case
+// for latency densities with a wide tail bound) are not missed by the
+// initial coarse sampling.
+func integrate(f func(float64) float64, a, b, tol float64) float64 {
+	const panels = 64
+	width := (b - a) / panels
+	var total float64
+	for i := 0; i < panels; i++ {
+		pa := a + float64(i)*width
+		pb := pa + width
+		fa, fm, fb := f(pa), f((pa+pb)/2), f(pb)
+		whole := simpson(pa, pb, fa, fm, fb)
+		total += adaptiveSimpson(f, pa, pb, fa, fm, fb, whole, tol/panels, 50)
+	}
+	return total
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1) +
+		adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+}

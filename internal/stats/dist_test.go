@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExponentialBasics(t *testing.T) {
+	e := Exponential{Lambda: 2}
+	if got := e.Mean(); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("Mean = %v, want 0.5", got)
+	}
+	if got := e.CDF(0); got != 0 {
+		t.Fatalf("CDF(0) = %v, want 0", got)
+	}
+	if got := e.PDF(-1); got != 0 {
+		t.Fatalf("PDF(-1) = %v, want 0", got)
+	}
+	// CDF(mean) = 1 - 1/e
+	if got := e.CDF(0.5); !almostEqual(got, 1-math.Exp(-1), 1e-12) {
+		t.Fatalf("CDF(mean) = %v", got)
+	}
+}
+
+func TestHypoexpMeanMatchesClosedForm(t *testing.T) {
+	h := Hypoexponential2{Lc: 10, Lv: 0.5}
+	want := 1.0/10 + 1.0/0.5
+	if got := h.Mean(); !almostEqual(got, want, 1e-12) {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	// Numerically integrate t*PDF and compare.
+	num := integrate(func(x float64) float64 { return x * h.PDF(x) }, 0, 200, 1e-9)
+	if !almostEqual(num, want, 1e-3) {
+		t.Fatalf("∫t·pdf = %v, want %v", num, want)
+	}
+}
+
+func TestHypoexpCDFIsIntegralOfPDF(t *testing.T) {
+	h := Hypoexponential2{Lc: 3, Lv: 7}
+	for _, upTo := range []float64{0.1, 0.5, 1, 2} {
+		num := integrate(h.PDF, 0, upTo, 1e-9)
+		if !almostEqual(num, h.CDF(upTo), 1e-6) {
+			t.Fatalf("∫pdf to %v = %v, CDF = %v", upTo, num, h.CDF(upTo))
+		}
+	}
+}
+
+func TestHypoexpEqualRatesDegenerate(t *testing.T) {
+	// Erlang(2, λ): mean 2/λ; the nudged closed form must be close.
+	h := Hypoexponential2{Lc: 4, Lv: 4}
+	num := integrate(func(x float64) float64 { return x * h.PDF(x) }, 0, 50, 1e-9)
+	if !almostEqual(num, 0.5, 1e-3) {
+		t.Fatalf("equal-rate mean = %v, want 0.5", num)
+	}
+	if pdf := h.PDF(0.25); math.IsNaN(pdf) || math.IsInf(pdf, 0) {
+		t.Fatalf("PDF not finite at equal rates: %v", pdf)
+	}
+}
+
+func TestMaxHypoexpMeanSingleShard(t *testing.T) {
+	h := Hypoexponential2{Lc: 5, Lv: 2}
+	got, err := MaxHypoexpMean([]Hypoexponential2{h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, h.Mean(), 1e-3) {
+		t.Fatalf("max over one shard = %v, want its mean %v", got, h.Mean())
+	}
+}
+
+func TestMaxHypoexpMeanMonotoneInShards(t *testing.T) {
+	a := Hypoexponential2{Lc: 5, Lv: 2}
+	b := Hypoexponential2{Lc: 4, Lv: 3}
+	one, err := MaxHypoexpMean([]Hypoexponential2{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := MaxHypoexpMean([]Hypoexponential2{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two < one {
+		t.Fatalf("adding a shard decreased expected max: %v -> %v", one, two)
+	}
+}
+
+func TestMaxHypoexpMeanAgainstMonteCarlo(t *testing.T) {
+	shards := []Hypoexponential2{
+		{Lc: 10, Lv: 1},
+		{Lc: 8, Lv: 2},
+		{Lc: 12, Lv: 0.7},
+	}
+	want, err := MaxHypoexpMean(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		maxv := 0.0
+		for _, h := range shards {
+			v := ExpSample(rng, h.Lc) + ExpSample(rng, h.Lv)
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum += maxv
+	}
+	mc := sum / n
+	if math.Abs(mc-want)/want > 0.02 {
+		t.Fatalf("quadrature %v vs Monte-Carlo %v differ > 2%%", want, mc)
+	}
+}
+
+func TestL2SIsTwiceMax(t *testing.T) {
+	shards := []Hypoexponential2{{Lc: 10, Lv: 1}, {Lc: 3, Lv: 2}}
+	m, err := MaxHypoexpMean(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := L2S(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(l, 2*m, 1e-9) {
+		t.Fatalf("L2S = %v, want %v", l, 2*m)
+	}
+}
+
+func TestL2SEmptyAndInvalid(t *testing.T) {
+	if v, err := L2S(nil); err != nil || v != 0 {
+		t.Fatalf("L2S(nil) = %v, %v", v, err)
+	}
+	if _, err := L2S([]Hypoexponential2{{Lc: 0, Lv: 1}}); err == nil {
+		t.Fatal("L2S accepted zero rate")
+	}
+	if _, err := L2S([]Hypoexponential2{{Lc: math.Inf(1), Lv: 1}}); err == nil {
+		t.Fatal("L2S accepted infinite rate")
+	}
+}
+
+// Property: hypoexponential CDF is monotone nondecreasing in t and bounded
+// in [0,1] for arbitrary positive rates.
+func TestPropertyHypoexpCDFMonotone(t *testing.T) {
+	f := func(rawLc, rawLv uint16, rawT1, rawT2 uint16) bool {
+		lc := 0.01 + float64(rawLc%1000)/10
+		lv := 0.01 + float64(rawLv%1000)/10
+		t1 := float64(rawT1%1000) / 100
+		t2 := float64(rawT2%1000) / 100
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		h := Hypoexponential2{Lc: lc, Lv: lv}
+		c1, c2 := h.CDF(t1), h.CDF(t2)
+		return c1 >= -1e-12 && c2 <= 1+1e-9 && c1 <= c2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrateKnownValues(t *testing.T) {
+	// ∫0^1 x² = 1/3
+	if got := integrate(func(x float64) float64 { return x * x }, 0, 1, 1e-9); !almostEqual(got, 1.0/3, 1e-8) {
+		t.Fatalf("∫x² = %v", got)
+	}
+	// ∫0^π sin = 2
+	if got := integrate(math.Sin, 0, math.Pi, 1e-9); !almostEqual(got, 2, 1e-7) {
+		t.Fatalf("∫sin = %v", got)
+	}
+}

@@ -1,0 +1,261 @@
+package txgraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildDiamond: 0 (coinbase), 1 and 2 spend 0, 3 spends 1 and 2.
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4, 4)
+	mustAdd := func(inputs []Node) Node {
+		id, err := g.AddNode(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	mustAdd(nil)
+	mustAdd([]Node{0})
+	mustAdd([]Node{0})
+	mustAdd([]Node{1, 2})
+	return g
+}
+
+func TestAddNodeAndDegrees(t *testing.T) {
+	g := buildDiamond(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.InDegree(0) != 0 || g.OutDegree(0) != 2 {
+		t.Fatalf("node 0 degrees in=%d out=%d", g.InDegree(0), g.OutDegree(0))
+	}
+	if g.InDegree(3) != 2 || g.OutDegree(3) != 0 {
+		t.Fatalf("node 3 degrees in=%d out=%d", g.InDegree(3), g.OutDegree(3))
+	}
+	in := g.Inputs(3)
+	if len(in) != 2 || in[0] != 1 || in[1] != 2 {
+		t.Fatalf("Inputs(3) = %v", in)
+	}
+}
+
+func TestAddNodeDeduplicatesInputs(t *testing.T) {
+	g := New(2, 2)
+	if _, err := g.AddNode(nil); err != nil {
+		t.Fatal(err)
+	}
+	id, err := g.AddNode([]Node{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.InDegree(id) != 1 {
+		t.Fatalf("InDegree = %d after duplicate inputs", g.InDegree(id))
+	}
+	if g.OutDegree(0) != 1 {
+		t.Fatalf("OutDegree(0) = %d after duplicate inputs", g.OutDegree(0))
+	}
+}
+
+func TestAddNodeRejectsForwardAndSelfEdges(t *testing.T) {
+	g := New(2, 2)
+	if _, err := g.AddNode(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddNode([]Node{1}); !errors.Is(err, ErrForwardEdge) {
+		t.Fatalf("self edge err = %v", err)
+	}
+	if _, err := g.AddNode([]Node{5}); !errors.Is(err, ErrForwardEdge) {
+		t.Fatalf("forward edge err = %v", err)
+	}
+	if _, err := g.AddNode([]Node{-1}); !errors.Is(err, ErrForwardEdge) {
+		t.Fatalf("negative edge err = %v", err)
+	}
+	// A failed AddNode must not leave partial edges behind.
+	if _, err := g.AddNode([]Node{0}); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.OutDegree(0) != 1 {
+		t.Fatalf("partial edges leaked: edges=%d outdeg=%d", g.NumEdges(), g.OutDegree(0))
+	}
+}
+
+func TestUndirectedCSR(t *testing.T) {
+	g := buildDiamond(t)
+	xadj, adj := g.UndirectedCSR()
+	if len(xadj) != 5 {
+		t.Fatalf("len(xadj) = %d", len(xadj))
+	}
+	if xadj[4] != 8 { // 4 directed edges -> 8 half-edges
+		t.Fatalf("total half-edges = %d, want 8", xadj[4])
+	}
+	degs := []int64{2, 2, 2, 2}
+	for u := 0; u < 4; u++ {
+		if d := xadj[u+1] - xadj[u]; d != degs[u] {
+			t.Fatalf("undirected degree of %d = %d, want %d", u, d, degs[u])
+		}
+	}
+	// Symmetry: each edge appears from both sides.
+	seen := make(map[[2]Node]int)
+	for u := 0; u < 4; u++ {
+		for _, v := range adj[xadj[u]:xadj[u+1]] {
+			a, b := Node(u), v
+			if a > b {
+				a, b = b, a
+			}
+			seen[[2]Node{a, b}]++
+		}
+	}
+	for e, c := range seen {
+		if c != 2 {
+			t.Fatalf("edge %v appears %d times, want 2", e, c)
+		}
+	}
+}
+
+func TestDegreeHistograms(t *testing.T) {
+	g := buildDiamond(t)
+	in, out := g.DegreeHistograms()
+	// in-degrees: 0:1, 1:2, 2:1
+	if in[0] != 1 || in[1] != 2 || in[2] != 1 {
+		t.Fatalf("in hist = %v", in)
+	}
+	// out-degrees: 0:1(node3), 1:2(nodes 1,2), 2:1(node0)
+	if out[0] != 1 || out[1] != 2 || out[2] != 1 {
+		t.Fatalf("out hist = %v", out)
+	}
+}
+
+func TestCumulativeFraction(t *testing.T) {
+	cf := CumulativeFraction([]int64{1, 2, 1})
+	if len(cf) != 3 || cf[0] != 0.25 || cf[1] != 0.75 || cf[2] != 1 {
+		t.Fatalf("cumulative = %v", cf)
+	}
+	if CumulativeFraction(nil) != nil {
+		t.Fatal("empty histogram should yield nil")
+	}
+}
+
+func TestAverageDegreeSeries(t *testing.T) {
+	g := buildDiamond(t)
+	s := g.AverageDegreeSeries(4)
+	want := []float64{0, 0.5, 2.0 / 3, 1}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("series = %v, want %v", s, want)
+		}
+	}
+	if got := g.AverageDegreeSeries(0); got != nil {
+		t.Fatalf("0 points = %v", got)
+	}
+	// More points than nodes clamps.
+	if got := g.AverageDegreeSeries(100); len(got) != 4 {
+		t.Fatalf("clamped series has %d points", len(got))
+	}
+}
+
+func TestTakeCensus(t *testing.T) {
+	g := New(5, 4)
+	for _, in := range [][]Node{nil, {0}, {0}, {1, 2}, nil} {
+		if _, err := g.AddNode(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := g.TakeCensus()
+	if c.Coinbase != 1 { // node 0 (node 4 is isolated)
+		t.Fatalf("coinbase = %d", c.Coinbase)
+	}
+	if c.Isolated != 1 { // node 4
+		t.Fatalf("isolated = %d", c.Isolated)
+	}
+	if c.Unspent != 1 { // node 3
+		t.Fatalf("unspent = %d", c.Unspent)
+	}
+	if c.AvgInDeg != 0.8 {
+		t.Fatalf("avg in deg = %v", c.AvgInDeg)
+	}
+}
+
+// Property: for random DAG streams, sum(in-degrees) == sum(out-degrees) ==
+// NumEdges, and arrival order is a topological order (every input < node).
+func TestPropertyDegreeConservationAndTopoOrder(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := int(n)%200 + 2
+		g := New(nodes, nodes*3)
+		for i := 0; i < nodes; i++ {
+			var inputs []Node
+			if i > 0 {
+				k := rng.Intn(4)
+				for j := 0; j < k; j++ {
+					inputs = append(inputs, Node(rng.Intn(i)))
+				}
+			}
+			if _, err := g.AddNode(inputs); err != nil {
+				return false
+			}
+		}
+		var sumIn, sumOut int64
+		for u := 0; u < nodes; u++ {
+			sumIn += int64(g.InDegree(Node(u)))
+			sumOut += int64(g.OutDegree(Node(u)))
+			for _, v := range g.Inputs(Node(u)) {
+				if v >= Node(u) {
+					return false
+				}
+			}
+		}
+		return sumIn == g.NumEdges() && sumOut == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UndirectedCSR preserves the edge multiset (as unordered pairs).
+func TestPropertyCSRSymmetry(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := int(n)%100 + 2
+		g := New(nodes, nodes*2)
+		want := make(map[[2]Node]int)
+		for i := 0; i < nodes; i++ {
+			var inputs []Node
+			if i > 0 && rng.Intn(3) > 0 {
+				inputs = append(inputs, Node(rng.Intn(i)))
+			}
+			id, err := g.AddNode(inputs)
+			if err != nil {
+				return false
+			}
+			for _, v := range g.Inputs(id) {
+				want[[2]Node{v, id}]++
+			}
+		}
+		xadj, adj := g.UndirectedCSR()
+		got := make(map[[2]Node]int)
+		for u := 0; u < nodes; u++ {
+			for _, v := range adj[xadj[u]:xadj[u+1]] {
+				a, b := Node(u), v
+				if a > b {
+					a, b = b, a
+				}
+				got[[2]Node{a, b}]++
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for e, c := range want {
+			if got[e] != 2*c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package txgraph
+
+// Stats reproduces the TaN network characterization of paper Fig. 2 and
+// §IV-A: degree histograms (Fig. 2a), cumulative degree fractions (Fig. 2b),
+// average degree over time (Fig. 2c), and the coinbase / unspent / isolated
+// counts quoted in the text.
+
+// DegreeHistograms returns histograms of in- and out-degree: index d holds
+// the number of nodes with that degree. Lengths cover the max degree seen.
+func (g *Graph) DegreeHistograms() (in, out []int64) {
+	maxIn, maxOut := 0, 0
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		if d := g.InDegree(Node(u)); d > maxIn {
+			maxIn = d
+		}
+		if d := g.OutDegree(Node(u)); d > maxOut {
+			maxOut = d
+		}
+	}
+	in = make([]int64, maxIn+1)
+	out = make([]int64, maxOut+1)
+	for u := 0; u < n; u++ {
+		in[g.InDegree(Node(u))]++
+		out[g.OutDegree(Node(u))]++
+	}
+	return in, out
+}
+
+// CumulativeFraction converts a degree histogram into cumulative fractions:
+// result[d] = fraction of nodes with degree <= d. An empty histogram yields
+// nil.
+func CumulativeFraction(hist []int64) []float64 {
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(hist))
+	var cum int64
+	for d, c := range hist {
+		cum += c
+		out[d] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// AverageDegreeSeries returns the average degree (edges/nodes) of each
+// prefix of the stream, sampled at `points` evenly spaced prefixes (the last
+// point covers the whole graph). This is Fig. 2c's series: because every
+// edge targets an earlier node, the prefix of the first t nodes contains
+// exactly the in-edges of those nodes.
+func (g *Graph) AverageDegreeSeries(points int) []float64 {
+	n := g.NumNodes()
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	if points > n {
+		points = n
+	}
+	out := make([]float64, 0, points)
+	for i := 1; i <= points; i++ {
+		t := n * i / points
+		out = append(out, float64(g.inOff[t])/float64(t))
+	}
+	return out
+}
+
+// Census summarizes the special node classes the paper reports for the
+// Bitcoin TaN network.
+type Census struct {
+	Nodes    int
+	Edges    int64
+	Coinbase int // no inputs (in-degree 0, out-degree > 0) — mining rewards
+	Unspent  int // outputs never spent (out-degree 0, in-degree > 0)
+	Isolated int // neither inputs nor spenders
+	AvgInDeg float64
+}
+
+// TakeCensus scans the graph and classifies nodes.
+func (g *Graph) TakeCensus() Census {
+	c := Census{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	for u := 0; u < c.Nodes; u++ {
+		in := g.InDegree(Node(u))
+		out := g.OutDegree(Node(u))
+		switch {
+		case in == 0 && out == 0:
+			c.Isolated++
+		case in == 0:
+			c.Coinbase++
+		case out == 0:
+			c.Unspent++
+		}
+	}
+	if c.Nodes > 0 {
+		c.AvgInDeg = float64(c.Edges) / float64(c.Nodes)
+	}
+	return c
+}

@@ -1,0 +1,166 @@
+package optchain
+
+import (
+	"fmt"
+	"io"
+
+	"optchain/internal/bench"
+	"optchain/internal/core"
+	"optchain/internal/dataset"
+	"optchain/internal/metis"
+	"optchain/internal/placement"
+	"optchain/internal/sim"
+	"optchain/internal/txgraph"
+)
+
+// Re-exported types. These aliases are the public names of the library's
+// main objects; the implementation lives in internal packages.
+type (
+	// Dataset is a generated or loaded Bitcoin-like transaction stream.
+	Dataset = dataset.Dataset
+	// DatasetConfig parameterizes synthetic stream generation.
+	DatasetConfig = dataset.Config
+	// Placer decides which shard each transaction is submitted to.
+	Placer = placement.Placer
+	// Assignment records placement decisions.
+	Assignment = placement.Assignment
+	// SimConfig parameterizes an end-to-end simulation.
+	SimConfig = sim.Config
+	// SimResult carries a simulation's metrics.
+	SimResult = sim.Result
+	// TaNGraph is the Transactions-as-Nodes network.
+	TaNGraph = txgraph.Graph
+	// BenchParams scales the experiment harness.
+	BenchParams = bench.Params
+	// Telemetry supplies client-observable shard load estimates to the
+	// L2S model.
+	Telemetry = core.Telemetry
+)
+
+// Strategy names a transaction placement algorithm.
+type Strategy = sim.PlacerKind
+
+// The placement strategies from the paper's evaluation.
+const (
+	// StrategyOptChain is the full Temporal Fitness algorithm (Alg. 1).
+	StrategyOptChain = sim.PlacerOptChain
+	// StrategyT2S is the capacity-bounded T2S-only variant (§IV-B).
+	StrategyT2S = sim.PlacerT2S
+	// StrategyRandom is OmniLedger's hash-based placement.
+	StrategyRandom = sim.PlacerRandom
+	// StrategyGreedy is the one-hop input-coverage heuristic.
+	StrategyGreedy = sim.PlacerGreedy
+	// StrategyMetis replays an offline Metis k-way partition.
+	StrategyMetis = sim.PlacerMetis
+)
+
+// Protocol names a cross-shard commit backend.
+type Protocol = sim.ProtocolKind
+
+// The supported backends.
+const (
+	// ProtocolOmniLedger is the client-driven atomic commit of §III-A.
+	ProtocolOmniLedger = sim.ProtoOmniLedger
+	// ProtocolRapidChain is the committee-driven yanking mechanism.
+	ProtocolRapidChain = sim.ProtoRapidChain
+)
+
+// DatasetDefaults returns the generator calibration used throughout the
+// benchmarks (TaN degree statistics matching the paper's Fig. 2).
+func DatasetDefaults() DatasetConfig { return dataset.DefaultConfig() }
+
+// GenerateDataset produces a synthetic Bitcoin-like transaction stream.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// LoadDataset decodes a stream written by (*Dataset).Encode.
+func LoadDataset(r io.Reader) (*Dataset, error) { return dataset.Decode(r) }
+
+// NewPlacer constructs a placement strategy over k shards for dataset d.
+// StrategyMetis requires a partition; use NewMetisPlacer instead.
+func NewPlacer(s Strategy, k int, d *Dataset) Placer {
+	n := d.Len()
+	outCounts := func(v txgraph.Node) int { return d.NumOutputs(int(v)) }
+	switch s {
+	case StrategyRandom:
+		return placement.NewRandom(k, n)
+	case StrategyGreedy:
+		return placement.NewGreedy(k, n, core.DefaultCapacityEps)
+	case StrategyT2S:
+		p := core.NewT2SPlacer(k, n, core.DefaultAlpha, core.DefaultCapacityEps)
+		p.Scores().SetOutCounts(outCounts)
+		return p
+	case StrategyOptChain:
+		p := core.NewOptChain(core.OptChainConfig{K: k, N: n})
+		p.Scores().SetOutCounts(outCounts)
+		return p
+	default:
+		panic(fmt.Sprintf("optchain: unknown strategy %q", s))
+	}
+}
+
+// NewOptChainPlacer builds the full Temporal Fitness placer with a live
+// latency model fed by the given telemetry (nil telemetry degenerates to
+// pure T2S placement).
+func NewOptChainPlacer(k int, d *Dataset, tel Telemetry) Placer {
+	cfg := core.OptChainConfig{K: k, N: d.Len()}
+	if tel != nil {
+		cfg.Latency = core.FastL2S{Tel: tel}
+	}
+	p := core.NewOptChain(cfg)
+	p.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
+	return p
+}
+
+// StaticTelemetry is a fixed-rate Telemetry for experimentation: Comm[i]
+// and Verify[i] are shard i's λc and λv in 1/seconds.
+type StaticTelemetry = core.StaticTelemetry
+
+// PartitionTaN runs the Metis-style multilevel k-way partitioner over the
+// dataset's TaN network and returns one shard id per transaction.
+func PartitionTaN(d *Dataset, k int, seed int64) ([]int32, error) {
+	g, err := d.BuildGraph()
+	if err != nil {
+		return nil, err
+	}
+	xadj, adj := g.UndirectedCSR()
+	return metis.PartitionKWay(xadj, adj, k, &metis.Options{Seed: seed})
+}
+
+// NewMetisPlacer replays an offline partition as a placement strategy.
+func NewMetisPlacer(k int, part []int32) Placer { return placement.NewMetisReplay(k, part) }
+
+// CrossShardFraction streams the whole dataset through the placer and
+// returns the fraction of cross-shard transactions (§IV-A definition:
+// a transaction is cross-shard iff some input lives outside its shard).
+func CrossShardFraction(d *Dataset, p Placer) float64 {
+	cc := placement.CrossCounter{}
+	var buf []txgraph.Node
+	for i := 0; i < d.Len(); i++ {
+		buf = d.InputTxNodes(i, buf)
+		s := p.Place(txgraph.Node(i), buf)
+		cc.Observe(p.Assignment(), buf, s)
+	}
+	return cc.Fraction()
+}
+
+// Simulate runs one end-to-end sharded-blockchain simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// NewBenchHarness prepares the experiment harness that regenerates the
+// paper's tables and figures; see ExperimentNames and RunExperiment.
+func NewBenchHarness(p BenchParams) *bench.Harness { return bench.NewHarness(p) }
+
+// ExperimentNames lists the available experiments (table1, fig3, …).
+func ExperimentNames() []string { return bench.Names() }
+
+// RunExperiment executes one named experiment, writing its report to w.
+func RunExperiment(h *bench.Harness, name string, w io.Writer) error {
+	fn, ok := bench.Experiments[name]
+	if !ok {
+		return fmt.Errorf("optchain: unknown experiment %q (have %v)", name, bench.Names())
+	}
+	return fn(h, w)
+}
+
+// RunAllExperiments executes every experiment in canonical order.
+func RunAllExperiments(h *bench.Harness, w io.Writer) error { return bench.RunAll(h, w) }

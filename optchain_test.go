@@ -1,0 +1,126 @@
+package optchain_test
+
+import (
+	"bytes"
+	"testing"
+
+	"optchain"
+)
+
+func smallData(t *testing.T) *optchain.Dataset {
+	t.Helper()
+	cfg := optchain.DatasetDefaults()
+	cfg.N = 8000
+	d, err := optchain.GenerateDataset(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFacadeCrossShardOrdering(t *testing.T) {
+	d := smallData(t)
+	const k = 8
+	oc := optchain.CrossShardFraction(d, optchain.NewPlacer(optchain.StrategyOptChain, k, d))
+	rnd := optchain.CrossShardFraction(d, optchain.NewPlacer(optchain.StrategyRandom, k, d))
+	if oc >= rnd {
+		t.Fatalf("OptChain %.3f not below random %.3f", oc, rnd)
+	}
+	if rnd < 0.7 {
+		t.Fatalf("random cross fraction %.3f implausible at k=8", rnd)
+	}
+}
+
+func TestFacadeAllStrategiesConstruct(t *testing.T) {
+	d := smallData(t)
+	for _, s := range []optchain.Strategy{
+		optchain.StrategyOptChain, optchain.StrategyT2S,
+		optchain.StrategyRandom, optchain.StrategyGreedy,
+	} {
+		p := optchain.NewPlacer(s, 4, d)
+		if got := optchain.CrossShardFraction(d, p); got < 0 || got > 1 {
+			t.Fatalf("%s cross fraction %v", s, got)
+		}
+	}
+}
+
+func TestFacadeMetisPartition(t *testing.T) {
+	d := smallData(t)
+	part, err := optchain.PartitionTaN(d, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != d.Len() {
+		t.Fatalf("partition covers %d of %d", len(part), d.Len())
+	}
+	p := optchain.NewMetisPlacer(4, part)
+	frac := optchain.CrossShardFraction(d, p)
+	if frac > 0.5 {
+		t.Fatalf("metis cross fraction %.3f too high", frac)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	d := smallData(t)
+	res, err := optchain.Simulate(optchain.SimConfig{
+		Dataset:    d,
+		Shards:     4,
+		Validators: 8,
+		Rate:       1000,
+		Placer:     optchain.StrategyOptChain,
+		Protocol:   optchain.ProtocolOmniLedger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != d.Len() {
+		t.Fatalf("committed %d of %d", res.Committed, d.Len())
+	}
+}
+
+func TestFacadeTelemetryPlacer(t *testing.T) {
+	d := smallData(t)
+	tel := optchain.StaticTelemetry{
+		Comm:   []float64{10, 10},
+		Verify: []float64{1, 0.01}, // shard 1 is slow
+	}
+	p := optchain.NewOptChainPlacer(2, d, tel)
+	optchain.CrossShardFraction(d, p)
+	counts := p.Assignment().Counts()
+	if counts[1] >= counts[0] {
+		t.Fatalf("slow shard got %d of %d placements", counts[1], counts[0]+counts[1])
+	}
+}
+
+func TestFacadeDatasetRoundTrip(t *testing.T) {
+	d := smallData(t)
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := optchain.LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip %d != %d", got.Len(), d.Len())
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	names := optchain.ExperimentNames()
+	if len(names) == 0 {
+		t.Fatal("no experiments")
+	}
+	h := optchain.NewBenchHarness(optchain.BenchParams{Quick: true, N: 3000, TableN: 10000})
+	var buf bytes.Buffer
+	if err := optchain.RunExperiment(h, "fig2", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("fig2 produced no output")
+	}
+	if err := optchain.RunExperiment(h, "nope", &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
