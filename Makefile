@@ -1,0 +1,35 @@
+# Developer targets; CI (.github/workflows/ci.yml) runs `make ci`.
+
+GO ?= go
+
+.PHONY: all build test vet fmt fmt-check bench-smoke examples ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# One iteration of every benchmark — a compile-and-run smoke pass, not a
+# measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Build (not run) every example and cmd binary.
+examples:
+	$(GO) build ./examples/... ./cmd/...
+
+ci: fmt-check vet build test bench-smoke

@@ -7,11 +7,16 @@
 //	optchain-bench -experiment all
 //	optchain-bench -experiment table1 -table-n 500000
 //	optchain-bench -experiment fig3 -n 100000 -validators 400
+//	optchain-bench -experiment fig3 -protocol rapidchain
+//	optchain-bench -experiment fig4 -strategies OptChain,OmniLedger
 //	optchain-bench -quick -experiment all       # fast smoke pass
 //
-// Experiment names: fig2 table1 table2 fig3..fig11 ablation-{l2s,alpha,
-// weight,backend}. See DESIGN.md for the experiment index and
-// EXPERIMENTS.md for recorded paper-vs-measured results.
+// The -strategies and -protocol flags resolve through the open registry,
+// so strategies/protocols added with optchain.RegisterStrategy /
+// RegisterProtocol are selectable here too. Experiment names: fig2 table1
+// table2 fig3..fig11 ablation-{l2s,alpha,weight,backend}. See DESIGN.md
+// for the experiment index and EXPERIMENTS.md for recorded paper-vs-
+// measured results.
 package main
 
 import (
@@ -21,7 +26,7 @@ import (
 	"strings"
 	"time"
 
-	"optchain/internal/bench"
+	"optchain"
 )
 
 func main() {
@@ -37,34 +42,53 @@ func run() int {
 		validators = flag.Int("validators", 400, "validators per shard committee")
 		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = NumCPU)")
 		quick      = flag.Bool("quick", false, "shrink all grids for a fast smoke pass")
+		protocol   = flag.String("protocol", "", "commit protocol for the sweeps (default omniledger)")
+		strategies = flag.String("strategies", "", "comma-separated strategy set for the figures (default: paper's four)")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(bench.Names(), "\n"))
+		fmt.Println(strings.Join(optchain.ExperimentNames(), "\n"))
 		return 0
 	}
 
-	h := bench.NewHarness(bench.Params{
+	params := optchain.BenchParams{
 		N:          *n,
 		TableN:     *tableN,
 		Seed:       *seed,
 		Validators: *validators,
 		Workers:    *workers,
 		Quick:      *quick,
-	})
+	}
+	if *protocol != "" {
+		if !optchain.HasProtocol(*protocol) {
+			fmt.Fprintf(os.Stderr, "unknown protocol %q; registered: %s\n",
+				*protocol, strings.Join(optchain.Protocols(), " "))
+			return 2
+		}
+		params.Protocol = optchain.Protocol(*protocol)
+	}
+	if *strategies != "" {
+		for _, name := range strings.Split(*strategies, ",") {
+			name = strings.TrimSpace(name)
+			if !optchain.HasStrategy(name) {
+				fmt.Fprintf(os.Stderr, "unknown strategy %q; registered: %s\n",
+					name, strings.Join(optchain.Strategies(), " "))
+				return 2
+			}
+			params.Strategies = append(params.Strategies, optchain.Strategy(name))
+		}
+	}
+
+	h := optchain.NewBenchHarness(params)
 
 	start := time.Now()
 	var err error
 	if *experiment == "all" {
-		err = bench.RunAll(h, os.Stdout)
-	} else if fn, ok := bench.Experiments[*experiment]; ok {
-		err = fn(h, os.Stdout)
+		err = optchain.RunAllExperiments(h, os.Stdout)
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n",
-			*experiment, strings.Join(bench.Names(), " "))
-		return 2
+		err = optchain.RunExperiment(h, *experiment, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)

@@ -1,22 +1,26 @@
 // Command optchain-sim runs a single sharded-blockchain simulation and
 // prints its metrics: throughput, latency distribution, cross-shard
-// fraction, queue behavior.
+// fraction, queue behavior. Strategies and protocols are resolved through
+// the open registry, so anything added with optchain.RegisterStrategy /
+// RegisterProtocol is selectable by name. Ctrl-C cancels a run cleanly.
 //
 // Usage:
 //
-//	optchain-sim -shards 16 -rate 4000 -placer OptChain
-//	optchain-sim -shards 8 -rate 2000 -placer OmniLedger -protocol rapidchain
+//	optchain-sim -shards 16 -rate 4000 -strategy OptChain
+//	optchain-sim -shards 8 -rate 2000 -strategy OmniLedger -protocol rapidchain
+//	optchain-sim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
-	"optchain/internal/dataset"
-	"optchain/internal/metis"
-	"optchain/internal/sim"
+	"optchain"
 )
 
 func main() {
@@ -30,58 +34,81 @@ func run() int {
 		shards     = flag.Int("shards", 16, "number of shards")
 		validators = flag.Int("validators", 400, "validators per shard")
 		rate       = flag.Float64("rate", 4000, "offered load, tx/s")
-		placer     = flag.String("placer", "OptChain", "OptChain | T2S | OmniLedger | Greedy | Metis")
-		protocol   = flag.String("protocol", "omniledger", "omniledger | rapidchain")
+		strategy   = flag.String("strategy", "OptChain", "placement strategy (see -list)")
+		placer     = flag.String("placer", "", "deprecated alias for -strategy")
+		protocol   = flag.String("protocol", "omniledger", "commit protocol (see -list)")
 		exactL2S   = flag.Bool("exact-l2s", false, "use exact quadrature for the L2S score")
 		validate   = flag.Bool("validate-utxo", false, "strict in-order UTXO validation (see DESIGN.md)")
 		maxSim     = flag.Duration("max-sim-time", 20*time.Minute, "virtual-time cap")
+		progress   = flag.Bool("progress", false, "print live progress to stderr")
+		list       = flag.Bool("list", false, "list registered strategies and protocols, then exit")
 	)
 	flag.Parse()
 
-	cfg := dataset.DefaultConfig()
+	if *list {
+		fmt.Printf("strategies: %s\n", strings.Join(optchain.Strategies(), " "))
+		fmt.Printf("protocols:  %s\n", strings.Join(optchain.Protocols(), " "))
+		return 0
+	}
+	if *placer != "" {
+		strategySet := false
+		flag.Visit(func(f *flag.Flag) { strategySet = strategySet || f.Name == "strategy" })
+		if strategySet && !strings.EqualFold(*placer, *strategy) {
+			fmt.Fprintf(os.Stderr, "optchain-sim: -placer %q conflicts with -strategy %q (drop the deprecated -placer)\n",
+				*placer, *strategy)
+			return 2
+		}
+		*strategy = *placer
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := optchain.DatasetDefaults()
 	cfg.N = *n
 	cfg.Seed = *seed
-	d, err := dataset.Generate(cfg)
+	d, err := optchain.GenerateDataset(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
 		return 1
 	}
 
-	simCfg := sim.Config{
-		Dataset:      d,
-		Shards:       *shards,
-		Validators:   *validators,
-		Rate:         *rate,
-		Placer:       sim.PlacerKind(*placer),
-		Protocol:     sim.ProtocolKind(*protocol),
-		Seed:         *seed,
-		ExactL2S:     *exactL2S,
-		ValidateUTXO: *validate,
-		MaxSimTime:   *maxSim,
+	opts := []optchain.Option{
+		optchain.WithDataset(d),
+		optchain.WithShards(*shards),
+		optchain.WithValidators(*validators),
+		optchain.WithRate(*rate),
+		optchain.WithStrategy(*strategy),
+		optchain.WithProtocol(*protocol),
+		optchain.WithSeed(*seed),
+		optchain.WithExactL2S(*exactL2S),
+		optchain.WithUTXOValidation(*validate),
+		optchain.WithMaxSimTime(*maxSim),
 	}
-	if simCfg.Placer == sim.PlacerMetis {
-		g, err := d.BuildGraph()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
-			return 1
-		}
-		xadj, adj := g.UndirectedCSR()
-		part, err := metis.PartitionKWay(xadj, adj, *shards, &metis.Options{Seed: *seed})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
-			return 1
-		}
-		simCfg.MetisPart = part
+	if *progress {
+		opts = append(opts, optchain.WithProgress(func(s optchain.MetricsSnapshot) {
+			if s.Done {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+				return
+			}
+			fmt.Fprintf(os.Stderr, "\rt=%6.0fs issued %d committed %d/%d queueMax %d",
+				s.SimTime.Seconds(), s.Issued, s.Committed, s.Total, s.QueueMax)
+		}))
+	}
+	eng, err := optchain.New(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
+		return 2
 	}
 
 	start := time.Now()
-	res, err := sim.Run(simCfg)
+	res, err := eng.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
 		return 1
 	}
 
-	fmt.Printf("placer=%s protocol=%s shards=%d rate=%.0f\n", res.Placer, res.Protocol, res.Shards, res.Rate)
+	fmt.Printf("strategy=%s protocol=%s shards=%d rate=%.0f\n", res.Placer, res.Protocol, res.Shards, res.Rate)
 	fmt.Printf("committed           %d / %d\n", res.Committed, res.Total)
 	fmt.Printf("makespan            %.1f s (issue window %.1f s)\n", res.MakespanSeconds, res.IssueSeconds)
 	fmt.Printf("throughput          %.0f tps total, %.0f tps steady-state\n", res.ThroughputTPS, res.SteadyTPS)

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"optchain/internal/dataset"
+	"optchain"
 )
 
 func main() {
@@ -32,7 +32,7 @@ func run() int {
 	)
 	flag.Parse()
 
-	cfg := dataset.DefaultConfig()
+	cfg := optchain.DatasetDefaults()
 	cfg.N = *n
 	cfg.Seed = *seed
 	cfg.Communities = *comms
@@ -40,7 +40,7 @@ func run() int {
 	cfg.HubEvery = *hubEvery
 	cfg.HubFanout = *hubFanout
 
-	d, err := dataset.Generate(cfg)
+	d, err := optchain.GenerateDataset(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tangen: %v\n", err)
 		return 1

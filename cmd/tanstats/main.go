@@ -13,8 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"optchain/internal/dataset"
-	"optchain/internal/txgraph"
+	"optchain"
 )
 
 func main() {
@@ -29,7 +28,7 @@ func run() int {
 	)
 	flag.Parse()
 
-	var d *dataset.Dataset
+	var d *optchain.Dataset
 	var err error
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -38,16 +37,16 @@ func run() int {
 			return 1
 		}
 		defer f.Close()
-		d, err = dataset.Decode(f)
+		d, err = optchain.LoadDataset(f)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
 			return 1
 		}
 	} else {
-		cfg := dataset.DefaultConfig()
+		cfg := optchain.DatasetDefaults()
 		cfg.N = *n
 		cfg.Seed = *seed
-		d, err = dataset.Generate(cfg)
+		d, err = optchain.GenerateDataset(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
 			return 1
@@ -68,8 +67,8 @@ func run() int {
 	fmt.Printf("isolated    %d\n", c.Isolated)
 
 	in2, out2 := g.DegreeHistograms()
-	inCum := txgraph.CumulativeFraction(in2)
-	outCum := txgraph.CumulativeFraction(out2)
+	inCum := optchain.CumulativeFraction(in2)
+	outCum := optchain.CumulativeFraction(out2)
 	at := func(cum []float64, d int) float64 {
 		if d >= len(cum) {
 			return 1

@@ -18,6 +18,49 @@
 // The transaction goes to the shard maximizing the Temporal Fitness
 // p(u)[j] − w·E(j) (Alg. 1 of the paper).
 //
+// # The Engine
+//
+// The package's entry point is the Engine, built with functional options.
+// It exposes the paper's algorithm the way it is deployed — as an online
+// stream processor, one placement decision per arriving transaction:
+//
+//	eng, err := optchain.New(
+//		optchain.WithStrategy("OptChain"),
+//		optchain.WithShards(16),
+//	)
+//	if err != nil { ... }
+//	shard, err := eng.Place(optchain.StreamTx{Inputs: []int{3, 7}, Outputs: 2})
+//
+// Whole streams route through PlaceStream; a generated or loaded Dataset
+// adapts with DatasetStream:
+//
+//	stats, err := eng.PlaceStream(optchain.DatasetStream(data))
+//	fmt.Println(stats.CrossFraction) // ≈0.17 at 16 shards, vs ≈0.95 random
+//
+// Engine.Run drives the paper's full end-to-end evaluation (§V) — sharded
+// committees on a simulated network, clients replaying the stream at a
+// configured rate, a cross-shard commit protocol — under a
+// context.Context, so long runs cancel cleanly; WithProgress and
+// MetricsSnapshot observe a run while it executes:
+//
+//	res, err := eng.Run(ctx)
+//	fmt.Println(res.AvgLatency, res.ThroughputTPS)
+//
+// # Registries
+//
+// Strategies and protocols resolve by name through an open registry.
+// RegisterStrategy and RegisterProtocol add new ones, which become
+// selectable everywhere a name is accepted — WithStrategy/WithProtocol,
+// SimConfig, and the -strategy/-protocol flags of the cmd/ binaries;
+// Strategies and Protocols enumerate what is registered. The built-ins are
+// the paper's: "OptChain", "T2S", "Greedy", "Metis", and the hash-random
+// "OmniLedger" placement, over the "omniledger" and "rapidchain" commit
+// backends.
+//
+// Constructors validate eagerly and return typed errors
+// (ErrUnknownStrategy, ErrBadShard, ErrBadOption, …) — no exported call
+// panics.
+//
 // The module contains everything needed to reproduce the paper end to end:
 // a calibrated Bitcoin-like transaction stream generator, the TaN graph, a
 // multilevel k-way graph partitioner (the paper's Metis baseline), the
@@ -28,19 +71,6 @@
 // regenerates every table and figure of the paper's evaluation (see
 // DESIGN.md and EXPERIMENTS.md).
 //
-// Quick start:
-//
-//	d, _ := optchain.GenerateDataset(optchain.DatasetDefaults())
-//	placer := optchain.NewPlacer(optchain.StrategyOptChain, 16, d)
-//	frac := optchain.CrossShardFraction(d, placer)   // ≈0.17 at 16 shards
-//
-// or run a full simulation:
-//
-//	res, _ := optchain.Simulate(optchain.SimConfig{
-//		Dataset: d, Shards: 16, Rate: 4000,
-//	})
-//	fmt.Println(res.AvgLatency, res.ThroughputTPS)
-//
 // The runnable programs under cmd/ and the worked examples under examples/
-// show the full surface.
+// show the full surface; examples/quickstart is the canonical snippet.
 package optchain

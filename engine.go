@@ -1,0 +1,643 @@
+package optchain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"strings"
+	"sync"
+	"time"
+
+	"optchain/internal/placement"
+	"optchain/internal/registry"
+	"optchain/internal/sim"
+	"optchain/internal/txgraph"
+)
+
+// Typed errors returned by the Engine API. Match them with errors.Is; none
+// of the exported constructors or methods panic.
+var (
+	// ErrUnknownStrategy reports a strategy name with no registered factory.
+	ErrUnknownStrategy = registry.ErrUnknownStrategy
+	// ErrUnknownProtocol reports a protocol name with no registered factory.
+	ErrUnknownProtocol = registry.ErrUnknownProtocol
+	// ErrBadShard reports a shard index outside [0, K).
+	ErrBadShard = errors.New("optchain: shard index out of range")
+	// ErrBadInput reports a stream transaction whose input refers to a
+	// transaction that has not been placed yet (or to itself).
+	ErrBadInput = errors.New("optchain: input refers to an unplaced transaction")
+	// ErrBadOption reports an invalid functional-option value.
+	ErrBadOption = errors.New("optchain: invalid option")
+	// ErrRunning reports a second concurrent Run on the same Engine.
+	ErrRunning = errors.New("optchain: engine run already in progress")
+)
+
+// MetricsSnapshot is a point-in-time view of an Engine's progress: the
+// virtual clock, issue/commit counters, retries, the deepest shard queue,
+// and the running cross-shard fraction. During Run it is refreshed on every
+// progress tick; in streaming mode (Place/PlaceStream) the Issued counter
+// tracks placed transactions.
+type MetricsSnapshot = sim.Snapshot
+
+// StreamTx is one transaction of an online stream: the stream indexes of
+// the transactions whose outputs it spends, and the number of outputs it
+// creates. Inputs may repeat (one transaction spending several outputs of
+// the same parent); the Engine deduplicates them. Outputs of 0 means
+// unknown — the T2S score then falls back to the spenders-seen-so-far
+// divisor.
+type StreamTx struct {
+	Inputs  []int
+	Outputs int
+}
+
+// PlacementStats summarizes the stream placed through an Engine so far.
+type PlacementStats struct {
+	// Placed is the number of transactions placed.
+	Placed int
+	// Cross counts cross-shard transactions; CrossFraction = Cross/Placed.
+	Cross         int64
+	CrossFraction float64
+	// ShardCounts is the per-shard transaction tally.
+	ShardCounts []int64
+}
+
+// Engine is the package's main entry point: an online transaction-placement
+// and simulation engine over a fixed shard count, a named placement
+// strategy, and a named commit protocol, both resolved through the open
+// registry (see RegisterStrategy / RegisterProtocol).
+//
+// Construct with New and functional options. Engines serve two modes:
+//
+//   - Streaming placement: Place / PlaceStream route transactions one at a
+//     time via the paper's online model (§IV) — the deployment surface a
+//     wallet uses.
+//   - Full simulation: Run drives the end-to-end sharded-blockchain
+//     evaluation (§V) with context cancellation, progress callbacks, and
+//     live MetricsSnapshot reads from other goroutines.
+//
+// Methods are safe for concurrent use.
+type Engine struct {
+	strategy      string
+	protocol      string
+	shards        int
+	dataset       *Dataset
+	txs           int
+	rate          float64
+	seed          int64
+	validators    int
+	clients       int
+	tel           Telemetry
+	alpha         float64
+	l2sWeight     float64
+	exactL2S      bool
+	validateUTXO  bool
+	maxSimTime    time.Duration
+	metisPart     []int32
+	streamCap     int
+	progress      func(MetricsSnapshot)
+	progressEvery time.Duration
+	netCfg        NetConfig
+	shardCfg      ShardConfig
+
+	mu       sync.Mutex
+	placer   Placer
+	placed   int
+	outs     []int32
+	cross    placement.CrossCounter
+	inputBuf []txgraph.Node
+	snap     MetricsSnapshot
+	running  bool
+}
+
+// Option configures an Engine under construction. Options validate eagerly:
+// New returns the first option error instead of deferring it to Run.
+type Option func(*Engine) error
+
+// WithShards sets the number of shards (required to be >= 1; default 16,
+// the paper's largest configuration).
+func WithShards(k int) Option {
+	return func(e *Engine) error {
+		if k < 1 {
+			return fmt.Errorf("%w: WithShards(%d): need at least 1 shard", ErrBadOption, k)
+		}
+		e.shards = k
+		return nil
+	}
+}
+
+// WithStrategy selects the placement strategy by registry name (default
+// "OptChain"). Names are case-insensitive; unknown names fail New with
+// ErrUnknownStrategy.
+func WithStrategy(name string) Option {
+	return func(e *Engine) error {
+		if strings.TrimSpace(name) == "" {
+			return fmt.Errorf("%w: WithStrategy: empty name", ErrBadOption)
+		}
+		e.strategy = name
+		return nil
+	}
+}
+
+// WithProtocol selects the cross-shard commit protocol by registry name
+// (default "omniledger"). Unknown names fail New with ErrUnknownProtocol.
+func WithProtocol(name string) Option {
+	return func(e *Engine) error {
+		if strings.TrimSpace(name) == "" {
+			return fmt.Errorf("%w: WithProtocol: empty name", ErrBadOption)
+		}
+		e.protocol = name
+		return nil
+	}
+}
+
+// WithDataset supplies the transaction stream for Run and for
+// dataset-backed streaming. Run without a dataset generates a default
+// synthetic stream (DatasetDefaults) on first use.
+func WithDataset(d *Dataset) Option {
+	return func(e *Engine) error {
+		if d == nil {
+			return fmt.Errorf("%w: WithDataset(nil)", ErrBadOption)
+		}
+		e.dataset = d
+		return nil
+	}
+}
+
+// WithTxs limits Run to the first n transactions of the dataset (0 = the
+// whole stream). Without a dataset it also sizes the generated one.
+func WithTxs(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("%w: WithTxs(%d)", ErrBadOption, n)
+		}
+		e.txs = n
+		return nil
+	}
+}
+
+// WithRate sets the offered load in transactions/second (default 2000, the
+// paper's low end).
+func WithRate(tps float64) Option {
+	return func(e *Engine) error {
+		if tps <= 0 {
+			return fmt.Errorf("%w: WithRate(%v): rate must be positive", ErrBadOption, tps)
+		}
+		e.rate = tps
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving dataset generation, node placement, and
+// client jitter (default 1).
+func WithSeed(seed int64) Option {
+	return func(e *Engine) error { e.seed = seed; return nil }
+}
+
+// WithValidators sets the committee size per shard (default 400, the
+// paper's).
+func WithValidators(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("%w: WithValidators(%d)", ErrBadOption, n)
+		}
+		e.validators = n
+		return nil
+	}
+}
+
+// WithClients sets the number of client nodes issuing transactions during
+// Run (default 32).
+func WithClients(n int) Option {
+	return func(e *Engine) error {
+		if n < 1 {
+			return fmt.Errorf("%w: WithClients(%d)", ErrBadOption, n)
+		}
+		e.clients = n
+		return nil
+	}
+}
+
+// WithTelemetry supplies client-observable shard load estimates to the L2S
+// model for streaming placement (Place / PlaceStream). Run ignores it: the
+// full simulation feeds the placer live telemetry from the simulated
+// network.
+func WithTelemetry(tel Telemetry) Option {
+	return func(e *Engine) error { e.tel = tel; return nil }
+}
+
+// WithAlpha sets the PageRank damping factor (0 < alpha <= 1; default 0.5).
+func WithAlpha(alpha float64) Option {
+	return func(e *Engine) error {
+		if alpha <= 0 || alpha > 1 {
+			return fmt.Errorf("%w: WithAlpha(%v): need 0 < alpha <= 1", ErrBadOption, alpha)
+		}
+		e.alpha = alpha
+		return nil
+	}
+}
+
+// WithL2SWeight sets the L2S coefficient in the Temporal Fitness score
+// (default 0.01).
+func WithL2SWeight(w float64) Option {
+	return func(e *Engine) error {
+		if w < 0 {
+			return fmt.Errorf("%w: WithL2SWeight(%v)", ErrBadOption, w)
+		}
+		e.l2sWeight = w
+		return nil
+	}
+}
+
+// WithExactL2S selects exact quadrature over the fast closed form for the
+// L2S estimate.
+func WithExactL2S(on bool) Option {
+	return func(e *Engine) error { e.exactL2S = on; return nil }
+}
+
+// WithUTXOValidation enables strict in-order ledger validation during Run
+// (see SimConfig.ValidateUTXO).
+func WithUTXOValidation(on bool) Option {
+	return func(e *Engine) error { e.validateUTXO = on; return nil }
+}
+
+// WithMaxSimTime caps the virtual duration of Run; a run whose backlog
+// never drains is reported with its partial commit count.
+func WithMaxSimTime(d time.Duration) Option {
+	return func(e *Engine) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: WithMaxSimTime(%v)", ErrBadOption, d)
+		}
+		e.maxSimTime = d
+		return nil
+	}
+}
+
+// WithMetisPartition supplies the offline partition the "Metis" strategy
+// replays. Run computes one automatically when the strategy is Metis and no
+// partition was given.
+func WithMetisPartition(part []int32) Option {
+	return func(e *Engine) error {
+		if len(part) == 0 {
+			return fmt.Errorf("%w: WithMetisPartition: empty partition", ErrBadOption)
+		}
+		for i, s := range part {
+			if s < 0 {
+				return fmt.Errorf("%w: partition[%d] = %d", ErrBadShard, i, s)
+			}
+		}
+		e.metisPart = part
+		return nil
+	}
+}
+
+// WithStreamCapacity hints the expected stream length for streaming-mode
+// placement without a dataset (capacity-bounded strategies size their
+// per-shard budget from it).
+func WithStreamCapacity(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("%w: WithStreamCapacity(%d)", ErrBadOption, n)
+		}
+		e.streamCap = n
+		return nil
+	}
+}
+
+// WithProgress installs a callback receiving a MetricsSnapshot every
+// progress tick during Run, and once more when the run finishes. The
+// callback runs on the simulation goroutine.
+func WithProgress(fn func(MetricsSnapshot)) Option {
+	return func(e *Engine) error { e.progress = fn; return nil }
+}
+
+// WithProgressEvery sets the progress cadence in virtual time (default 5s).
+func WithProgressEvery(d time.Duration) Option {
+	return func(e *Engine) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: WithProgressEvery(%v)", ErrBadOption, d)
+		}
+		e.progressEvery = d
+		return nil
+	}
+}
+
+// WithNetwork overrides the simulated network constants for Run.
+func WithNetwork(cfg NetConfig) Option {
+	return func(e *Engine) error { e.netCfg = cfg; return nil }
+}
+
+// WithShardTuning overrides the committee constants (block size, block
+// wait, consensus costs) for Run.
+func WithShardTuning(cfg ShardConfig) Option {
+	return func(e *Engine) error { e.shardCfg = cfg; return nil }
+}
+
+// New builds an Engine, validating every option eagerly: the first invalid
+// option, unknown strategy, or unknown protocol is returned as an error —
+// nothing panics and nothing is deferred to Run.
+func New(opts ...Option) (*Engine, error) {
+	e := &Engine{
+		strategy: "OptChain",
+		protocol: "omniledger",
+		shards:   16,
+		rate:     2000,
+		seed:     1,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	if !registry.HasStrategy(e.strategy) {
+		return nil, fmt.Errorf("%w %q (have %s)",
+			ErrUnknownStrategy, e.strategy, strings.Join(Strategies(), ", "))
+	}
+	if !registry.HasProtocol(e.protocol) {
+		return nil, fmt.Errorf("%w %q (have %s)",
+			ErrUnknownProtocol, e.protocol, strings.Join(Protocols(), ", "))
+	}
+	if e.txs != 0 && e.dataset != nil && e.txs > e.dataset.Len() {
+		return nil, fmt.Errorf("%w: WithTxs(%d) exceeds dataset length %d",
+			ErrBadOption, e.txs, e.dataset.Len())
+	}
+	// Partition entries are range-checked here rather than in the option:
+	// WithShards may legitimately apply after WithMetisPartition.
+	for i, s := range e.metisPart {
+		if int(s) >= e.shards {
+			return nil, fmt.Errorf("%w: partition[%d] = %d not in [0, %d)",
+				ErrBadShard, i, s, e.shards)
+		}
+	}
+	return e, nil
+}
+
+// Strategy returns the engine's placement strategy name.
+func (e *Engine) Strategy() string { return e.strategy }
+
+// Protocol returns the engine's commit protocol name.
+func (e *Engine) Protocol() string { return e.protocol }
+
+// Shards returns the engine's shard count.
+func (e *Engine) Shards() int { return e.shards }
+
+// ensurePlacerLocked lazily builds the streaming-mode placer. e.mu held.
+func (e *Engine) ensurePlacerLocked() error {
+	if e.placer != nil {
+		return nil
+	}
+	n := e.streamCap
+	if n == 0 && e.dataset != nil {
+		n = e.dataset.Len()
+	}
+	outCounts := func(v txgraph.Node) int { return int(e.outs[v]) }
+	if e.dataset != nil {
+		d := e.dataset
+		outCounts = func(v txgraph.Node) int {
+			if int(v) < d.Len() {
+				return d.NumOutputs(int(v))
+			}
+			return 0
+		}
+	}
+	p, err := registry.NewStrategy(e.strategy, registry.StrategyContext{
+		K:         e.shards,
+		N:         n,
+		OutCounts: outCounts,
+		Alpha:     e.alpha,
+		Weight:    e.l2sWeight,
+		Telemetry: e.tel,
+		ExactL2S:  e.exactL2S,
+		MetisPart: e.metisPart,
+	})
+	if err != nil {
+		return err
+	}
+	e.placer = p
+	return nil
+}
+
+// Place routes one stream transaction to a shard via the engine's strategy
+// — the paper's online placement model, one decision per arrival in stream
+// order. It returns the chosen shard in [0, Shards()).
+func (e *Engine) Place(tx StreamTx) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensurePlacerLocked(); err != nil {
+		return -1, err
+	}
+	u := e.placed
+	e.inputBuf = e.inputBuf[:0]
+	for _, in := range tx.Inputs {
+		if in < 0 || in >= u {
+			return -1, fmt.Errorf("%w: transaction %d spends %d", ErrBadInput, u, in)
+		}
+		v := txgraph.Node(in)
+		dup := false
+		for _, seen := range e.inputBuf {
+			if seen == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.inputBuf = append(e.inputBuf, v)
+		}
+	}
+	e.outs = append(e.outs, int32(tx.Outputs))
+	s, err := e.placeGuarded(txgraph.Node(u))
+	if err != nil {
+		e.outs = e.outs[:u]
+		return -1, err
+	}
+	if s < 0 || s >= e.shards {
+		e.outs = e.outs[:u]
+		return -1, fmt.Errorf("%w: strategy %q chose shard %d of %d",
+			ErrBadShard, e.strategy, s, e.shards)
+	}
+	e.placed++
+	e.cross.Observe(e.placer.Assignment(), e.inputBuf, s)
+	e.snap = MetricsSnapshot{
+		Issued:        e.placed,
+		Total:         e.placed,
+		CrossFraction: e.cross.Fraction(),
+	}
+	return s, nil
+}
+
+// placeGuarded invokes the strategy, converting any panic (misbehaving
+// custom strategies, exhausted Metis partitions) into an error so no panic
+// escapes the exported API.
+func (e *Engine) placeGuarded(u txgraph.Node) (s int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("optchain: strategy %q failed on transaction %d: %v", e.strategy, u, p)
+		}
+	}()
+	return e.placer.Place(u, e.inputBuf), nil
+}
+
+// PlaceStream drains an online transaction stream through Place and
+// returns the cumulative placement statistics. On error the stats cover
+// the transactions placed before the failure.
+func (e *Engine) PlaceStream(txs iter.Seq[StreamTx]) (PlacementStats, error) {
+	for tx := range txs {
+		if _, err := e.Place(tx); err != nil {
+			return e.Stats(), err
+		}
+	}
+	return e.Stats(), nil
+}
+
+// Stats returns the streaming-mode placement statistics so far.
+func (e *Engine) Stats() PlacementStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := PlacementStats{
+		Placed:        e.placed,
+		Cross:         e.cross.Cross,
+		CrossFraction: e.cross.Fraction(),
+	}
+	if e.placer != nil {
+		st.ShardCounts = e.placer.Assignment().Counts()
+	}
+	return st
+}
+
+// Assignment exposes the streaming-mode placement decisions (nil before
+// the first Place).
+func (e *Engine) Assignment() *Assignment {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.placer == nil {
+		return nil
+	}
+	return e.placer.Assignment()
+}
+
+// CrossShardFraction returns the streaming-mode cross-shard fraction.
+func (e *Engine) CrossShardFraction() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cross.Fraction()
+}
+
+// MetricsSnapshot returns the engine's latest progress snapshot. During
+// Run it is refreshed every progress tick, so other goroutines can watch a
+// long simulation live; in streaming mode it reflects the placed stream.
+func (e *Engine) MetricsSnapshot() MetricsSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snap
+}
+
+// defaultRunTxs sizes the generated dataset when Run is called on an
+// engine with neither WithDataset nor WithTxs.
+const defaultRunTxs = 20_000
+
+// Run drives one full sharded-blockchain simulation (§V): committees on a
+// simulated network, clients replaying the stream at the configured rate,
+// the engine's strategy placing each transaction online, and its protocol
+// committing cross-shard transactions. Cancellation or deadline expiry on
+// ctx aborts the run promptly with the context's error; progress is
+// observable mid-run through WithProgress and MetricsSnapshot.
+func (e *Engine) Run(ctx context.Context) (*SimResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		return nil, ErrRunning
+	}
+	e.running = true
+	d := e.dataset
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running = false
+		e.mu.Unlock()
+	}()
+
+	if d == nil {
+		cfg := DatasetDefaults()
+		cfg.N = e.txs
+		if cfg.N == 0 {
+			cfg.N = defaultRunTxs
+		}
+		cfg.Seed = e.seed
+		var err error
+		d, err = GenerateDataset(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.dataset = d
+		e.mu.Unlock()
+	}
+
+	part := e.metisPart
+	if part == nil && strings.EqualFold(e.strategy, "Metis") {
+		n := e.txs
+		if n == 0 || n > d.Len() {
+			n = d.Len()
+		}
+		var err error
+		part, err = PartitionTaN(d.Slice(n), e.shards, e.seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	simCfg := sim.Config{
+		Dataset:       d,
+		Txs:           e.txs,
+		Shards:        e.shards,
+		Validators:    e.validators,
+		Rate:          e.rate,
+		Placer:        sim.PlacerKind(e.strategy),
+		MetisPart:     part,
+		Protocol:      sim.ProtocolKind(e.protocol),
+		Clients:       e.clients,
+		Net:           e.netCfg,
+		Shard:         e.shardCfg,
+		Seed:          e.seed,
+		MaxSimTime:    e.maxSimTime,
+		ValidateUTXO:  e.validateUTXO,
+		Alpha:         e.alpha,
+		L2SWght:       e.l2sWeight,
+		ExactL2S:      e.exactL2S,
+		ProgressEvery: e.progressEvery,
+		Progress: func(s sim.Snapshot) {
+			e.mu.Lock()
+			e.snap = s
+			e.mu.Unlock()
+			if e.progress != nil {
+				e.progress(s)
+			}
+		},
+	}
+	return sim.RunContext(ctx, simCfg)
+}
+
+// DatasetStream adapts a dataset to the Engine's streaming interface: one
+// StreamTx per transaction, in stream order, with deduplicated inputs and
+// the true output count.
+func DatasetStream(d *Dataset) iter.Seq[StreamTx] {
+	return func(yield func(StreamTx) bool) {
+		var buf []txgraph.Node
+		for i := 0; i < d.Len(); i++ {
+			buf = d.InputTxNodes(i, buf)
+			ins := make([]int, len(buf))
+			for j, v := range buf {
+				ins[j] = int(v)
+			}
+			if !yield(StreamTx{Inputs: ins, Outputs: d.NumOutputs(i)}) {
+				return
+			}
+		}
+	}
+}

@@ -28,21 +28,36 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("Cross-shard fraction, offline optimum vs online strategies (16 shards):")
-	strategies := []struct {
-		name   string
-		placer optchain.Placer
-	}{
-		{"Metis (offline)", optchain.NewMetisPlacer(shards, part)},
-		{"OptChain", optchain.NewPlacer(optchain.StrategyOptChain, shards, data)},
-		{"Greedy", optchain.NewPlacer(optchain.StrategyGreedy, shards, data)},
-		{"Random", optchain.NewPlacer(optchain.StrategyRandom, shards, data)},
+	// One streaming Engine per strategy; the Metis engine replays the
+	// offline partition through the same online interface.
+	newEngine := func(strategy string, opts ...optchain.Option) *optchain.Engine {
+		eng, err := optchain.New(append([]optchain.Option{
+			optchain.WithStrategy(strategy),
+			optchain.WithShards(shards),
+			optchain.WithDataset(data),
+		}, opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return eng
 	}
-	assignments := make(map[string]*optchain.Assignment, len(strategies))
+	strategies := []struct {
+		name string
+		eng  *optchain.Engine
+	}{
+		{"Metis (offline)", newEngine("Metis", optchain.WithMetisPartition(part))},
+		{"OptChain", newEngine("OptChain")},
+		{"Greedy", newEngine("Greedy")},
+		{"Random", newEngine("OmniLedger")},
+	}
+
+	fmt.Println("Cross-shard fraction, offline optimum vs online strategies (16 shards):")
 	for _, s := range strategies {
-		frac := optchain.CrossShardFraction(data, s.placer)
-		assignments[s.name] = s.placer.Assignment()
-		fmt.Printf("  %-16s %5.1f%%\n", s.name, 100*frac)
+		stats, err := s.eng.PlaceStream(optchain.DatasetStream(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %5.1f%%\n", s.name, 100*stats.CrossFraction)
 	}
 
 	// Temporal balance: divide the stream into 10 epochs and look at how
@@ -57,13 +72,13 @@ func main() {
 	}
 	fmt.Println()
 	for _, s := range strategies {
-		asn := assignments[s.name]
+		asn := s.eng.Assignment()
 		fmt.Printf("  %-16s", s.name)
 		epoch := data.Len() / 10
 		for e := 0; e < 10; e++ {
 			counts := make([]int, shards)
 			for i := e * epoch; i < (e+1)*epoch; i++ {
-				counts[asn.ShardOf(int32(i))]++
+				counts[asn.ShardOf(optchain.Node(i))]++
 			}
 			max := 0
 			for _, c := range counts {

@@ -3,20 +3,30 @@
 // clients replaying the transaction stream at a fixed rate, and the
 // OmniLedger atomic-commit protocol handling cross-shard transactions.
 //
+// The run is driven through the Engine API: a cancellable context (Ctrl-C
+// aborts cleanly mid-run instead of waiting for the virtual-time cap) and
+// a progress callback reporting live commit counts.
+//
 // Running OptChain and random placement under identical load shows the
 // paper's headline numbers: several-fold fewer cross-shard transactions,
 // roughly half the confirmation latency, and higher sustained throughput.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	"optchain"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := optchain.DatasetDefaults()
 	cfg.N = 60_000
 	data, err := optchain.GenerateDataset(cfg)
@@ -27,18 +37,27 @@ func main() {
 	fmt.Println("16 shards, 400 validators each, 20 Mbps / 100 ms network, 6000 tps offered:")
 	fmt.Printf("%-12s %-8s %-10s %-10s %-10s %-8s\n",
 		"placer", "cross", "steadyTPS", "avgLat(s)", "P99(s)", "<10s")
-	for _, strategy := range []optchain.Strategy{
-		optchain.StrategyOptChain,
-		optchain.StrategyRandom,
-	} {
-		res, err := optchain.Simulate(optchain.SimConfig{
-			Dataset:    data,
-			Shards:     16,
-			Validators: 400,
-			Rate:       6000,
-			Placer:     strategy,
-			Seed:       7,
-		})
+	for _, strategy := range []string{"OptChain", "OmniLedger"} {
+		eng, err := optchain.New(
+			optchain.WithStrategy(strategy),
+			optchain.WithShards(16),
+			optchain.WithValidators(400),
+			optchain.WithRate(6000),
+			optchain.WithDataset(data),
+			optchain.WithSeed(7),
+			optchain.WithProgress(func(s optchain.MetricsSnapshot) {
+				if !s.Done {
+					fmt.Fprintf(os.Stderr, "\r  t=%5.0fs committed %d/%d",
+						s.SimTime.Seconds(), s.Committed, s.Total)
+				}
+			}),
+			optchain.WithProgressEvery(10*time.Second),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Run(ctx)
+		fmt.Fprint(os.Stderr, "\r\033[K")
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,9 +3,9 @@
 // (sampled round-trip times, recent consensus latency, queue depths) and
 // scores each shard's Temporal Fitness before submitting.
 //
-// This example drives the placer directly with hand-rolled telemetry to
-// show the two forces: T2S pulls a transaction toward the shards holding
-// its inputs; L2S pushes it away from congested shards.
+// This example drives an Engine in streaming mode with hand-rolled
+// telemetry to show the two forces: T2S pulls a transaction toward the
+// shards holding its inputs; L2S pushes it away from congested shards.
 package main
 
 import (
@@ -37,10 +37,21 @@ func main() {
 	}
 
 	run := func(name string, tel optchain.Telemetry) {
-		placer := optchain.NewOptChainPlacer(shards, data, tel)
-		frac := optchain.CrossShardFraction(data, placer)
-		counts := placer.Assignment().Counts()
-		fmt.Printf("%-22s cross=%5.1f%%  shard loads=%v\n", name, 100*frac, counts)
+		eng, err := optchain.New(
+			optchain.WithStrategy("OptChain"),
+			optchain.WithShards(shards),
+			optchain.WithDataset(data),
+			optchain.WithTelemetry(tel),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats, err := eng.PlaceStream(optchain.DatasetStream(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s cross=%5.1f%%  shard loads=%v\n",
+			name, 100*stats.CrossFraction, stats.ShardCounts)
 	}
 
 	fmt.Println("A wallet placing 30k transactions under different observed loads:")

@@ -1,0 +1,3 @@
+module optchain
+
+go 1.24

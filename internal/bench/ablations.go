@@ -24,7 +24,7 @@ func AblationL2S(h *Harness, w io.Writer) error {
 		{"OptChain (T2S+L2S)", sim.PlacerOptChain},
 		{"T2S only (capacity)", sim.PlacerT2S},
 	} {
-		res, err := h.Run(v.placer, sim.ProtoOmniLedger, k, r, nil)
+		res, err := h.Run(v.placer, h.p.Protocol, k, r, nil)
 		if err != nil {
 			return err
 		}
@@ -62,7 +62,7 @@ func AblationWeight(h *Harness, w io.Writer) error {
 	fmt.Fprintf(w, "%-8s %-8s %-10s %-10s %-10s %-8s\n", "weight", "cross", "steadyTPS", "avgLat(s)", "maxLat(s)", "peakQ")
 	for _, weight := range []float64{0.003, 0.01, 0.03, 0.1, 0.3} {
 		weight := weight
-		res, err := h.Run(sim.PlacerOptChain, sim.ProtoOmniLedger, k, r, func(c *sim.Config) {
+		res, err := h.Run(sim.PlacerOptChain, h.p.Protocol, k, r, func(c *sim.Config) {
 			c.L2SWght = weight
 		})
 		if err != nil {

@@ -37,6 +37,15 @@ type Params struct {
 	Quick bool
 	// Workers bounds parallel simulation runs (default NumCPU).
 	Workers int
+	// Protocol selects the commit backend the figure/table sweeps run on
+	// (default omniledger, the paper's; the backend ablation still compares
+	// both). Resolved by name through the open registry, so externally
+	// registered protocols work too.
+	Protocol sim.ProtocolKind
+	// Strategies overrides the placement-strategy set the figures compare
+	// (default: OptChain, OmniLedger, Metis, Greedy). Names resolve through
+	// the open registry.
+	Strategies []sim.PlacerKind
 }
 
 func (p *Params) fillDefaults() {
@@ -54,6 +63,9 @@ func (p *Params) fillDefaults() {
 	}
 	if p.Workers <= 0 {
 		p.Workers = runtime.NumCPU()
+	}
+	if p.Protocol == "" {
+		p.Protocol = sim.ProtoOmniLedger
 	}
 	if p.Quick {
 		if p.N > 12_000 {
@@ -182,8 +194,12 @@ func (h *Harness) tableShards() []int {
 	return []int{4, 8, 16, 32, 64}
 }
 
-// simPlacers is the strategy set compared in the figures.
-func simPlacers() []sim.PlacerKind {
+// placers is the strategy set compared in the figures (overridable via
+// Params.Strategies).
+func (h *Harness) placers() []sim.PlacerKind {
+	if len(h.p.Strategies) > 0 {
+		return h.p.Strategies
+	}
 	return []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom, sim.PlacerMetis, sim.PlacerGreedy}
 }
 
@@ -272,7 +288,7 @@ func (h *Harness) runGrid(cells []cell) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			_, err := h.Run(c.placer, sim.ProtoOmniLedger, c.shards, c.rate, nil)
+			_, err := h.Run(c.placer, h.p.Protocol, c.shards, c.rate, nil)
 			errs <- err
 		}()
 	}
@@ -290,7 +306,7 @@ func (h *Harness) runGrid(cells []cell) error {
 func (h *Harness) fullGrid() []cell {
 	shards, rates := h.simGrids()
 	var cells []cell
-	for _, p := range simPlacers() {
+	for _, p := range h.placers() {
 		for _, k := range shards {
 			for _, r := range rates {
 				cells = append(cells, cell{placer: p, shards: k, rate: r})

@@ -15,7 +15,7 @@ func Fig3(h *Harness, w io.Writer) error {
 	}
 	shards, rates := h.simGrids()
 	fmt.Fprintf(w, "== Fig. 3 — latency & throughput grids (n=%d, %d validators/shard) ==\n", h.p.N, h.p.Validators)
-	for _, p := range simPlacers() {
+	for _, p := range h.placers() {
 		fmt.Fprintf(w, "-- %s: avg latency seconds (rows: shards, cols: rate) --\n", p)
 		fmt.Fprintf(w, "%-7s", "k\\rate")
 		for _, r := range rates {
@@ -25,7 +25,7 @@ func Fig3(h *Harness, w io.Writer) error {
 		for _, k := range shards {
 			fmt.Fprintf(w, "%-7d", k)
 			for _, r := range rates {
-				res, err := h.Run(p, sim.ProtoOmniLedger, k, r, nil)
+				res, err := h.Run(p, h.p.Protocol, k, r, nil)
 				if err != nil {
 					return err
 				}
@@ -42,7 +42,7 @@ func Fig3(h *Harness, w io.Writer) error {
 		for _, k := range shards {
 			fmt.Fprintf(w, "%-7d", k)
 			for _, r := range rates {
-				res, err := h.Run(p, sim.ProtoOmniLedger, k, r, nil)
+				res, err := h.Run(p, h.p.Protocol, k, r, nil)
 				if err != nil {
 					return err
 				}
@@ -64,14 +64,14 @@ func Fig4(h *Harness, w io.Writer) error {
 	kMax := shards[len(shards)-1]
 	fmt.Fprintf(w, "== Fig. 4a — throughput at %d shards ==\n", kMax)
 	fmt.Fprintf(w, "%-10s", "rate")
-	for _, p := range simPlacers() {
+	for _, p := range h.placers() {
 		fmt.Fprintf(w, "%12s", p)
 	}
 	fmt.Fprintln(w)
 	for _, r := range rates {
 		fmt.Fprintf(w, "%-10.0f", r)
-		for _, p := range simPlacers() {
-			res, err := h.Run(p, sim.ProtoOmniLedger, kMax, r, nil)
+		for _, p := range h.placers() {
+			res, err := h.Run(p, h.p.Protocol, kMax, r, nil)
 			if err != nil {
 				return err
 			}
@@ -81,12 +81,12 @@ func Fig4(h *Harness, w io.Writer) error {
 	}
 
 	fmt.Fprintln(w, "== Fig. 4b — max throughput over all (rate, shards) ==")
-	for _, p := range simPlacers() {
+	for _, p := range h.placers() {
 		best := 0.0
 		bestK, bestR := 0, 0.0
 		for _, k := range shards {
 			for _, r := range rates {
-				res, err := h.Run(p, sim.ProtoOmniLedger, k, r, nil)
+				res, err := h.Run(p, h.p.Protocol, k, r, nil)
 				if err != nil {
 					return err
 				}
@@ -107,14 +107,14 @@ func Fig5(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
 	fmt.Fprintf(w, "== Fig. 5 — committed tx per window (k=%d, rate=%.0f; windows scale with run length) ==\n", k, r)
 	fmt.Fprintf(w, "%-8s", "window")
-	for _, p := range simPlacers() {
+	for _, p := range h.placers() {
 		fmt.Fprintf(w, "%12s", p)
 	}
 	fmt.Fprintln(w)
-	series := make(map[sim.PlacerKind][]int64, len(simPlacers()))
+	series := make(map[sim.PlacerKind][]int64, len(h.placers()))
 	maxLen := 0
-	for _, p := range simPlacers() {
-		res, err := h.Run(p, sim.ProtoOmniLedger, k, r, nil)
+	for _, p := range h.placers() {
+		res, err := h.Run(p, h.p.Protocol, k, r, nil)
 		if err != nil {
 			return err
 		}
@@ -125,7 +125,7 @@ func Fig5(h *Harness, w io.Writer) error {
 	}
 	for i := 0; i < maxLen; i++ {
 		fmt.Fprintf(w, "%-8d", i)
-		for _, p := range simPlacers() {
+		for _, p := range h.placers() {
 			v := int64(0)
 			if i < len(series[p]) {
 				v = series[p][i]
@@ -142,8 +142,8 @@ func Fig5(h *Harness, w io.Writer) error {
 func Fig6(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
 	fmt.Fprintf(w, "== Fig. 6 — max/min shard queue sizes over time (k=%d, rate=%.0f) ==\n", k, r)
-	for _, p := range simPlacers() {
-		res, err := h.Run(p, sim.ProtoOmniLedger, k, r, nil)
+	for _, p := range h.placers() {
+		res, err := h.Run(p, h.p.Protocol, k, r, nil)
 		if err != nil {
 			return err
 		}
@@ -164,14 +164,14 @@ func Fig7(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
 	fmt.Fprintf(w, "== Fig. 7 — queue size max/min ratio over time (k=%d, rate=%.0f) ==\n", k, r)
 	fmt.Fprintf(w, "%-8s", "sample")
-	for _, p := range simPlacers() {
+	for _, p := range h.placers() {
 		fmt.Fprintf(w, "%12s", p)
 	}
 	fmt.Fprintln(w)
-	ratios := make(map[sim.PlacerKind][]float64, len(simPlacers()))
+	ratios := make(map[sim.PlacerKind][]float64, len(h.placers()))
 	maxLen := 0
-	for _, p := range simPlacers() {
-		res, err := h.Run(p, sim.ProtoOmniLedger, k, r, nil)
+	for _, p := range h.placers() {
+		res, err := h.Run(p, h.p.Protocol, k, r, nil)
 		if err != nil {
 			return err
 		}
@@ -183,7 +183,7 @@ func Fig7(h *Harness, w io.Writer) error {
 	step := maxLen/15 + 1
 	for i := 0; i < maxLen; i += step {
 		fmt.Fprintf(w, "%-8d", i)
-		for _, p := range simPlacers() {
+		for _, p := range h.placers() {
 			v := 0.0
 			if i < len(ratios[p]) {
 				v = ratios[p][i]
@@ -204,14 +204,14 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(*
 	kMax := shards[len(shards)-1]
 	fmt.Fprintf(w, "== %s (a) at %d shards ==\n", title, kMax)
 	fmt.Fprintf(w, "%-10s", "rate")
-	for _, p := range simPlacers() {
+	for _, p := range h.placers() {
 		fmt.Fprintf(w, "%12s", p)
 	}
 	fmt.Fprintln(w)
 	for _, r := range rates {
 		fmt.Fprintf(w, "%-10.0f", r)
-		for _, p := range simPlacers() {
-			res, err := h.Run(p, sim.ProtoOmniLedger, kMax, r, nil)
+		for _, p := range h.placers() {
+			res, err := h.Run(p, h.p.Protocol, kMax, r, nil)
 			if err != nil {
 				return err
 			}
@@ -223,7 +223,7 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(*
 	for _, r := range rates {
 		bestK := shards[len(shards)-1]
 		for _, k := range shards {
-			res, err := h.Run(sim.PlacerOptChain, sim.ProtoOmniLedger, k, r, nil)
+			res, err := h.Run(sim.PlacerOptChain, h.p.Protocol, k, r, nil)
 			if err != nil {
 				return err
 			}
@@ -233,8 +233,8 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(*
 			}
 		}
 		fmt.Fprintf(w, "rate %-6.0f @ k=%-3d", r, bestK)
-		for _, p := range simPlacers() {
-			res, err := h.Run(p, sim.ProtoOmniLedger, bestK, r, nil)
+		for _, p := range h.placers() {
+			res, err := h.Run(p, h.p.Protocol, bestK, r, nil)
 			if err != nil {
 				return err
 			}
@@ -264,8 +264,8 @@ func Fig9(h *Harness, w io.Writer) error {
 func Fig10(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
 	fmt.Fprintf(w, "== Fig. 10 — latency CDF (k=%d, rate=%.0f) ==\n", k, r)
-	for _, p := range simPlacers() {
-		res, err := h.Run(p, sim.ProtoOmniLedger, k, r, nil)
+	for _, p := range h.placers() {
+		res, err := h.Run(p, h.p.Protocol, k, r, nil)
 		if err != nil {
 			return err
 		}

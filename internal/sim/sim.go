@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,9 +20,8 @@ import (
 	"optchain/internal/dataset"
 	"optchain/internal/des"
 	"optchain/internal/metrics"
-	"optchain/internal/omniledger"
 	"optchain/internal/placement"
-	"optchain/internal/rapidchain"
+	"optchain/internal/registry"
 	"optchain/internal/shard"
 	"optchain/internal/simnet"
 	"optchain/internal/stats"
@@ -106,6 +106,14 @@ type Config struct {
 	Alpha    float64
 	L2SWght  float64
 	ExactL2S bool
+
+	// Progress, when non-nil, receives a Snapshot every ProgressEvery of
+	// virtual time (default 5 s) and once more when the run finishes. It is
+	// invoked on the simulation goroutine; implementations that share the
+	// snapshot with other goroutines must synchronize.
+	Progress func(Snapshot)
+	// ProgressEvery sets the Progress cadence in virtual time.
+	ProgressEvery time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -152,7 +160,31 @@ func (c *Config) fillDefaults() error {
 		// Issue time plus a generous drain allowance.
 		c.MaxSimTime = time.Duration(float64(c.Txs)/c.Rate*float64(time.Second)) + 30*time.Minute
 	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 5 * time.Second
+	}
 	return nil
+}
+
+// Snapshot is a mid-run view of simulation progress, delivered to the
+// Config.Progress callback and surfaced by the Engine's MetricsSnapshot.
+type Snapshot struct {
+	// SimTime is the virtual clock at the snapshot.
+	SimTime time.Duration
+	// Issued and Committed count transactions that have entered the system
+	// and reached commit; Total is the run's stream length.
+	Issued    int
+	Committed int
+	Total     int
+	// Retries counts client resubmissions after rejections so far.
+	Retries int64
+	// QueueMax is the deepest shard queue at the snapshot.
+	QueueMax int
+	// CrossFraction is the running cross-shard fraction over placed
+	// transactions.
+	CrossFraction float64
+	// Done marks the final snapshot of a finished run.
+	Done bool
 }
 
 // Result captures everything the figures need from one run.
@@ -203,30 +235,37 @@ type Result struct {
 	AvgConsensusSecs float64
 }
 
-// Backend abstracts the two cross-shard protocols.
-type backend interface {
-	Submit(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(*des.Simulator, bool))
-	counters() (same, cross, aborts int64)
-}
-
 // Run executes one simulation to completion (or the time cap).
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes one simulation under a context: cancellation or
+// deadline expiry aborts the run promptly (within ~a thousand simulation
+// events) and returns the context's error. This is how long runs stop
+// cleanly without waiting for MaxSimTime.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
 	r := newRunner(cfg)
+	r.ctx = ctx
 	return r.run()
 }
 
 // runner holds one run's mutable state.
 type runner struct {
 	cfg    Config
+	ctx    context.Context
 	sim    *des.Simulator
 	net    *simnet.Network
 	shards []*shard.Shard
 	placer placement.Placer
 	tel    *liveTelemetry
-	proto  backend
+	proto  registry.CommitBackend
 
 	clients []simnet.NodeID
 	rng     *rand.Rand
@@ -234,6 +273,7 @@ type runner struct {
 	scheduledAt  []time.Duration
 	decidedShard []int32
 	issued       []bool
+	issuedCount  int
 
 	committed  int
 	lastCommit time.Duration
@@ -279,22 +319,22 @@ func (r *runner) run() (*Result, error) {
 	}
 	r.placer = placer
 
-	// Protocol backend. locate resolves through the shared assignment.
+	// Protocol backend, resolved through the open registry. locate resolves
+	// through the shared assignment.
 	locate := func(id chain.TxID) int {
 		return r.placer.Assignment().ShardOf(txgraph.Node(dataset.Index(id)))
 	}
-	switch cfg.Protocol {
-	case ProtoOmniLedger:
-		p := omniledger.New(r.sim, r.net, r.shards, locate)
-		p.Optimistic = !cfg.ValidateUTXO
-		r.proto = &omniBackend{p: p}
-	case ProtoRapidChain:
-		p := rapidchain.New(r.sim, r.net, r.shards, locate)
-		p.Optimistic = !cfg.ValidateUTXO
-		r.proto = &rapidBackend{p: p}
-	default:
-		return nil, fmt.Errorf("sim: unknown protocol %q", cfg.Protocol)
+	proto, err := registry.NewProtocol(string(cfg.Protocol), registry.ProtocolContext{
+		Sim:        r.sim,
+		Net:        r.net,
+		Shards:     r.shards,
+		Locate:     locate,
+		Optimistic: !cfg.ValidateUTXO,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
+	r.proto = proto
 
 	// Issue clock: one event per transaction at i/rate. Placement is
 	// decided at the tick (the wallet knows its transaction up front, and
@@ -323,50 +363,71 @@ func (r *runner) run() (*Result, error) {
 		return r.committed < n
 	})
 
+	// Progress reporting on the virtual clock.
+	if cfg.Progress != nil {
+		des.StartTicker(r.sim, cfg.ProgressEvery, cfg.ProgressEvery, "sim.progress", func(s *des.Simulator) bool {
+			cfg.Progress(r.snapshot(false))
+			return r.committed < n
+		})
+	}
+
+	// Wall-clock control: cancellation and deadlines on the run's context
+	// abort between events.
+	if r.ctx != nil && r.ctx.Done() != nil {
+		r.sim.Interrupt = r.ctx.Err
+	}
+
 	// Safety caps: a generous event budget plus the configured time cap.
 	r.sim.MaxEvents = uint64(n)*2000 + 10_000_000
 	if err := r.sim.RunUntil(cfg.MaxSimTime); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 
+	if cfg.Progress != nil {
+		cfg.Progress(r.snapshot(true))
+	}
 	return r.buildResult(), nil
 }
 
-// buildPlacer constructs the placement strategy for this run.
+// snapshot captures the run's current progress counters.
+func (r *runner) snapshot(done bool) Snapshot {
+	queueMax := 0
+	for _, sh := range r.shards {
+		if l := sh.QueueLen(); l > queueMax {
+			queueMax = l
+		}
+	}
+	return Snapshot{
+		SimTime:       r.sim.Now(),
+		Issued:        r.issuedCount,
+		Committed:     r.committed,
+		Total:         r.cfg.Txs,
+		Retries:       r.retries,
+		QueueMax:      queueMax,
+		CrossFraction: r.cross.Fraction(),
+		Done:          done,
+	}
+}
+
+// buildPlacer constructs the placement strategy for this run through the
+// open registry, so externally registered strategies are selectable by name
+// exactly like the built-ins.
 func (r *runner) buildPlacer() (placement.Placer, error) {
 	cfg := r.cfg
-	n := cfg.Txs
-	k := cfg.Shards
-	outCounts := func(v txgraph.Node) int { return cfg.Dataset.NumOutputs(int(v)) }
-	switch cfg.Placer {
-	case PlacerRandom:
-		return placement.NewRandom(k, n), nil
-	case PlacerGreedy:
-		return placement.NewGreedy(k, n, core.DefaultCapacityEps), nil
-	case PlacerMetis:
-		return placement.NewMetisReplay(k, cfg.MetisPart), nil
-	case PlacerT2S:
-		p := core.NewT2SPlacer(k, n, cfg.Alpha, core.DefaultCapacityEps)
-		p.Scores().SetOutCounts(outCounts)
-		return p, nil
-	case PlacerOptChain:
-		var lat core.LatencyModel
-		if cfg.ExactL2S {
-			lat = core.ExactL2S{Tel: r.tel}
-		} else {
-			lat = core.FastL2S{Tel: r.tel}
-		}
-		p := core.NewOptChain(core.OptChainConfig{
-			K: k, N: n,
-			Alpha:   cfg.Alpha,
-			Weight:  cfg.L2SWght,
-			Latency: lat,
-		})
-		p.Scores().SetOutCounts(outCounts)
-		return p, nil
-	default:
-		return nil, fmt.Errorf("sim: unknown placer %q", cfg.Placer)
+	p, err := registry.NewStrategy(string(cfg.Placer), registry.StrategyContext{
+		K:         cfg.Shards,
+		N:         cfg.Txs,
+		OutCounts: func(v txgraph.Node) int { return cfg.Dataset.NumOutputs(int(v)) },
+		Alpha:     cfg.Alpha,
+		Weight:    cfg.L2SWght,
+		Telemetry: r.tel,
+		ExactL2S:  cfg.ExactL2S,
+		MetisPart: cfg.MetisPart,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
+	return p, nil
 }
 
 // decide runs the placement strategy for transaction i at its scheduled
@@ -384,6 +445,7 @@ func (r *runner) decide(i int) {
 	r.cross.Observe(r.placer.Assignment(), r.inputBuf, s)
 
 	r.issued[i] = true
+	r.issuedCount++
 	r.submit(i, client, r.cfg.Dataset.Tx(i), s, 0)
 }
 
@@ -412,7 +474,7 @@ func (r *runner) onCommitted(i int, now time.Duration) {
 }
 
 func (r *runner) buildResult() *Result {
-	same, crossN, aborts := r.proto.counters()
+	same, crossN, aborts := r.proto.Counters()
 	makespan := r.lastCommit.Seconds()
 	if r.committed < r.cfg.Txs {
 		makespan = r.cfg.MaxSimTime.Seconds()
@@ -507,46 +569,5 @@ func (t *liveTelemetry) VerifyRate(shard int) float64 {
 	return stats.VerificationRate(sh.RecentConsensusSeconds(), sh.QueueLen(), blockTxs)
 }
 
-// omniBackend adapts omniledger.Protocol to the backend interface.
-type omniBackend struct {
-	p *omniledger.Protocol
-}
-
-func (b *omniBackend) Submit(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(*des.Simulator, bool)) {
-	b.p.Submit(client, tx, outShard, func(sim *des.Simulator, o omniledger.Outcome) {
-		done(sim, o.OK)
-	})
-}
-
-func (b *omniBackend) counters() (int64, int64, int64) {
-	return b.p.SameShard, b.p.CrossShard, b.p.Aborts
-}
-
-// rapidBackend adapts rapidchain.Protocol to the backend interface.
-type rapidBackend struct {
-	p *rapidchain.Protocol
-}
-
-func (b *rapidBackend) Submit(client simnet.NodeID, tx *chain.Transaction, outShard int, done func(*des.Simulator, bool)) {
-	b.p.Submit(client, tx, outShard, func(sim *des.Simulator, o rapidchain.Outcome) {
-		done(sim, o.OK)
-	})
-}
-
-func (b *rapidBackend) counters() (int64, int64, int64) {
-	return b.p.SameShard, b.p.CrossShard, b.p.Aborts
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// Compile-time interface compliance checks.
-var (
-	_ core.Telemetry = (*liveTelemetry)(nil)
-	_ backend        = (*omniBackend)(nil)
-	_ backend        = (*rapidBackend)(nil)
-)
+// Compile-time interface compliance check.
+var _ core.Telemetry = (*liveTelemetry)(nil)

@@ -1,6 +1,7 @@
 package optchain
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -9,7 +10,10 @@ import (
 	"optchain/internal/dataset"
 	"optchain/internal/metis"
 	"optchain/internal/placement"
+	"optchain/internal/registry"
+	"optchain/internal/shard"
 	"optchain/internal/sim"
+	"optchain/internal/simnet"
 	"optchain/internal/txgraph"
 )
 
@@ -30,17 +34,73 @@ type (
 	SimResult = sim.Result
 	// TaNGraph is the Transactions-as-Nodes network.
 	TaNGraph = txgraph.Graph
+	// Node indexes a transaction in the TaN network / stream order.
+	Node = txgraph.Node
 	// BenchParams scales the experiment harness.
 	BenchParams = bench.Params
 	// Telemetry supplies client-observable shard load estimates to the
 	// L2S model.
 	Telemetry = core.Telemetry
+	// NetConfig exposes the simulated network constants (bandwidth,
+	// propagation) used by Engine.Run / Simulate.
+	NetConfig = simnet.Config
+	// ShardConfig exposes the committee constants (block size, block wait,
+	// consensus costs) used by Engine.Run / Simulate.
+	ShardConfig = shard.Config
 )
 
+// Extension-point types for RegisterStrategy / RegisterProtocol.
+type (
+	// StrategyContext carries what a placement strategy may need at
+	// construction time (shard count, stream-length hint, telemetry, …).
+	StrategyContext = registry.StrategyContext
+	// StrategyFactory builds a placement strategy from a context.
+	StrategyFactory = registry.StrategyFactory
+	// ProtocolContext carries the simulation state a commit protocol
+	// attaches to.
+	ProtocolContext = registry.ProtocolContext
+	// ProtocolFactory builds a commit backend from a context.
+	ProtocolFactory = registry.ProtocolFactory
+	// CommitBackend is the interface a cross-shard commit protocol
+	// implements.
+	CommitBackend = registry.CommitBackend
+)
+
+// RegisterStrategy adds a placement strategy to the open registry under the
+// given case-insensitive name, making it selectable everywhere a strategy
+// name is accepted: WithStrategy, SimConfig.Placer, and the -strategy flag
+// of cmd/optchain-sim. Registering a duplicate or empty name returns an
+// error.
+func RegisterStrategy(name string, f StrategyFactory) error {
+	return registry.RegisterStrategy(name, f)
+}
+
+// RegisterProtocol adds a cross-shard commit protocol to the open registry,
+// with the same naming rules as RegisterStrategy.
+func RegisterProtocol(name string, f ProtocolFactory) error {
+	return registry.RegisterProtocol(name, f)
+}
+
+// Strategies enumerates the registered placement strategies, sorted.
+func Strategies() []string { return registry.Strategies() }
+
+// Protocols enumerates the registered commit protocols, sorted.
+func Protocols() []string { return registry.Protocols() }
+
+// HasStrategy reports whether name resolves to a registered strategy,
+// under the registry's case-insensitive matching rules.
+func HasStrategy(name string) bool { return registry.HasStrategy(name) }
+
+// HasProtocol reports whether name resolves to a registered protocol.
+func HasProtocol(name string) bool { return registry.HasProtocol(name) }
+
 // Strategy names a transaction placement algorithm.
+//
+// Deprecated: strategies are identified by plain registry names now (see
+// Strategies); the typed constants remain for one release.
 type Strategy = sim.PlacerKind
 
-// The placement strategies from the paper's evaluation.
+// The built-in placement strategies from the paper's evaluation.
 const (
 	// StrategyOptChain is the full Temporal Fitness algorithm (Alg. 1).
 	StrategyOptChain = sim.PlacerOptChain
@@ -55,9 +115,12 @@ const (
 )
 
 // Protocol names a cross-shard commit backend.
+//
+// Deprecated: protocols are identified by plain registry names now (see
+// Protocols); the typed constants remain for one release.
 type Protocol = sim.ProtocolKind
 
-// The supported backends.
+// The built-in commit backends.
 const (
 	// ProtocolOmniLedger is the client-driven atomic commit of §III-A.
 	ProtocolOmniLedger = sim.ProtoOmniLedger
@@ -75,40 +138,45 @@ func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Gener
 // LoadDataset decodes a stream written by (*Dataset).Encode.
 func LoadDataset(r io.Reader) (*Dataset, error) { return dataset.Decode(r) }
 
-// NewPlacer constructs a placement strategy over k shards for dataset d.
-// StrategyMetis requires a partition; use NewMetisPlacer instead.
-func NewPlacer(s Strategy, k int, d *Dataset) Placer {
-	n := d.Len()
-	outCounts := func(v txgraph.Node) int { return d.NumOutputs(int(v)) }
-	switch s {
-	case StrategyRandom:
-		return placement.NewRandom(k, n)
-	case StrategyGreedy:
-		return placement.NewGreedy(k, n, core.DefaultCapacityEps)
-	case StrategyT2S:
-		p := core.NewT2SPlacer(k, n, core.DefaultAlpha, core.DefaultCapacityEps)
-		p.Scores().SetOutCounts(outCounts)
-		return p
-	case StrategyOptChain:
-		p := core.NewOptChain(core.OptChainConfig{K: k, N: n})
-		p.Scores().SetOutCounts(outCounts)
-		return p
-	default:
-		panic(fmt.Sprintf("optchain: unknown strategy %q", s))
+// NewPlacer constructs a standalone placement strategy over k shards for
+// dataset d, resolved through the open registry. Unknown names return an
+// error wrapping ErrUnknownStrategy (this call used to panic).
+//
+// Deprecated: prefer an Engine with WithStrategy and WithDataset; the
+// Engine adds input validation, streaming statistics, and live metrics.
+func NewPlacer(s Strategy, k int, d *Dataset) (Placer, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: NewPlacer: nil dataset", ErrBadOption)
 	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: NewPlacer: k = %d", ErrBadShard, k)
+	}
+	return registry.NewStrategy(string(s), registry.StrategyContext{
+		K: k, N: d.Len(),
+		OutCounts: func(v txgraph.Node) int { return d.NumOutputs(int(v)) },
+	})
 }
 
 // NewOptChainPlacer builds the full Temporal Fitness placer with a live
 // latency model fed by the given telemetry (nil telemetry degenerates to
 // pure T2S placement).
-func NewOptChainPlacer(k int, d *Dataset, tel Telemetry) Placer {
+//
+// Deprecated: prefer an Engine with WithStrategy("OptChain") and
+// WithTelemetry.
+func NewOptChainPlacer(k int, d *Dataset, tel Telemetry) (Placer, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: NewOptChainPlacer: nil dataset", ErrBadOption)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: NewOptChainPlacer: k = %d", ErrBadShard, k)
+	}
 	cfg := core.OptChainConfig{K: k, N: d.Len()}
 	if tel != nil {
 		cfg.Latency = core.FastL2S{Tel: tel}
 	}
 	p := core.NewOptChain(cfg)
 	p.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
-	return p
+	return p, nil
 }
 
 // StaticTelemetry is a fixed-rate Telemetry for experimentation: Comm[i]
@@ -126,8 +194,29 @@ func PartitionTaN(d *Dataset, k int, seed int64) ([]int32, error) {
 	return metis.PartitionKWay(xadj, adj, k, &metis.Options{Seed: seed})
 }
 
-// NewMetisPlacer replays an offline partition as a placement strategy.
-func NewMetisPlacer(k int, part []int32) Placer { return placement.NewMetisReplay(k, part) }
+// NewMetisPlacer replays an offline partition as a placement strategy. Out
+// of range partition entries return ErrBadShard (they used to panic deep in
+// the stream).
+func NewMetisPlacer(k int, part []int32) (Placer, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("%w: NewMetisPlacer: k = %d", ErrBadShard, k)
+	}
+	for i, s := range part {
+		if s < 0 || int(s) >= k {
+			return nil, fmt.Errorf("%w: partition[%d] = %d not in [0, %d)", ErrBadShard, i, s, k)
+		}
+	}
+	return placement.NewMetisReplay(k, part), nil
+}
+
+// NewAssignment creates an empty placement record over k shards with a
+// capacity hint of n transactions — the bookkeeping a custom strategy
+// registered via RegisterStrategy embeds to satisfy the Placer interface.
+func NewAssignment(k, n int) *Assignment { return placement.NewAssignment(k, n) }
+
+// CumulativeFraction converts a degree histogram into cumulative fractions
+// (Fig. 2's P(deg < d) curves).
+func CumulativeFraction(hist []int64) []float64 { return txgraph.CumulativeFraction(hist) }
 
 // CrossShardFraction streams the whole dataset through the placer and
 // returns the fraction of cross-shard transactions (§IV-A definition:
@@ -144,7 +233,16 @@ func CrossShardFraction(d *Dataset, p Placer) float64 {
 }
 
 // Simulate runs one end-to-end sharded-blockchain simulation.
+//
+// Deprecated: prefer Engine.Run, which adds cancellation, progress
+// callbacks, and live metrics; Simulate remains as a thin wrapper.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulateContext runs one simulation under a context: cancellation or
+// deadline expiry aborts the run promptly with the context's error.
+func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	return sim.RunContext(ctx, cfg)
+}
 
 // NewBenchHarness prepares the experiment harness that regenerates the
 // paper's tables and figures; see ExperimentNames and RunExperiment.

@@ -2,6 +2,7 @@ package optchain_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"optchain"
@@ -18,11 +19,20 @@ func smallData(t *testing.T) *optchain.Dataset {
 	return d
 }
 
+func mustPlacer(t *testing.T, s optchain.Strategy, k int, d *optchain.Dataset) optchain.Placer {
+	t.Helper()
+	p, err := optchain.NewPlacer(s, k, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestFacadeCrossShardOrdering(t *testing.T) {
 	d := smallData(t)
 	const k = 8
-	oc := optchain.CrossShardFraction(d, optchain.NewPlacer(optchain.StrategyOptChain, k, d))
-	rnd := optchain.CrossShardFraction(d, optchain.NewPlacer(optchain.StrategyRandom, k, d))
+	oc := optchain.CrossShardFraction(d, mustPlacer(t, optchain.StrategyOptChain, k, d))
+	rnd := optchain.CrossShardFraction(d, mustPlacer(t, optchain.StrategyRandom, k, d))
 	if oc >= rnd {
 		t.Fatalf("OptChain %.3f not below random %.3f", oc, rnd)
 	}
@@ -37,10 +47,28 @@ func TestFacadeAllStrategiesConstruct(t *testing.T) {
 		optchain.StrategyOptChain, optchain.StrategyT2S,
 		optchain.StrategyRandom, optchain.StrategyGreedy,
 	} {
-		p := optchain.NewPlacer(s, 4, d)
+		p := mustPlacer(t, s, 4, d)
 		if got := optchain.CrossShardFraction(d, p); got < 0 || got > 1 {
 			t.Fatalf("%s cross fraction %v", s, got)
 		}
+	}
+}
+
+func TestFacadeNewPlacerErrors(t *testing.T) {
+	d := smallData(t)
+	if _, err := optchain.NewPlacer("nope", 4, d); !errors.Is(err, optchain.ErrUnknownStrategy) {
+		t.Fatalf("unknown strategy error = %v", err)
+	}
+	if _, err := optchain.NewPlacer(optchain.StrategyOptChain, 0, d); !errors.Is(err, optchain.ErrBadShard) {
+		t.Fatalf("k=0 error = %v", err)
+	}
+	if _, err := optchain.NewPlacer(optchain.StrategyOptChain, 4, nil); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	// Metis without a partition is constructible only through the Engine
+	// (which computes one) — the bare constructor must error, not panic.
+	if _, err := optchain.NewPlacer(optchain.StrategyMetis, 4, d); err == nil {
+		t.Fatal("Metis without partition accepted")
 	}
 }
 
@@ -53,10 +81,22 @@ func TestFacadeMetisPartition(t *testing.T) {
 	if len(part) != d.Len() {
 		t.Fatalf("partition covers %d of %d", len(part), d.Len())
 	}
-	p := optchain.NewMetisPlacer(4, part)
+	p, err := optchain.NewMetisPlacer(4, part)
+	if err != nil {
+		t.Fatal(err)
+	}
 	frac := optchain.CrossShardFraction(d, p)
 	if frac > 0.5 {
 		t.Fatalf("metis cross fraction %.3f too high", frac)
+	}
+}
+
+func TestFacadeMetisPlacerRejectsBadPartition(t *testing.T) {
+	if _, err := optchain.NewMetisPlacer(4, []int32{0, 1, 9}); !errors.Is(err, optchain.ErrBadShard) {
+		t.Fatalf("out-of-range partition error = %v", err)
+	}
+	if _, err := optchain.NewMetisPlacer(0, []int32{0}); !errors.Is(err, optchain.ErrBadShard) {
+		t.Fatalf("k=0 error = %v", err)
 	}
 }
 
@@ -84,7 +124,10 @@ func TestFacadeTelemetryPlacer(t *testing.T) {
 		Comm:   []float64{10, 10},
 		Verify: []float64{1, 0.01}, // shard 1 is slow
 	}
-	p := optchain.NewOptChainPlacer(2, d, tel)
+	p, err := optchain.NewOptChainPlacer(2, d, tel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	optchain.CrossShardFraction(d, p)
 	counts := p.Assignment().Counts()
 	if counts[1] >= counts[0] {
