@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench-smoke examples ci
+.PHONY: all build test test-race vet fmt fmt-check bench-smoke bench-json examples ci
 
 all: build
 
@@ -11,6 +11,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +30,12 @@ fmt-check:
 # measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable performance record: hot-path micro-benchmarks (ns/op,
+# allocs/op) plus quick per-strategy×protocol simulation throughput. CI
+# uploads the file as an artifact; see PERFORMANCE.md.
+bench-json:
+	$(GO) run ./cmd/optchain-bench -quick -baseline-json BENCH_baseline.json
 
 # Build (not run) every example and cmd binary.
 examples:

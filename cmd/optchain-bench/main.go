@@ -17,6 +17,12 @@
 // table2 fig3..fig11 ablation-{l2s,alpha,weight,backend}. See DESIGN.md
 // for the experiment index and EXPERIMENTS.md for recorded paper-vs-
 // measured results.
+//
+// -baseline-json FILE measures the hot-path micro-benchmarks and one quick
+// simulation per strategy × protocol, and writes the machine-readable
+// performance record tracked as BENCH_baseline.json (`make bench-json`).
+// -cpuprofile/-memprofile/-trace capture runtime profiles of any run (see
+// PERFORMANCE.md).
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"optchain"
+	"optchain/internal/profiling"
 )
 
 func main() {
@@ -45,7 +52,10 @@ func run() int {
 		protocol   = flag.String("protocol", "", "commit protocol for the sweeps (default omniledger)")
 		strategies = flag.String("strategies", "", "comma-separated strategy set for the figures (default: paper's four)")
 		list       = flag.Bool("list", false, "list experiment names and exit")
+		baseline   = flag.String("baseline-json", "", "measure hot paths and write the JSON performance record to this file instead of running experiments")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -83,8 +93,35 @@ func run() int {
 
 	h := optchain.NewBenchHarness(params)
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
+		}
+	}()
+
 	start := time.Now()
-	var err error
+	if *baseline != "" {
+		f, err := os.Create(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
+			return 1
+		}
+		err = optchain.WriteBenchBaseline(h, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s in %.1fs\n", *baseline, time.Since(start).Seconds())
+		return 0
+	}
 	if *experiment == "all" {
 		err = optchain.RunAllExperiments(h, os.Stdout)
 	} else {

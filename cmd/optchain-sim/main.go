@@ -8,7 +8,11 @@
 //
 //	optchain-sim -shards 16 -rate 4000 -strategy OptChain
 //	optchain-sim -shards 8 -rate 2000 -strategy OmniLedger -protocol rapidchain
+//	optchain-sim -shards 16 -rate 6000 -cpuprofile cpu.out -memprofile mem.out
 //	optchain-sim -list
+//
+// The -cpuprofile, -memprofile, and -trace flags capture runtime profiles
+// of a run without a rebuild (see PERFORMANCE.md).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"optchain"
+	"optchain/internal/profiling"
 )
 
 func main() {
@@ -43,6 +48,8 @@ func run() int {
 		progress   = flag.Bool("progress", false, "print live progress to stderr")
 		list       = flag.Bool("list", false, "list registered strategies and protocols, then exit")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -63,6 +70,17 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
+		}
+	}()
 
 	cfg := optchain.DatasetDefaults()
 	cfg.N = *n

@@ -37,6 +37,17 @@
 //	stats, err := eng.PlaceStream(optchain.DatasetStream(data))
 //	fmt.Println(stats.CrossFraction) // ≈0.17 at 16 shards, vs ≈0.95 random
 //
+// High-throughput feeders hand the Engine whole slices at a time with
+// PlaceBatch, which makes exactly the decisions the equivalent Place
+// sequence would while paying the lock, strategy lookup, and metrics
+// refresh once per batch; results append into a caller-reused slice:
+//
+//	shards, err := eng.PlaceBatch(txs, shards)
+//
+// (PlaceStream batches internally, so it gets the same amortization.) The
+// placement and simulation hot paths are allocation-free steady-state; see
+// PERFORMANCE.md for the inventory, baseline numbers, and profiling flags.
+//
 // Engine.Run drives the paper's full end-to-end evaluation (§V) — sharded
 // committees on a simulated network, clients replaying the stream at a
 // configured rate, a cross-shard commit protocol — under a

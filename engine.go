@@ -429,6 +429,53 @@ func (e *Engine) Place(tx StreamTx) (int, error) {
 	if err := e.ensurePlacerLocked(); err != nil {
 		return -1, err
 	}
+	s, err := e.placeOneLocked(tx)
+	if err != nil {
+		return -1, err
+	}
+	e.refreshStreamSnapshotLocked()
+	return s, nil
+}
+
+// PlaceBatch routes a slice of stream transactions in order, exactly as the
+// equivalent sequence of Place calls would (same strategy state, same
+// decisions), but pays the lock, placer lookup, and snapshot refresh once
+// per batch instead of once per transaction. Results are appended to
+// shards[:0] and returned, so a caller-owned slice is reused across
+// batches; pass nil to let PlaceBatch allocate one.
+//
+// On error, the returned slice covers the transactions placed before the
+// failure (engine state keeps those placements, as with Place); the error
+// names the failing transaction by its absolute stream position, and
+// len(result) gives its offset within the batch.
+func (e *Engine) PlaceBatch(txs []StreamTx, shards []int) ([]int, error) {
+	if shards == nil {
+		shards = make([]int, 0, len(txs))
+	} else {
+		shards = shards[:0]
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.ensurePlacerLocked(); err != nil {
+		return shards, err
+	}
+	for i := range txs {
+		s, err := e.placeOneLocked(txs[i])
+		if err != nil {
+			// The error already names the failing transaction by its
+			// absolute stream position; len(shards) gives the batch offset.
+			e.refreshStreamSnapshotLocked()
+			return shards, err
+		}
+		shards = append(shards, s)
+	}
+	e.refreshStreamSnapshotLocked()
+	return shards, nil
+}
+
+// placeOneLocked validates, deduplicates, and places one transaction.
+// e.mu held; the placer is initialized.
+func (e *Engine) placeOneLocked(tx StreamTx) (int, error) {
 	u := e.placed
 	e.inputBuf = e.inputBuf[:0]
 	for _, in := range tx.Inputs {
@@ -455,17 +502,22 @@ func (e *Engine) Place(tx StreamTx) (int, error) {
 	}
 	if s < 0 || s >= e.shards {
 		e.outs = e.outs[:u]
-		return -1, fmt.Errorf("%w: strategy %q chose shard %d of %d",
-			ErrBadShard, e.strategy, s, e.shards)
+		return -1, fmt.Errorf("%w: strategy %q chose shard %d of %d for transaction %d",
+			ErrBadShard, e.strategy, s, e.shards, u)
 	}
 	e.placed++
 	e.cross.Observe(e.placer.Assignment(), e.inputBuf, s)
+	return s, nil
+}
+
+// refreshStreamSnapshotLocked publishes the streaming-mode progress
+// counters. e.mu held.
+func (e *Engine) refreshStreamSnapshotLocked() {
 	e.snap = MetricsSnapshot{
 		Issued:        e.placed,
 		Total:         e.placed,
 		CrossFraction: e.cross.Fraction(),
 	}
-	return s, nil
 }
 
 // placeGuarded invokes the strategy, converting any panic (misbehaving
@@ -480,12 +532,35 @@ func (e *Engine) placeGuarded(u txgraph.Node) (s int, err error) {
 	return e.placer.Place(u, e.inputBuf), nil
 }
 
-// PlaceStream drains an online transaction stream through Place and
-// returns the cumulative placement statistics. On error the stats cover
-// the transactions placed before the failure.
+// placeStreamChunk is how many stream transactions PlaceStream groups per
+// PlaceBatch call — large enough to amortize the per-batch lock and
+// snapshot refresh, small enough to keep progress fresh.
+const placeStreamChunk = 256
+
+// PlaceStream drains an online transaction stream through the engine and
+// returns the cumulative placement statistics. Transactions are grouped
+// into PlaceBatch chunks internally; decisions are identical to calling
+// Place once per transaction. On error the stats cover the transactions
+// placed before the failure.
 func (e *Engine) PlaceStream(txs iter.Seq[StreamTx]) (PlacementStats, error) {
+	buf := make([]StreamTx, 0, placeStreamChunk)
+	var shards []int
+	flush := func() error {
+		var err error
+		shards, err = e.PlaceBatch(buf, shards)
+		buf = buf[:0]
+		return err
+	}
 	for tx := range txs {
-		if _, err := e.Place(tx); err != nil {
+		buf = append(buf, tx)
+		if len(buf) == placeStreamChunk {
+			if err := flush(); err != nil {
+				return e.Stats(), err
+			}
+		}
+	}
+	if len(buf) > 0 {
+		if err := flush(); err != nil {
 			return e.Stats(), err
 		}
 	}

@@ -1,0 +1,128 @@
+package optchain_test
+
+import (
+	"errors"
+	"testing"
+
+	"optchain"
+)
+
+// collectStream materializes the dataset as StreamTx values.
+func collectStream(d *optchain.Dataset) []optchain.StreamTx {
+	var txs []optchain.StreamTx
+	for tx := range optchain.DatasetStream(d) {
+		txs = append(txs, tx)
+	}
+	return txs
+}
+
+// PlaceBatch must make exactly the decisions the equivalent Place sequence
+// makes — the strategy state advances identically — for every built-in
+// online strategy.
+func TestPlaceBatchMatchesPlaceDecisions(t *testing.T) {
+	d := smallData(t)
+	txs := collectStream(d)
+	const k = 8
+
+	for _, strategy := range []string{"OptChain", "T2S", "Greedy", "OmniLedger"} {
+		newEngine := func() *optchain.Engine {
+			eng, err := optchain.New(
+				optchain.WithStrategy(strategy),
+				optchain.WithShards(k),
+				optchain.WithDataset(d),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return eng
+		}
+
+		one := newEngine()
+		var want []int
+		for _, tx := range txs {
+			s, err := one.Place(tx)
+			if err != nil {
+				t.Fatalf("%s: Place: %v", strategy, err)
+			}
+			want = append(want, s)
+		}
+
+		batch := newEngine()
+		var got, buf []int
+		// Uneven chunk sizes exercise batch boundaries.
+		for lo := 0; lo < len(txs); {
+			hi := lo + 1 + (lo % 97)
+			if hi > len(txs) {
+				hi = len(txs)
+			}
+			var err error
+			buf, err = batch.PlaceBatch(txs[lo:hi], buf)
+			if err != nil {
+				t.Fatalf("%s: PlaceBatch: %v", strategy, err)
+			}
+			got = append(got, buf...)
+			lo = hi
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("%s: placed %d via batch, %d via Place", strategy, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: decision %d differs: batch=%d place=%d", strategy, i, got[i], want[i])
+			}
+		}
+
+		sa, sb := one.Stats(), batch.Stats()
+		if sa.Placed != sb.Placed || sa.Cross != sb.Cross || sa.CrossFraction != sb.CrossFraction {
+			t.Fatalf("%s: stats diverge: place=%+v batch=%+v", strategy, sa, sb)
+		}
+	}
+}
+
+// A failing transaction mid-batch keeps the placements before it (exactly
+// like a failing Place call); the error names the absolute stream position
+// and len(result) gives the batch offset.
+func TestPlaceBatchPartialFailure(t *testing.T) {
+	eng, err := optchain.New(optchain.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := []optchain.StreamTx{
+		{Outputs: 2},          // coinbase, ok
+		{Inputs: []int{0}},    // ok
+		{Inputs: []int{99}},   // forward reference: fails
+		{Inputs: []int{0, 1}}, // never reached
+	}
+	shards, err := eng.PlaceBatch(txs, nil)
+	if !errors.Is(err, optchain.ErrBadInput) {
+		t.Fatalf("error = %v, want ErrBadInput", err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("placed %d before the failure, want 2", len(shards))
+	}
+	if st := eng.Stats(); st.Placed != 2 {
+		t.Fatalf("stats after partial batch = %+v", st)
+	}
+	// The engine remains usable: the failed transaction was rolled back.
+	if _, err := eng.Place(optchain.StreamTx{Inputs: []int{0, 1}}); err != nil {
+		t.Fatalf("Place after failed batch: %v", err)
+	}
+}
+
+// The result slice is reused across batches when the caller provides one.
+func TestPlaceBatchReusesResultSlice(t *testing.T) {
+	eng, err := optchain.New(optchain.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 0, 64)
+	txs := make([]optchain.StreamTx, 16)
+	got, err := eng.PlaceBatch(txs, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(txs) || cap(got) != cap(buf) {
+		t.Fatalf("len=%d cap=%d, want len=%d cap=%d (reused)", len(got), cap(got), len(txs), cap(buf))
+	}
+}

@@ -15,6 +15,12 @@ import (
 // temporal fitness trades a little cross-TX for balance.
 func AblationL2S(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
+	if err := h.runGrid([]cell{
+		{placer: sim.PlacerOptChain, shards: k, rate: r},
+		{placer: sim.PlacerT2S, shards: k, rate: r},
+	}); err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "== Ablation A1 — L2S term on/off (k=%d, rate=%.0f) ==\n", k, r)
 	fmt.Fprintf(w, "%-22s %-8s %-10s %-10s %-10s %-8s\n", "variant", "cross", "steadyTPS", "avgLat(s)", "maxLat(s)", "peakQ")
 	for _, v := range []struct {
@@ -44,11 +50,20 @@ func AblationAlpha(h *Harness, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "== Ablation A2 — α sensitivity, offline cross-TX %% (k=%d, n=%d) ==\n", k, n)
-	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		p := core.NewT2SPlacer(k, n, alpha, core.DefaultCapacityEps)
+	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	fracs := make([]float64, len(alphas))
+	err = h.parallelEach(len(alphas), func(i int) error {
+		p := core.NewT2SPlacer(k, n, alphas[i], core.DefaultCapacityEps)
 		p.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
 		cc := crossFraction(d, p, 0)
-		fmt.Fprintf(w, "alpha=%.1f  cross=%6.2f%%\n", alpha, 100*cc.Fraction())
+		fracs[i] = 100 * cc.Fraction()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, alpha := range alphas {
+		fmt.Fprintf(w, "alpha=%.1f  cross=%6.2f%%\n", alpha, fracs[i])
 	}
 	fmt.Fprintln(w, "(paper uses alpha=0.5)")
 	return nil
@@ -60,14 +75,24 @@ func AblationWeight(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
 	fmt.Fprintf(w, "== Ablation A3 — L2S weight sweep (k=%d, rate=%.0f) ==\n", k, r)
 	fmt.Fprintf(w, "%-8s %-8s %-10s %-10s %-10s %-8s\n", "weight", "cross", "steadyTPS", "avgLat(s)", "maxLat(s)", "peakQ")
-	for _, weight := range []float64{0.003, 0.01, 0.03, 0.1, 0.3} {
-		weight := weight
+	weights := []float64{0.003, 0.01, 0.03, 0.1, 0.3}
+	results := make([]*sim.Result, len(weights))
+	err := h.parallelEach(len(weights), func(i int) error {
+		weight := weights[i]
 		res, err := h.Run(sim.PlacerOptChain, h.p.Protocol, k, r, func(c *sim.Config) {
 			c.L2SWght = weight
 		})
 		if err != nil {
 			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, weight := range weights {
+		res := results[i]
 		fmt.Fprintf(w, "%-8.3f %-8.3f %-10.0f %-10.2f %-10.2f %-8d\n",
 			weight, res.CrossFraction, res.SteadyTPS, res.AvgLatency, res.MaxLatency, res.Queues.PeakMax())
 	}
@@ -81,15 +106,24 @@ func AblationBackend(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
 	fmt.Fprintf(w, "== Ablation A4 — protocol backend (k=%d, rate=%.0f) ==\n", k, r)
 	fmt.Fprintf(w, "%-12s %-12s %-8s %-10s %-10s\n", "backend", "placer", "cross", "steadyTPS", "avgLat(s)")
-	for _, proto := range []sim.ProtocolKind{sim.ProtoOmniLedger, sim.ProtoRapidChain} {
-		for _, placer := range []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom} {
-			res, err := h.Run(placer, proto, k, r, func(c *sim.Config) { c.Protocol = proto })
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "%-12s %-12s %-8.3f %-10.0f %-10.2f\n",
-				proto, placer, res.CrossFraction, res.SteadyTPS, res.AvgLatency)
+	protos := []sim.ProtocolKind{sim.ProtoOmniLedger, sim.ProtoRapidChain}
+	placers := []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom}
+	results := make([]*sim.Result, len(protos)*len(placers))
+	err := h.parallelEach(len(results), func(i int) error {
+		proto, placer := protos[i/len(placers)], placers[i%len(placers)]
+		res, err := h.Run(placer, proto, k, r, func(c *sim.Config) { c.Protocol = proto })
+		if err != nil {
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		fmt.Fprintf(w, "%-12s %-12s %-8.3f %-10.0f %-10.2f\n",
+			protos[i/len(placers)], placers[i%len(placers)], res.CrossFraction, res.SteadyTPS, res.AvgLatency)
 	}
 	fmt.Fprintln(w, "(paper §I: \"we predict a similar level of improvement ... with other sharding protocols such as Rapidchain\")")
 	return nil

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"optchain/internal/core"
+	"optchain/internal/des"
+	"optchain/internal/placement"
+	"optchain/internal/sim"
+	"optchain/internal/txgraph"
+)
+
+// BaselineSchema versions the BENCH_baseline.json layout so downstream
+// tooling (CI artifact diffing, PERFORMANCE.md tables) can detect format
+// changes.
+const BaselineSchema = "optchain-bench-baseline/v1"
+
+// Baseline is the machine-readable performance record emitted by
+// `optchain-bench -baseline-json` (and `make bench-json`). It captures the
+// hot-path micro costs (ns/op, allocs/op) and end-to-end simulation
+// throughput per strategy × protocol, so every PR's perf trajectory is
+// comparable against the committed BENCH_baseline.json.
+type Baseline struct {
+	Schema      string         `json:"schema"`
+	GeneratedAt string         `json:"generated_at,omitempty"`
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Quick       bool           `json:"quick"`
+	Seed        int64          `json:"seed"`
+	Micro       []BaselineItem `json:"micro"`
+	Sim         []BaselineSim  `json:"sim"`
+}
+
+// BaselineItem is one micro-benchmark: per-unit timing and allocation cost
+// of a hot path (unit = one transaction or one event).
+type BaselineItem struct {
+	Name        string  `json:"name"`
+	Unit        string  `json:"unit"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// BaselineSim is one end-to-end simulation cell: virtual steady-state
+// throughput plus the wall-clock rate the host sustained while computing it.
+type BaselineSim struct {
+	Strategy      string  `json:"strategy"`
+	Protocol      string  `json:"protocol"`
+	Shards        int     `json:"shards"`
+	Rate          float64 `json:"rate"`
+	Txs           int     `json:"txs"`
+	Committed     int     `json:"committed"`
+	SteadyTPS     float64 `json:"steady_tps"`
+	CrossFraction float64 `json:"cross_fraction"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	TxsPerWallSec float64 `json:"txs_per_wall_sec"`
+}
+
+// baselinePlaceBench replays the dataset through a fresh placer per
+// iteration, reporting per-transaction cost.
+func baselinePlaceBench(name string, d datasetLike, mk func() placement.Placer) BaselineItem {
+	n := d.Len()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p := mk()
+			var buf []txgraph.Node
+			b.StartTimer()
+			for j := 0; j < n; j++ {
+				buf = d.InputTxNodes(j, buf)
+				p.Place(txgraph.Node(j), buf)
+			}
+		}
+	})
+	ops := float64(r.N) * float64(n)
+	ns := float64(r.T.Nanoseconds()) / ops
+	item := BaselineItem{
+		Name:        name,
+		Unit:        "tx",
+		NsPerOp:     ns,
+		AllocsPerOp: float64(r.MemAllocs) / ops,
+		BytesPerOp:  float64(r.MemBytes) / ops,
+	}
+	if ns > 0 {
+		item.OpsPerSec = 1e9 / ns
+	}
+	return item
+}
+
+// datasetLike is the slice of the dataset API the placement micro-benches
+// need (keeps baselinePlaceBench testable without a full dataset).
+type datasetLike interface {
+	Len() int
+	InputTxNodes(i int, buf []txgraph.Node) []txgraph.Node
+	NumOutputs(i int) int
+}
+
+// baselineDESBench measures the event kernel's schedule+fire cost per
+// event via a self-rescheduling tick chain.
+func baselineDESBench() BaselineItem {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		s := des.New()
+		count := 0
+		var loop func(*des.Simulator)
+		loop = func(sim *des.Simulator) {
+			count++
+			if count < b.N {
+				sim.Schedule(1, "tick", loop)
+			}
+		}
+		s.Schedule(0, "tick", loop)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	ops := float64(r.N)
+	ns := float64(r.T.Nanoseconds()) / ops
+	item := BaselineItem{
+		Name:        "des_schedule_fire",
+		Unit:        "event",
+		NsPerOp:     ns,
+		AllocsPerOp: float64(r.MemAllocs) / ops,
+		BytesPerOp:  float64(r.MemBytes) / ops,
+	}
+	if ns > 0 {
+		item.OpsPerSec = 1e9 / ns
+	}
+	return item
+}
+
+// baselineMicroN caps the stream length the placement micro-benches replay
+// (they re-run the whole stream per testing.B iteration).
+const baselineMicroN = 50_000
+
+// CollectBaseline measures the hot-path micro-benchmarks and one quick
+// end-to-end simulation per strategy × protocol. Simulation cells run
+// sequentially so wall-clock rates are not distorted by contention; every
+// cell is deterministic per the harness seed.
+func CollectBaseline(h *Harness) (*Baseline, error) {
+	n := h.p.N
+	if n > baselineMicroN {
+		n = baselineMicroN
+	}
+	d, err := h.Dataset(n)
+	if err != nil {
+		return nil, err
+	}
+	outCounts := func(v txgraph.Node) int { return d.NumOutputs(int(v)) }
+	tel := core.StaticTelemetry{Comm: make([]float64, 16), Verify: make([]float64, 16)}
+	for i := range tel.Comm {
+		tel.Comm[i], tel.Verify[i] = 10, 0.5
+	}
+
+	b := &Baseline{
+		Schema:     BaselineSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      h.p.Quick,
+		Seed:       h.p.Seed,
+	}
+	b.Micro = append(b.Micro,
+		baselinePlaceBench("t2s_prepare_commit", d, func() placement.Placer {
+			p := core.NewT2SPlacer(16, d.Len(), core.DefaultAlpha, core.DefaultCapacityEps)
+			p.Scores().SetOutCounts(outCounts)
+			return p
+		}),
+		baselinePlaceBench("optchain_place", d, func() placement.Placer {
+			p := core.NewOptChain(core.OptChainConfig{K: 16, N: d.Len(), Latency: core.FastL2S{Tel: tel}})
+			p.Scores().SetOutCounts(outCounts)
+			return p
+		}),
+		baselinePlaceBench("greedy_place", d, func() placement.Placer {
+			return placement.NewGreedy(16, d.Len(), core.DefaultCapacityEps)
+		}),
+		baselinePlaceBench("random_place", d, func() placement.Placer {
+			return placement.NewRandom(16, d.Len())
+		}),
+		baselineDESBench(),
+	)
+
+	shards := 8
+	rate := 2000.0
+	for _, proto := range []sim.ProtocolKind{sim.ProtoOmniLedger, sim.ProtoRapidChain} {
+		for _, placer := range h.placers() {
+			// Harness.Run owns the config assembly (dataset, Metis
+			// partition wiring, window scaling); the no-op mutate keeps
+			// this cell out of the result cache so the wall clock measures
+			// a real run.
+			start := time.Now()
+			res, err := h.Run(placer, proto, shards, rate, func(*sim.Config) {})
+			if err != nil {
+				return nil, fmt.Errorf("baseline %s/%s: %w", placer, proto, err)
+			}
+			wall := time.Since(start).Seconds()
+			cell := BaselineSim{
+				Strategy:      string(placer),
+				Protocol:      string(proto),
+				Shards:        shards,
+				Rate:          rate,
+				Txs:           res.Total,
+				Committed:     res.Committed,
+				SteadyTPS:     res.SteadyTPS,
+				CrossFraction: res.CrossFraction,
+				WallSeconds:   wall,
+			}
+			if wall > 0 {
+				cell.TxsPerWallSec = float64(res.Committed) / wall
+			}
+			b.Sim = append(b.Sim, cell)
+		}
+	}
+	return b, nil
+}
+
+// WriteBaselineJSON measures (see CollectBaseline) and writes the indented
+// JSON report, stamped with the current UTC time.
+func WriteBaselineJSON(h *Harness, w io.Writer) error {
+	b, err := CollectBaseline(h)
+	if err != nil {
+		return err
+	}
+	b.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

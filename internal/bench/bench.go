@@ -9,11 +9,13 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"optchain/internal/dataset"
@@ -62,7 +64,7 @@ func (p *Params) fillDefaults() {
 		p.Validators = 400
 	}
 	if p.Workers <= 0 {
-		p.Workers = runtime.NumCPU()
+		p.Workers = runtime.GOMAXPROCS(0)
 	}
 	if p.Protocol == "" {
 		p.Protocol = sim.ProtoOmniLedger
@@ -81,14 +83,35 @@ func (p *Params) fillDefaults() {
 }
 
 // Harness owns the shared dataset, partitions, and simulation cache.
+// Expensive artifacts (datasets, partitions) are built once per key behind
+// a sync.Once, so concurrent experiments needing different keys build them
+// in parallel while same-key requests block on one computation instead of
+// duplicating it.
 type Harness struct {
 	p Params
 
-	mu     sync.Mutex
-	data   map[int]*dataset.Dataset // by length
-	parts  map[partKey][]int32
-	runs   map[runKey]*sim.Result
-	graphs sync.Mutex // serializes expensive partition computation
+	mu    sync.Mutex
+	data  map[int]*datasetEntry // by length
+	parts map[partKey]*partEntry
+	runs  map[runKey]*sim.Result
+
+	// graphs serializes the expensive Metis partition computations: a
+	// 200k-node graph build + multilevel partition per key would multiply
+	// peak memory by the number of distinct shard counts if the table
+	// sweeps ran them all at once.
+	graphs sync.Mutex
+}
+
+type datasetEntry struct {
+	once sync.Once
+	d    *dataset.Dataset
+	err  error
+}
+
+type partEntry struct {
+	once sync.Once
+	part []int32
+	err  error
 }
 
 type partKey struct {
@@ -108,8 +131,8 @@ func NewHarness(p Params) *Harness {
 	p.fillDefaults()
 	return &Harness{
 		p:     p,
-		data:  make(map[int]*dataset.Dataset),
-		parts: make(map[partKey][]int32),
+		data:  make(map[int]*datasetEntry),
+		parts: make(map[partKey]*partEntry),
 		runs:  make(map[runKey]*sim.Result),
 	}
 }
@@ -118,64 +141,87 @@ func NewHarness(p Params) *Harness {
 func (h *Harness) Params() Params { return h.p }
 
 // Dataset returns (generating once) the synthetic stream of length n.
+// Generation is deterministic per (n, Seed), so concurrent callers always
+// observe the same stream.
 func (h *Harness) Dataset(n int) (*dataset.Dataset, error) {
 	h.mu.Lock()
-	if d, ok := h.data[n]; ok {
-		h.mu.Unlock()
-		return d, nil
+	e, ok := h.data[n]
+	if !ok {
+		e = &datasetEntry{}
+		h.data[n] = e
 	}
 	h.mu.Unlock()
-
-	cfg := dataset.DefaultConfig()
-	cfg.N = n
-	cfg.Seed = h.p.Seed
-	d, err := dataset.Generate(cfg)
-	if err != nil {
-		return nil, err
-	}
-	h.mu.Lock()
-	h.data[n] = d
-	h.mu.Unlock()
-	return d, nil
+	e.once.Do(func() {
+		cfg := dataset.DefaultConfig()
+		cfg.N = n
+		cfg.Seed = h.p.Seed
+		e.d, e.err = dataset.Generate(cfg)
+	})
+	return e.d, e.err
 }
 
 // Partition returns (computing once) a Metis k-way partition of the first
-// n transactions' TaN network.
+// n transactions' TaN network. Distinct (n, k) keys partition in parallel;
+// each partition is deterministic per Seed.
 func (h *Harness) Partition(n, k int) ([]int32, error) {
 	key := partKey{n: n, k: k}
 	h.mu.Lock()
-	if part, ok := h.parts[key]; ok {
-		h.mu.Unlock()
-		return part, nil
+	e, ok := h.parts[key]
+	if !ok {
+		e = &partEntry{}
+		h.parts[key] = e
 	}
 	h.mu.Unlock()
+	e.once.Do(func() {
+		d, err := h.Dataset(n)
+		if err != nil {
+			e.err = err
+			return
+		}
+		h.graphs.Lock()
+		defer h.graphs.Unlock()
+		g, err := d.BuildGraph()
+		if err != nil {
+			e.err = err
+			return
+		}
+		xadj, adj := g.UndirectedCSR()
+		e.part, e.err = metis.PartitionKWay(xadj, adj, k, &metis.Options{Seed: h.p.Seed, Imbalance: 0.1})
+	})
+	return e.part, e.err
+}
 
-	d, err := h.Dataset(n)
-	if err != nil {
-		return nil, err
+// parallelEach runs fn(i) for every i in [0, n) across the worker budget.
+// Output determinism is the caller's job: fn writes only to index i of its
+// result slice, so the assembled output is independent of scheduling. The
+// returned error joins every per-index failure.
+func (h *Harness) parallelEach(n int, fn func(i int) error) error {
+	workers := h.p.Workers
+	if workers > n {
+		workers = n
 	}
-	h.graphs.Lock()
-	defer h.graphs.Unlock()
-	h.mu.Lock()
-	if part, ok := h.parts[key]; ok {
-		h.mu.Unlock()
-		return part, nil
+	if workers < 1 {
+		workers = 1
 	}
-	h.mu.Unlock()
-
-	g, err := d.BuildGraph()
-	if err != nil {
-		return nil, err
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
 	}
-	xadj, adj := g.UndirectedCSR()
-	part, err := metis.PartitionKWay(xadj, adj, k, &metis.Options{Seed: h.p.Seed, Imbalance: 0.1})
-	if err != nil {
-		return nil, err
-	}
-	h.mu.Lock()
-	h.parts[key] = part
-	h.mu.Unlock()
-	return part, nil
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // simGrids returns the shard and rate grids for simulation experiments.
@@ -269,37 +315,23 @@ func (h *Harness) Run(placer sim.PlacerKind, proto sim.ProtocolKind, shards int,
 	return res, nil
 }
 
-// cell identifies one grid element for parallel execution.
+// cell identifies one grid element for parallel execution, on the harness
+// protocol.
 type cell struct {
 	placer sim.PlacerKind
 	shards int
 	rate   float64
 }
 
-// runGrid executes all cells in parallel and blocks until done.
+// runGrid executes all cells concurrently across the worker budget and
+// blocks until done. Every cell's simulation seeds its own RNG from the
+// harness seed, so results are identical to a sequential sweep.
 func (h *Harness) runGrid(cells []cell) error {
-	sem := make(chan struct{}, h.p.Workers)
-	errs := make(chan error, len(cells))
-	var wg sync.WaitGroup
-	for _, c := range cells {
-		c := c
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			_, err := h.Run(c.placer, h.p.Protocol, c.shards, c.rate, nil)
-			errs <- err
-		}()
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return h.parallelEach(len(cells), func(i int) error {
+		c := cells[i]
+		_, err := h.Run(c.placer, h.p.Protocol, c.shards, c.rate, nil)
+		return err
+	})
 }
 
 // fullGrid lists every (placer, shards, rate) cell of the Fig. 3 sweep.
@@ -312,6 +344,18 @@ func (h *Harness) fullGrid() []cell {
 				cells = append(cells, cell{placer: p, shards: k, rate: r})
 			}
 		}
+	}
+	return cells
+}
+
+// peakCells lists one cell per compared strategy at the peak configuration
+// — the set Figs. 5-7 and 10 consume. Running them through runGrid before
+// the sequential report loop warms the cache concurrently.
+func (h *Harness) peakCells() []cell {
+	k, r := h.maxGrid()
+	var cells []cell
+	for _, p := range h.placers() {
+		cells = append(cells, cell{placer: p, shards: k, rate: r})
 	}
 	return cells
 }

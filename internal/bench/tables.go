@@ -61,29 +61,31 @@ func Fig2(h *Harness, w io.Writer) error {
 	return nil
 }
 
-// tableStrategies builds the strategy set of Table I for a given k, with
-// expected stream length n.
-func (h *Harness) tableStrategies(n, k int, includeMetis bool) ([]placement.Placer, error) {
-	var ps []placement.Placer
-	if includeMetis {
+// newTableStrategy builds one freshly initialized strategy for an offline
+// table cell, so every (k, strategy) cell owns its own state and cells run
+// concurrently.
+func (h *Harness) newTableStrategy(name string, n, k int) (placement.Placer, error) {
+	switch name {
+	case "Metis":
 		part, err := h.Partition(n, k)
 		if err != nil {
 			return nil, err
 		}
-		ps = append(ps, placement.NewMetisReplay(k, part))
+		return placement.NewMetisReplay(k, part), nil
+	case "Greedy":
+		return placement.NewGreedy(k, n, core.DefaultCapacityEps), nil
+	case "OmniLedger":
+		return placement.NewRandom(k, n), nil
+	case "T2S":
+		d, err := h.Dataset(n)
+		if err != nil {
+			return nil, err
+		}
+		t2s := core.NewT2SPlacer(k, n, core.DefaultAlpha, core.DefaultCapacityEps)
+		t2s.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
+		return t2s, nil
 	}
-	d, err := h.Dataset(n)
-	if err != nil {
-		return nil, err
-	}
-	t2s := core.NewT2SPlacer(k, n, core.DefaultAlpha, core.DefaultCapacityEps)
-	t2s.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
-	ps = append(ps,
-		placement.NewGreedy(k, n, core.DefaultCapacityEps),
-		placement.NewRandom(k, n),
-		t2s,
-	)
-	return ps, nil
+	return nil, fmt.Errorf("bench: unknown table strategy %q", name)
 }
 
 // crossFraction streams the dataset through a placer, counting cross-TXs
@@ -111,18 +113,29 @@ func TableI(h *Harness, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "== Table I — %% cross-TX from scratch (n=%d) ==\n", n)
 	fmt.Fprintf(w, "%-4s %-10s %-10s %-12s %-10s\n", "k", "Metis", "Greedy", "OmniLedger", "T2S")
-	for _, k := range h.tableShards() {
-		ps, err := h.tableStrategies(n, k, true)
+	names := []string{"Metis", "Greedy", "OmniLedger", "T2S"}
+	ks := h.tableShards()
+	// One independent placement replay per (k, strategy) cell, fanned out
+	// across the worker budget; each cell owns its placer, so results match
+	// the sequential sweep exactly.
+	vals := make([]float64, len(ks)*len(names))
+	err = h.parallelEach(len(vals), func(i int) error {
+		k, name := ks[i/len(names)], names[i%len(names)]
+		p, err := h.newTableStrategy(name, n, k)
 		if err != nil {
 			return err
 		}
-		row := make(map[string]float64, len(ps))
-		for _, p := range ps {
-			cc := crossFraction(d, p, 0)
-			row[p.Name()] = 100 * cc.Fraction()
-		}
+		cc := crossFraction(d, p, 0)
+		vals[i] = 100 * cc.Fraction()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for ki, k := range ks {
+		row := vals[ki*len(names) : (ki+1)*len(names)]
 		fmt.Fprintf(w, "%-4d %-10.2f %-10.2f %-12.2f %-10.2f\n",
-			k, row["Metis"], row["Greedy"], row["OmniLedger"], row["T2S"])
+			k, row[0], row[1], row[2], row[3])
 	}
 	fmt.Fprintln(w, "(paper, k=16: Metis 4.70, Greedy 28.14, OmniLedger 94.87, T2S 15.73)")
 	return nil
@@ -175,22 +188,30 @@ func TableII(h *Harness, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "== Table II — # cross-TX in a %d-tx window after a %d-tx Metis warm start ==\n", window, warm)
 	fmt.Fprintf(w, "%-4s %-10s %-12s %-10s\n", "k", "Greedy", "OmniLedger", "T2S")
-	for _, k := range h.tableShards() {
+	names := []string{"Greedy", "OmniLedger", "T2S"}
+	ks := h.tableShards()
+	vals := make([]int64, len(ks)*len(names))
+	err = h.parallelEach(len(vals), func(i int) error {
+		k, name := ks[i/len(names)], names[i%len(names)]
 		part, err := h.Partition(n, k)
 		if err != nil {
 			return err
 		}
-		ps, err := h.tableStrategies(n, k, false)
+		p, err := h.newTableStrategy(name, n, k)
 		if err != nil {
 			return err
 		}
-		row := make(map[string]int64, len(ps))
-		for _, p := range ps {
-			wp := &warmPlacer{Placer: p, part: part, warm: warm}
-			cc := crossFraction(d, wp, warm)
-			row[p.Name()] = cc.Cross
-		}
-		fmt.Fprintf(w, "%-4d %-10d %-12d %-10d\n", k, row["Greedy"], row["OmniLedger"], row["T2S"])
+		wp := &warmPlacer{Placer: p, part: part, warm: warm}
+		cc := crossFraction(d, wp, warm)
+		vals[i] = cc.Cross
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for ki, k := range ks {
+		row := vals[ki*len(names) : (ki+1)*len(names)]
+		fmt.Fprintf(w, "%-4d %-10d %-12d %-10d\n", k, row[0], row[1], row[2])
 	}
 	fmt.Fprintln(w, "(paper, k=16 of 1M txs: Greedy 441267, OmniLedger 960935, T2S 226171)")
 	return nil

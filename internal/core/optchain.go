@@ -33,34 +33,38 @@ type T2SPlacer struct {
 // stream of n transactions.
 func NewT2SPlacer(k, n int, alpha, eps float64) *T2SPlacer {
 	asn := placement.NewAssignment(k, n)
-	capPerShard := int64(float64(n/k) * (1 + eps))
-	if capPerShard < 1 {
-		capPerShard = 1
-	}
 	return &T2SPlacer{
 		idx: NewT2SIndex(alpha, DefaultTruncate, asn, n),
-		cap: capPerShard,
+		cap: placement.CapacityBound(n, k, eps),
 	}
 }
 
-// Place implements placement.Placer.
+// Place implements placement.Placer. The scan fuses the capacity-bounded
+// argmax with the least-loaded fallback into one pass over the live shard
+// tallies, so a fully saturated stream costs no second traversal.
 func (p *T2SPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
 	scores := p.idx.Prepare(u, inputs)
 	asn := p.idx.asn
-	k := asn.K()
+	counts := asn.CountsView()
 	best := -1
-	for j := 0; j < k; j++ {
-		if asn.Count(j) >= p.cap {
+	var bestCount int64
+	var bestVal float64
+	least := 0
+	leastCount := counts[0]
+	for j, c := range counts {
+		if c < leastCount {
+			least, leastCount = j, c
+		}
+		if c >= p.cap {
 			continue
 		}
-		if best == -1 ||
-			scores[j] > scores[best] ||
-			(scores[j] == scores[best] && asn.Count(j) < asn.Count(best)) {
-			best = j
+		if best == -1 || scores[j] > bestVal ||
+			(scores[j] == bestVal && c < bestCount) {
+			best, bestVal, bestCount = j, scores[j], c
 		}
 	}
 	if best == -1 {
-		best = leastLoaded(asn)
+		best = least
 	}
 	p.idx.Commit(u, best)
 	asn.Place(u, best)
@@ -138,21 +142,23 @@ func NewOptChain(cfg OptChainConfig) *OptChainPlacer {
 	}
 }
 
-// Place implements placement.Placer: Alg. 1 of the paper.
+// Place implements placement.Placer: Alg. 1 of the paper. The argmax runs
+// as one pass over the live shard tallies, seeded with shard 0 so the loop
+// body carries no best==-1 branch and never re-reads counts for the
+// incumbent.
 func (p *OptChainPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
 	scores := p.idx.Prepare(u, inputs) // lines 2-3
 	asn := p.idx.asn
-	k := asn.K()
+	counts := asn.CountsView()
 	p.shardBuf = asn.InputShards(inputs, p.shardBuf)
 
-	best := -1
-	var bestFit float64
-	for j := 0; j < k; j++ {
+	best := 0
+	bestFit := scores[0] - p.weight*p.lat.ProofLatency(0, p.shardBuf)
+	bestCount := counts[0]
+	for j := 1; j < len(counts); j++ {
 		fit := scores[j] - p.weight*p.lat.ProofLatency(j, p.shardBuf) // lines 4-9
-		if best == -1 || fit > bestFit ||
-			(fit == bestFit && asn.Count(j) < asn.Count(best)) {
-			best = j
-			bestFit = fit
+		if fit > bestFit || (fit == bestFit && counts[j] < bestCount) {
+			best, bestFit, bestCount = j, fit, counts[j]
 		}
 	}
 	p.idx.Commit(u, best)
@@ -168,16 +174,6 @@ func (p *OptChainPlacer) Name() string { return "OptChain" }
 
 // Scores exposes the T2S index for inspection (examples, debugging).
 func (p *OptChainPlacer) Scores() *T2SIndex { return p.idx }
-
-func leastLoaded(asn *placement.Assignment) int {
-	best := 0
-	for j := 1; j < asn.K(); j++ {
-		if asn.Count(j) < asn.Count(best) {
-			best = j
-		}
-	}
-	return best
-}
 
 // Compile-time interface compliance checks.
 var (

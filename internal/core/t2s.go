@@ -8,7 +8,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"optchain/internal/placement"
 	"optchain/internal/txgraph"
@@ -19,6 +18,12 @@ import (
 type sparseEntry struct {
 	shard int32
 	val   float64
+}
+
+// vecSpan locates one committed p'(v) vector inside the slab arena.
+type vecSpan struct {
+	off int   // first entry in T2SIndex.slab
+	n   int32 // entry count
 }
 
 // T2SIndex maintains the incremental T2S state of §IV-B: for every placed
@@ -33,6 +38,12 @@ type sparseEntry struct {
 //
 // and after placing u into shard s, p'(u)[s] += α. The computation is
 // O(|Nin(u)|·k) worst case and O(k) on the scale-free TaN network.
+//
+// Storage: vectors are immutable once committed, so they all live in one
+// growable slab arena (slab) addressed by per-node (offset, length) spans.
+// Steady state, Prepare and Commit allocate nothing — the slab doubles
+// amortized as the stream grows, and Reserve can pre-size it so even that
+// growth never happens on the hot path.
 type T2SIndex struct {
 	alpha    float64
 	truncate float64 // relative threshold; entries below truncate·max are dropped (0 = exact)
@@ -53,7 +64,8 @@ type T2SIndex struct {
 	// so far (including the one being scored).
 	outCounts func(txgraph.Node) int
 
-	vecs   [][]sparseEntry
+	slab   []sparseEntry // arena backing every committed p'(v)
+	spans  []vecSpan     // per-node view into slab
 	outDeg []int32
 
 	// pending holds p'(u) between Prepare and Commit.
@@ -78,13 +90,17 @@ func NewT2SIndex(alpha, truncate float64, asn *placement.Assignment, n int) *T2S
 	if truncate < 0 {
 		truncate = 0
 	}
+	if n < 0 {
+		n = 0
+	}
 	k := asn.K()
 	return &T2SIndex{
 		alpha:     alpha,
 		truncate:  truncate,
 		asn:       asn,
 		normalize: true,
-		vecs:      make([][]sparseEntry, 0, n),
+		slab:      make([]sparseEntry, 0, n),
+		spans:     make([]vecSpan, 0, n),
 		outDeg:    make([]int32, 0, n),
 		scores:    make([]float64, k),
 		merge:     make([]float64, k),
@@ -103,6 +119,59 @@ func (t *T2SIndex) SetOutCounts(fn func(txgraph.Node) int) { t.outCounts = fn }
 // Alpha returns the damping factor.
 func (t *T2SIndex) Alpha() float64 { return t.alpha }
 
+// Reserve pre-sizes the arena for at least `nodes` more transactions whose
+// committed vectors total at most `entries` more slab entries, so the
+// following Prepare/Commit calls allocate nothing at all. It is optional —
+// without it the arena doubles amortized — and exists for callers that need
+// a hard zero-allocation guarantee (latency-critical loops, allocation
+// budget tests).
+func (t *T2SIndex) Reserve(nodes, entries int) {
+	// spans and outDeg grow in lockstep but their capacities diverge under
+	// append (different element sizes land in different size classes), so
+	// each slice checks its own headroom.
+	if need := len(t.spans) + nodes; need > cap(t.spans) {
+		spans := make([]vecSpan, len(t.spans), need)
+		copy(spans, t.spans)
+		t.spans = spans
+	}
+	if need := len(t.outDeg) + nodes; need > cap(t.outDeg) {
+		deg := make([]int32, len(t.outDeg), need)
+		copy(deg, t.outDeg)
+		t.outDeg = deg
+	}
+	if need := len(t.slab) + entries; need > cap(t.slab) {
+		slab := make([]sparseEntry, len(t.slab), need)
+		copy(slab, t.slab)
+		t.slab = slab
+	}
+}
+
+// vec returns the committed p'(v) entries (a view into the slab; read-only).
+func (t *T2SIndex) vec(v txgraph.Node) []sparseEntry {
+	sp := t.spans[v]
+	return t.slab[sp.off : sp.off+int(sp.n)]
+}
+
+// growSlab ensures room for need more entries, doubling so headroom after a
+// growth is proportional to the arena (keeps growth allocations amortized
+// O(1/len) per commit).
+func (t *T2SIndex) growSlab(need int) {
+	want := len(t.slab) + need
+	if want <= cap(t.slab) {
+		return
+	}
+	newCap := 2 * cap(t.slab)
+	if newCap < want {
+		newCap = want
+	}
+	if newCap < 64 {
+		newCap = 64
+	}
+	slab := make([]sparseEntry, len(t.slab), newCap)
+	copy(slab, t.slab)
+	t.slab = slab
+}
+
 // Prepare computes p'(u) for the next transaction u and returns the dense
 // normalized score vector p(u) (valid until the next Prepare call). It also
 // advances the out-degree of each input to include u, matching the online
@@ -112,8 +181,8 @@ func (t *T2SIndex) Prepare(u txgraph.Node, inputs []txgraph.Node) []float64 {
 	if t.hasPending {
 		panic(fmt.Sprintf("core: Prepare(%d) before Commit(%d)", u, t.pendingNode))
 	}
-	if int(u) != len(t.vecs) {
-		panic(fmt.Sprintf("core: out-of-order Prepare(%d), expected %d", u, len(t.vecs)))
+	if int(u) != len(t.spans) {
+		panic(fmt.Sprintf("core: out-of-order Prepare(%d), expected %d", u, len(t.spans)))
 	}
 
 	// Accumulate (1−α) Σ p'(v)/|Nout(v)| into the dense merge buffer,
@@ -126,7 +195,7 @@ func (t *T2SIndex) Prepare(u txgraph.Node, inputs []txgraph.Node) []float64 {
 				div = float64(c)
 			}
 		}
-		for _, e := range t.vecs[v] {
+		for _, e := range t.vec(v) {
 			if !t.inUse[e.shard] {
 				t.inUse[e.shard] = true
 				t.merge[e.shard] = 0
@@ -137,7 +206,10 @@ func (t *T2SIndex) Prepare(u txgraph.Node, inputs []txgraph.Node) []float64 {
 	}
 	scale := 1 - t.alpha
 	t.pending = t.pending[:0]
-	sort.Slice(t.order, func(i, j int) bool { return t.order[i] < t.order[j] })
+	// The touched-shard list is tiny (bounded by k, typically a handful);
+	// a branch-predictable insertion sort over the raw int32s beats
+	// sort.Slice's closure and interface dispatch.
+	sortShards(t.order)
 	for _, s := range t.order {
 		if v := t.merge[s] * scale; v > 0 {
 			t.pending = append(t.pending, sparseEntry{shard: s, val: v})
@@ -167,37 +239,60 @@ func (t *T2SIndex) Prepare(u txgraph.Node, inputs []txgraph.Node) []float64 {
 }
 
 // Commit finalizes the placement of the prepared node into shard s: it adds
-// the α restart mass at s, truncates, and stores p'(u). The caller is
-// responsible for also recording the decision in the Assignment (the
-// placers in this package do both).
+// the α restart mass at s, truncates, and appends p'(u) to the slab arena.
+// The caller is responsible for also recording the decision in the
+// Assignment (the placers in this package do both).
 func (t *T2SIndex) Commit(u txgraph.Node, shard int) {
 	if !t.hasPending || t.pendingNode != u {
 		panic(fmt.Sprintf("core: Commit(%d) without matching Prepare", u))
 	}
-	vec := make([]sparseEntry, 0, len(t.pending)+1)
+	t.growSlab(len(t.pending) + 1)
+	off := len(t.slab)
+	s32 := int32(shard)
 	added := false
 	for _, e := range t.pending {
-		if int(e.shard) == shard {
-			e.val += t.alpha
-			added = true
+		if !added {
+			if e.shard == s32 {
+				e.val += t.alpha
+				added = true
+			} else if e.shard > s32 {
+				t.slab = append(t.slab, sparseEntry{shard: s32, val: t.alpha})
+				added = true
+			}
 		}
-		vec = append(vec, e)
+		t.slab = append(t.slab, e)
 	}
 	if !added {
-		vec = insertSorted(vec, sparseEntry{shard: int32(shard), val: t.alpha})
+		t.slab = append(t.slab, sparseEntry{shard: s32, val: t.alpha})
 	}
 	if t.truncate > 0 {
-		vec = truncateVec(vec, t.truncate)
+		vec := t.slab[off:]
+		var max float64
+		for _, e := range vec {
+			if e.val > max {
+				max = e.val
+			}
+		}
+		threshold := max * t.truncate
+		w := off
+		for _, e := range vec {
+			if e.val >= threshold {
+				t.slab[w] = e
+				w++
+			}
+		}
+		t.slab = t.slab[:w]
 	}
-	t.vecs = append(t.vecs, vec)
+	t.spans = append(t.spans, vecSpan{off: off, n: int32(len(t.slab) - off)})
 	t.outDeg = append(t.outDeg, 0)
 	t.hasPending = false
 }
 
 // Vector returns a copy of p'(v) for inspection.
 func (t *T2SIndex) Vector(v txgraph.Node) map[int]float64 {
-	out := make(map[int]float64, len(t.vecs[v]))
-	for _, e := range t.vecs[v] {
+	vec := t.vec(v)
+	out := make(map[int]float64, len(vec))
+	for _, e := range vec {
 		out[int(e.shard)] = e.val
 	}
 	return out
@@ -206,36 +301,20 @@ func (t *T2SIndex) Vector(v txgraph.Node) map[int]float64 {
 // OutDegree returns the current online out-degree of v.
 func (t *T2SIndex) OutDegree(v txgraph.Node) int { return int(t.outDeg[v]) }
 
-func insertSorted(vec []sparseEntry, e sparseEntry) []sparseEntry {
-	pos := len(vec)
-	for i, x := range vec {
-		if x.shard > e.shard {
-			pos = i
-			break
-		}
-	}
-	vec = append(vec, sparseEntry{})
-	copy(vec[pos+1:], vec[pos:])
-	vec[pos] = e
-	return vec
-}
+// SlabLen reports how many sparse entries the arena currently holds
+// (diagnostics, memory accounting).
+func (t *T2SIndex) SlabLen() int { return len(t.slab) }
 
-// truncateVec drops entries below rel·max to bound memory; the surviving
-// mass is untouched (no renormalization), matching the paper's update rule
-// as closely as possible.
-func truncateVec(vec []sparseEntry, rel float64) []sparseEntry {
-	var max float64
-	for _, e := range vec {
-		if e.val > max {
-			max = e.val
+// sortShards is an allocation-free insertion sort for the small touched-
+// shard lists Prepare produces.
+func sortShards(a []int32) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
 		}
+		a[j+1] = x
 	}
-	threshold := max * rel
-	out := vec[:0]
-	for _, e := range vec {
-		if e.val >= threshold {
-			out = append(out, e)
-		}
-	}
-	return out
 }

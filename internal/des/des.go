@@ -5,81 +5,71 @@
 // in non-decreasing timestamp order. Determinism is guaranteed by breaking
 // timestamp ties with a monotonically increasing sequence number, so two
 // runs with the same inputs produce identical schedules.
+//
+// The queue is a value-based 4-ary min-heap over (time, seq) keys, and
+// event payloads (name, callback) live in a free-list pool addressed by
+// slot: Schedule and the pop in Run touch no interface methods and allocate
+// nothing steady-state. Handles are generation-counted — a Handle whose
+// pool slot has been recycled for a newer event cancels nothing.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 	"time"
 )
 
-// Event is a scheduled callback. The callback receives the simulator so it
-// can schedule follow-up events.
-type Event struct {
-	// At is the virtual time at which the event fires.
-	At time.Duration
-	// Name is an optional label used in traces and error messages.
-	Name string
-	// Fn is invoked when the event fires. A nil Fn is a no-op event.
-	Fn func(sim *Simulator)
-
-	seq   uint64
-	index int
-	dead  bool
+// heapNode is one queue entry: the ordering key plus the pool slot holding
+// the event's payload. Keeping nodes by value (16+8 bytes) makes sift
+// operations straight memory moves with no pointer chasing or interface
+// dispatch.
+type heapNode struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *Event }
+// poolEvent is the payload of one scheduled event, stored in the
+// simulator's slot pool and recycled through a free list after the event
+// fires or its cancellation is collected.
+type poolEvent struct {
+	name string
+	fn   func(*Simulator)
+	gen  uint32
+	dead bool
+}
 
-// Cancel marks the event dead; it will be skipped when dequeued.
-// Cancelling an already-fired or already-cancelled event is a no-op.
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and cancels nothing.
+type Handle struct {
+	s    *Simulator
+	slot int32
+	gen  uint32
+}
+
+// Cancel marks the event dead; it will be skipped and its slot reclaimed
+// when dequeued. Cancelling an already-fired or already-cancelled event is
+// a no-op: the slot's generation counter advances on every reuse, so a
+// stale Handle can never kill the event that now occupies its slot.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.dead = true
+	if h.s == nil || h.slot < 0 || int(h.slot) >= len(h.s.pool) {
+		return
 	}
-}
-
-// eventQueue is a binary min-heap ordered by (At, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+	p := &h.s.pool[h.slot]
+	if p.gen != h.gen {
+		return
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	p.dead = true
 }
 
 // Simulator is a discrete-event simulator. The zero value is not usable;
 // construct with New.
 type Simulator struct {
 	now     time.Duration
-	queue   eventQueue
+	heap    []heapNode
+	pool    []poolEvent
+	free    []int32
 	nextSeq uint64
 	stopped bool
 
@@ -120,7 +110,7 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 
 // Pending reports how many events are queued (including cancelled ones not
 // yet dequeued).
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return len(s.heap) }
 
 // Schedule enqueues fn to run after delay. A negative delay is treated as
 // zero (the event fires at the current time, after events already queued for
@@ -138,10 +128,92 @@ func (s *Simulator) ScheduleAt(at time.Duration, name string, fn func(*Simulator
 	if at < s.now {
 		at = s.now
 	}
-	ev := &Event{At: at, Name: name, Fn: fn, seq: s.nextSeq}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.pool = append(s.pool, poolEvent{})
+		slot = int32(len(s.pool) - 1)
+	}
+	p := &s.pool[slot]
+	p.name, p.fn, p.dead = name, fn, false
+	seq := s.nextSeq
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
-	return Handle{ev: ev}
+	s.push(heapNode{at: at, seq: seq, slot: slot})
+	return Handle{s: s, slot: slot, gen: p.gen}
+}
+
+// release recycles a pool slot after its event fired or its cancellation
+// was collected. Bumping the generation invalidates outstanding Handles.
+func (s *Simulator) release(slot int32) {
+	p := &s.pool[slot]
+	p.gen++
+	p.fn = nil
+	p.name = ""
+	p.dead = false
+	s.free = append(s.free, slot)
+}
+
+// nodeLess orders heap nodes by (time, sequence) — the determinism
+// contract.
+func nodeLess(a, b heapNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push sifts a node up a 4-ary heap using a hole (no pairwise swaps).
+func (s *Simulator) push(n heapNode) {
+	s.heap = append(s.heap, heapNode{})
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !nodeLess(n, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		i = parent
+	}
+	s.heap[i] = n
+}
+
+// popMin removes and returns the minimum node. The 4-ary layout halves the
+// tree depth of a binary heap; the wider sibling scan stays within one
+// cache line of heapNodes.
+func (s *Simulator) popMin() heapNode {
+	h := s.heap
+	min := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	s.heap = h
+	if len(h) > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= len(h) {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > len(h) {
+				end = len(h)
+			}
+			for j := c + 1; j < end; j++ {
+				if nodeLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !nodeLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return min
 }
 
 // Stop makes Run return after the current event completes.
@@ -158,20 +230,25 @@ func (s *Simulator) Run() error {
 // event's time (it does not jump to the deadline).
 func (s *Simulator) RunUntil(deadline time.Duration) error {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.At > deadline {
+	for len(s.heap) > 0 && !s.stopped {
+		if s.heap[0].at > deadline {
 			return nil
 		}
-		heap.Pop(&s.queue)
-		if next.dead {
+		next := s.popMin()
+		p := &s.pool[next.slot]
+		if p.dead {
+			s.release(next.slot)
 			continue
 		}
-		if next.At < s.now {
+		if next.at < s.now {
 			// Heap invariant violated; indicates kernel corruption.
-			return fmt.Errorf("des: event %q at %v is before clock %v", next.Name, next.At, s.now)
+			return fmt.Errorf("des: event %q at %v is before clock %v", p.name, next.at, s.now)
 		}
-		s.now = next.At
+		fn := p.fn
+		// Release before invoking so the callback's own Schedule calls can
+		// reuse the slot; the generation bump keeps stale Handles inert.
+		s.release(next.slot)
+		s.now = next.at
 		s.executed++
 		if s.MaxEvents != 0 && s.executed > s.MaxEvents {
 			return fmt.Errorf("%w (%d events)", ErrEventBudget, s.MaxEvents)
@@ -187,8 +264,8 @@ func (s *Simulator) RunUntil(deadline time.Duration) error {
 				}
 			}
 		}
-		if next.Fn != nil {
-			next.Fn(s)
+		if fn != nil {
+			fn(s)
 		}
 	}
 	return nil
@@ -197,15 +274,19 @@ func (s *Simulator) RunUntil(deadline time.Duration) error {
 // Step executes exactly one live event and returns true, or returns false if
 // the queue is empty.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		next := heap.Pop(&s.queue).(*Event)
-		if next.dead {
+	for len(s.heap) > 0 {
+		next := s.popMin()
+		p := &s.pool[next.slot]
+		if p.dead {
+			s.release(next.slot)
 			continue
 		}
-		s.now = next.At
+		fn := p.fn
+		s.release(next.slot)
+		s.now = next.at
 		s.executed++
-		if next.Fn != nil {
-			next.Fn(s)
+		if fn != nil {
+			fn(s)
 		}
 		return true
 	}

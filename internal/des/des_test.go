@@ -244,3 +244,81 @@ func TestPropertyOrderIsStableSort(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Steady-state Schedule + fire must not allocate: heap nodes are values,
+// payloads recycle through the slot pool, and no interface boxing happens
+// on either path.
+func TestScheduleFireZeroAllocs(t *testing.T) {
+	sim := New()
+	var loop func(*Simulator)
+	remaining := 0
+	loop = func(s *Simulator) {
+		if remaining > 0 {
+			remaining--
+			s.Schedule(time.Millisecond, "tick", loop)
+		}
+	}
+	// Warm up pool, free list, and heap capacity.
+	remaining = 512
+	sim.Schedule(0, "tick", loop)
+	if err := sim.Run(); err != nil {
+		t.Fatalf("warm-up Run: %v", err)
+	}
+	allocs := testing.AllocsPerRun(400, func() {
+		remaining = 8
+		sim.Schedule(0, "tick", loop)
+		if err := sim.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// A Handle kept across its event's firing must not cancel the unrelated
+// event that later reuses the same pool slot: generations make stale
+// handles inert.
+func TestCancelAfterReuseCannotKillWrongEvent(t *testing.T) {
+	sim := New()
+	firedA, firedB := false, false
+	stale := sim.Schedule(time.Second, "a", func(*Simulator) { firedA = true })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !firedA {
+		t.Fatal("event a did not fire")
+	}
+	// Slot of "a" is back on the free list; "b" reuses it.
+	hB := sim.Schedule(time.Second, "b", func(*Simulator) { firedB = true })
+	if hB.slot != stale.slot {
+		t.Fatalf("test premise broken: b got slot %d, a had %d", hB.slot, stale.slot)
+	}
+	stale.Cancel() // stale: must be a no-op
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !firedB {
+		t.Fatal("stale Cancel killed the event that reused the slot")
+	}
+}
+
+// Cancelling before the slot is reused still works, including when the
+// cancelled slot is recycled by a later schedule.
+func TestCancelThenReuseSlot(t *testing.T) {
+	sim := New()
+	ran := ""
+	h := sim.Schedule(time.Second, "dead", func(*Simulator) { ran += "dead" })
+	h.Cancel()
+	sim.Schedule(2*time.Second, "live", func(*Simulator) { ran += "live" })
+	if err := sim.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ran != "live" {
+		t.Fatalf("ran = %q, want only the live event", ran)
+	}
+	// Double-cancel and post-fire cancel stay no-ops.
+	h.Cancel()
+	var zero Handle
+	zero.Cancel()
+}

@@ -77,6 +77,28 @@ func (a *Assignment) Placed(v txgraph.Node) bool { return int(v) < len(a.shards)
 // Count returns the number of transactions in shard s.
 func (a *Assignment) Count(s int) int64 { return a.counts[s] }
 
+// CountsView returns the live per-shard tally backing the assignment. The
+// returned slice is owned by the Assignment: callers must treat it as
+// read-only and must not hold it across Place calls that could be
+// concurrent. It exists so per-transaction argmax scans avoid k accessor
+// calls (and their bounds checks) on the placement hot path.
+func (a *Assignment) CountsView() []int64 { return a.counts }
+
+// CapacityBound computes the per-shard capacity (1+eps)·n/k used by the
+// capacity-bounded strategies (§IV-B). The ratio is computed in floating
+// point before scaling — truncating n/k first would under-size the bound
+// whenever n is not divisible by k.
+func CapacityBound(n, k int, eps float64) int64 {
+	if k < 1 {
+		k = 1
+	}
+	capPerShard := int64(float64(n) / float64(k) * (1 + eps))
+	if capPerShard < 1 {
+		capPerShard = 1
+	}
+	return capPerShard
+}
+
 // Counts returns a copy of all shard sizes.
 func (a *Assignment) Counts() []int64 {
 	out := make([]int64, a.k)
@@ -183,47 +205,52 @@ func (r *Random) Name() string { return "OmniLedger" }
 // greedy solution will help reduce the number of cross-TXs"); we implement
 // the evident intent of maximizing coverage.
 type Greedy struct {
-	a   *Assignment
-	cap int64
+	a        *Assignment
+	cap      int64
+	coverage []int // reusable per-Place input-coverage tally
 }
 
 // NewGreedy returns a greedy placer for k shards over an expected stream of
 // n transactions with imbalance tolerance eps (paper: 0.1).
 func NewGreedy(k, n int, eps float64) *Greedy {
-	capPerShard := int64(float64(n/k) * (1 + eps))
-	if capPerShard < 1 {
-		capPerShard = 1
+	a := NewAssignment(k, n)
+	return &Greedy{
+		a:        a,
+		cap:      CapacityBound(n, k, eps),
+		coverage: make([]int, a.k),
 	}
-	return &Greedy{a: NewAssignment(k, n), cap: capPerShard}
 }
 
-// Place implements Placer.
+// Place implements Placer. One fused pass tracks the capacity-eligible
+// argmax and the least-loaded fallback together.
 func (g *Greedy) Place(u txgraph.Node, inputs []txgraph.Node) int {
-	k := g.a.k
-	coverage := make([]int, k)
+	for j := range g.coverage {
+		g.coverage[j] = 0
+	}
 	for _, v := range inputs {
-		coverage[g.a.shards[v]]++
+		g.coverage[g.a.shards[v]]++
 	}
 	best := -1
-	for j := 0; j < k; j++ {
-		if g.a.counts[j] >= g.cap {
+	bestCov := 0
+	var bestCount int64
+	least := 0
+	leastCount := g.a.counts[0]
+	for j, c := range g.a.counts {
+		if c < leastCount {
+			least, leastCount = j, c
+		}
+		if c >= g.cap {
 			continue
 		}
-		if best == -1 ||
-			coverage[j] > coverage[best] ||
-			(coverage[j] == coverage[best] && g.a.counts[j] < g.a.counts[best]) {
-			best = j
+		if best == -1 || g.coverage[j] > bestCov ||
+			(g.coverage[j] == bestCov && c < bestCount) {
+			best, bestCov, bestCount = j, g.coverage[j], c
 		}
 	}
 	if best == -1 {
 		// Every shard is at capacity (possible only when n was
 		// underestimated); fall back to the least loaded.
-		best = 0
-		for j := 1; j < k; j++ {
-			if g.a.counts[j] < g.a.counts[best] {
-				best = j
-			}
-		}
+		best = least
 	}
 	g.a.Place(u, best)
 	return best

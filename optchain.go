@@ -262,3 +262,12 @@ func RunExperiment(h *bench.Harness, name string, w io.Writer) error {
 
 // RunAllExperiments executes every experiment in canonical order.
 func RunAllExperiments(h *bench.Harness, w io.Writer) error { return bench.RunAll(h, w) }
+
+// WriteBenchBaseline measures the hot-path micro-benchmarks (T2S score
+// maintenance, full placement, the event kernel) and one quick end-to-end
+// simulation per strategy × protocol, then writes the machine-readable
+// JSON report tracked as BENCH_baseline.json (`make bench-json`). See
+// PERFORMANCE.md for the schema and how the numbers are used.
+func WriteBenchBaseline(h *bench.Harness, w io.Writer) error {
+	return bench.WriteBaselineJSON(h, w)
+}
