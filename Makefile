@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt fmt-check bench-smoke bench-json examples ci
+.PHONY: all build test test-race vet fmt fmt-check bench-smoke bench-json examples scenario-smoke fuzz-smoke ci
 
 all: build
 
@@ -40,5 +40,17 @@ bench-json:
 # Build (not run) every example and cmd binary.
 examples:
 	$(GO) build ./examples/... ./cmd/...
+
+# Every workload scenario must run end-to-end through a small simulation.
+scenario-smoke:
+	$(GO) run ./cmd/optchain-sim -workload hotspot -txs 5000 -validators 8
+	$(GO) run ./cmd/optchain-sim -workload burst -txs 5000 -validators 8
+	$(GO) run ./cmd/optchain-sim -workload adversarial -txs 5000 -validators 8
+	$(GO) run ./cmd/optchain-sim -workload drift -txs 5000 -validators 8
+	$(GO) run ./cmd/optchain-sim -workload bitcoin -txs 5000 -validators 8
+
+# Short fuzz pass over the dataset decoder (panic-safety + round-trip).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/dataset
 
 ci: fmt-check vet build test bench-smoke

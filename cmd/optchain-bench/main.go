@@ -9,14 +9,18 @@
 //	optchain-bench -experiment fig3 -n 100000 -validators 400
 //	optchain-bench -experiment fig3 -protocol rapidchain
 //	optchain-bench -experiment fig4 -strategies OptChain,OmniLedger
+//	optchain-bench -experiment scenarios                     # workload lab
+//	optchain-bench -experiment scenarios -workloads hotspot,adversarial
 //	optchain-bench -quick -experiment all       # fast smoke pass
 //
-// The -strategies and -protocol flags resolve through the open registry,
-// so strategies/protocols added with optchain.RegisterStrategy /
-// RegisterProtocol are selectable here too. Experiment names: fig2 table1
-// table2 fig3..fig11 ablation-{l2s,alpha,weight,backend}. See DESIGN.md
-// for the experiment index and EXPERIMENTS.md for recorded paper-vs-
-// measured results.
+// The -strategies, -protocol, and -workloads flags resolve through the open
+// registries, so strategies/protocols/workloads added with
+// optchain.RegisterStrategy / RegisterProtocol / RegisterWorkload are
+// selectable here too. Experiment names: fig2 table1 table2 fig3..fig11
+// scenarios ablation-{l2s,alpha,weight,backend}. The scenarios experiment
+// sweeps every workload scenario (hot-spot skew, bursts, drift,
+// adversarial) against the strategy set. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
 //
 // -baseline-json FILE measures the hot-path micro-benchmarks and one quick
 // simulation per strategy × protocol, and writes the machine-readable
@@ -51,6 +55,7 @@ func run() int {
 		quick      = flag.Bool("quick", false, "shrink all grids for a fast smoke pass")
 		protocol   = flag.String("protocol", "", "commit protocol for the sweeps (default omniledger)")
 		strategies = flag.String("strategies", "", "comma-separated strategy set for the figures (default: paper's four)")
+		workloads  = flag.String("workloads", "", "comma-separated workload-scenario set for the scenarios experiment and baseline (default: all registered)")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 		baseline   = flag.String("baseline-json", "", "measure hot paths and write the JSON performance record to this file instead of running experiments")
 	)
@@ -88,6 +93,17 @@ func run() int {
 				return 2
 			}
 			params.Strategies = append(params.Strategies, optchain.Strategy(name))
+		}
+	}
+	if *workloads != "" {
+		for _, name := range strings.Split(*workloads, ",") {
+			name = strings.TrimSpace(name)
+			if !optchain.HasWorkload(name) {
+				fmt.Fprintf(os.Stderr, "unknown workload %q; registered: %s\n",
+					name, strings.Join(optchain.Workloads(), " "))
+				return 2
+			}
+			params.Workloads = append(params.Workloads, name)
 		}
 	}
 

@@ -8,11 +8,17 @@
 //
 //	optchain-sim -shards 16 -rate 4000 -strategy OptChain
 //	optchain-sim -shards 8 -rate 2000 -strategy OmniLedger -protocol rapidchain
+//	optchain-sim -workload hotspot -txs 50000
+//	optchain-sim -workload "burst:boost=12,onmean=600" -strategy OptChain
 //	optchain-sim -shards 16 -rate 6000 -cpuprofile cpu.out -memprofile mem.out
 //	optchain-sim -list
 //
-// The -cpuprofile, -memprofile, and -trace flags capture runtime profiles
-// of a run without a rebuild (see PERFORMANCE.md).
+// -workload selects a named scenario ("name[:knob=value,...]" — see -list
+// and the "Workload scenarios" section of the package docs) instead of the
+// default calibrated Bitcoin-like dataset; scenario runs stream one
+// transaction per issue event and never materialize a dataset. The
+// -cpuprofile, -memprofile, and -trace flags capture runtime profiles of a
+// run without a rebuild (see PERFORMANCE.md).
 package main
 
 import (
@@ -34,7 +40,9 @@ func main() {
 
 func run() int {
 	var (
-		n          = flag.Int("n", 60_000, "number of transactions")
+		n          = flag.Int("n", 0, "deprecated alias of -txs")
+		txs        = flag.Int("txs", 0, "number of transactions (default 60000)")
+		wl         = flag.String("workload", "", "workload scenario name[:knob=value,...] (see -list); streams instead of generating a dataset")
 		seed       = flag.Int64("seed", 1, "random seed")
 		shards     = flag.Int("shards", 16, "number of shards")
 		validators = flag.Int("validators", 400, "validators per shard")
@@ -55,7 +63,18 @@ func run() int {
 	if *list {
 		fmt.Printf("strategies: %s\n", strings.Join(optchain.Strategies(), " "))
 		fmt.Printf("protocols:  %s\n", strings.Join(optchain.Protocols(), " "))
+		fmt.Printf("workloads:  %s\n", strings.Join(optchain.Workloads(), " "))
 		return 0
+	}
+	count := 60_000
+	switch {
+	case *txs > 0 && *n > 0 && *txs != *n:
+		fmt.Fprintf(os.Stderr, "optchain-sim: -n %d conflicts with -txs %d (drop the deprecated -n)\n", *n, *txs)
+		return 2
+	case *txs > 0:
+		count = *txs
+	case *n > 0:
+		count = *n
 	}
 	if *placer != "" {
 		strategySet := false
@@ -82,17 +101,8 @@ func run() int {
 		}
 	}()
 
-	cfg := optchain.DatasetDefaults()
-	cfg.N = *n
-	cfg.Seed = *seed
-	d, err := optchain.GenerateDataset(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
-		return 1
-	}
-
 	opts := []optchain.Option{
-		optchain.WithDataset(d),
+		optchain.WithTxs(count),
 		optchain.WithShards(*shards),
 		optchain.WithValidators(*validators),
 		optchain.WithRate(*rate),
@@ -102,6 +112,14 @@ func run() int {
 		optchain.WithExactL2S(*exactL2S),
 		optchain.WithUTXOValidation(*validate),
 		optchain.WithMaxSimTime(*maxSim),
+	}
+	if *wl != "" {
+		name, knobs, err := optchain.ParseWorkloadSpec(*wl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
+			return 2
+		}
+		opts = append(opts, optchain.WithWorkload(name, knobs))
 	}
 	if *progress {
 		opts = append(opts, optchain.WithProgress(func(s optchain.MetricsSnapshot) {

@@ -1,17 +1,29 @@
-// Command tangen generates a synthetic Bitcoin-like transaction dataset
-// (calibrated to the TaN-network statistics of the paper's Fig. 2) and
-// writes it in the binary stream format understood by the rest of the
-// toolchain.
+// Command tangen generates a synthetic transaction dataset and writes it in
+// the binary stream format understood by the rest of the toolchain. The
+// default is the calibrated Bitcoin-like generator (TaN-network statistics
+// of the paper's Fig. 2); -workload materializes any registered scenario
+// instead (hotspot, burst, adversarial, drift, ... — see -list), with knobs
+// passed inline.
 //
 // Usage:
 //
 //	tangen -n 1000000 -seed 7 -o txs.tan
+//	tangen -workload "hotspot:exp=1.5" -n 200000 -o hot.tan
+//	tangen -workload adversarial -shards 16 -n 100000 -o adv.tan
+//	tangen -list
+//
+// The dedicated -communities/-intra/-hub-every/-hub-fanout flags apply to
+// the default Bitcoin generator only; scenario generators take their knobs
+// through the -workload spec. Feedback-aware scenarios (adversarial)
+// materialize against their hash-placement fallback — the assignment
+// OmniLedger would produce for -shards shards.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"optchain"
 )
@@ -25,22 +37,45 @@ func run() int {
 		n         = flag.Int("n", 100_000, "number of transactions")
 		seed      = flag.Int64("seed", 1, "random seed")
 		out       = flag.String("o", "", "output file (default stdout)")
-		comms     = flag.Int("communities", 64, "active wallet communities")
-		intra     = flag.Float64("intra", 1.0, "probability an input is drawn from the owner community")
-		hubEvery  = flag.Int("hub-every", 250, "hub (batch payer) cadence in transactions")
-		hubFanout = flag.Int("hub-fanout", 60, "hub transaction output bound")
+		wl        = flag.String("workload", "", "workload scenario name[:knob=value,...] (default: calibrated bitcoin generator)")
+		shards    = flag.Int("shards", 16, "shard-count hint for feedback-aware workloads")
+		comms     = flag.Int("communities", 64, "active wallet communities (bitcoin generator)")
+		intra     = flag.Float64("intra", 1.0, "probability an input is drawn from the owner community (bitcoin generator)")
+		hubEvery  = flag.Int("hub-every", 250, "hub (batch payer) cadence in transactions (bitcoin generator)")
+		hubFanout = flag.Int("hub-fanout", 60, "hub transaction output bound (bitcoin generator)")
+		list      = flag.Bool("list", false, "list registered workload scenarios, then exit")
 	)
 	flag.Parse()
 
-	cfg := optchain.DatasetDefaults()
-	cfg.N = *n
-	cfg.Seed = *seed
-	cfg.Communities = *comms
-	cfg.IntraProb = *intra
-	cfg.HubEvery = *hubEvery
-	cfg.HubFanout = *hubFanout
+	if *list {
+		fmt.Printf("workloads: %s\n", strings.Join(optchain.Workloads(), " "))
+		return 0
+	}
 
-	d, err := optchain.GenerateDataset(cfg)
+	var d *optchain.Dataset
+	var err error
+	if *wl != "" {
+		var name string
+		var knobs map[string]float64
+		name, knobs, err = optchain.ParseWorkloadSpec(*wl)
+		if err == nil {
+			d, err = optchain.MaterializeWorkload(name, optchain.WorkloadParams{
+				N:      *n,
+				Seed:   *seed,
+				Shards: *shards,
+				Knobs:  knobs,
+			})
+		}
+	} else {
+		cfg := optchain.DatasetDefaults()
+		cfg.N = *n
+		cfg.Seed = *seed
+		cfg.Communities = *comms
+		cfg.IntraProb = *intra
+		cfg.HubEvery = *hubEvery
+		cfg.HubFanout = *hubFanout
+		d, err = optchain.GenerateDataset(cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tangen: %v\n", err)
 		return 1

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	tanstats -i txs.tan
-//	tanstats -n 200000          # generate on the fly
+//	tanstats -n 200000                  # generate on the fly
+//	tanstats -workload hotspot -n 50000 # characterize a scenario stream
 package main
 
 import (
@@ -22,15 +23,18 @@ func main() {
 
 func run() int {
 	var (
-		in   = flag.String("i", "", "input dataset file (omit to generate)")
-		n    = flag.Int("n", 200_000, "transactions to generate when -i is not set")
-		seed = flag.Int64("seed", 1, "generation seed")
+		in     = flag.String("i", "", "input dataset file (omit to generate)")
+		n      = flag.Int("n", 200_000, "transactions to generate when -i is not set")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		wl     = flag.String("workload", "", "workload scenario name[:knob=value,...] to characterize (default: calibrated bitcoin generator)")
+		shards = flag.Int("shards", 16, "shard-count hint for feedback-aware workloads")
 	)
 	flag.Parse()
 
 	var d *optchain.Dataset
 	var err error
-	if *in != "" {
+	switch {
+	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
@@ -42,7 +46,20 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
 			return 1
 		}
-	} else {
+	case *wl != "":
+		var name string
+		var knobs map[string]float64
+		name, knobs, err = optchain.ParseWorkloadSpec(*wl)
+		if err == nil {
+			d, err = optchain.MaterializeWorkload(name, optchain.WorkloadParams{
+				N: *n, Seed: *seed, Shards: *shards, Knobs: knobs,
+			})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
+			return 1
+		}
+	default:
 		cfg := optchain.DatasetDefaults()
 		cfg.N = *n
 		cfg.Seed = *seed

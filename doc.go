@@ -57,13 +57,51 @@
 //	res, err := eng.Run(ctx)
 //	fmt.Println(res.AvgLatency, res.ThroughputTPS)
 //
+// # Workload scenarios
+//
+// The paper evaluates on a single Bitcoin-trace-shaped stream; this package
+// adds a pluggable scenario layer so placement is measured where it wins
+// AND where it breaks. WithWorkload selects a named generator; scenarios
+// are streaming — Run pulls one transaction per issue event and
+// PlaceWorkload chunks through PlaceBatch, so million-user-scale streams
+// never materialize a Dataset:
+//
+//	eng, _ := optchain.New(optchain.WithWorkload("hotspot", map[string]float64{"exp": 1.5}))
+//	stats, err := eng.PlaceWorkload(1_000_000)
+//
+// The built-in scenarios, with the placement stress each one targets:
+//
+//   - "bitcoin": the calibrated generator (Fig. 2 TaN statistics) — the
+//     paper's baseline workload.
+//   - "hotspot": Zipf-skewed wallet popularity (knobs: wallets, exp,
+//     maxins, fanout) — concentrated lineage mass; stresses the capacity
+//     bound against the T2S affinity.
+//   - "burst": Markov-modulated flash crowds (knobs: onmean, offmean,
+//     boost, fanout) — arrival-rate spikes on a tight lineage cluster;
+//     stresses per-shard queues and the L2S latency term.
+//   - "adversarial": feedback-driven attack (knobs: spread, fanout) —
+//     inputs drawn from distinct least-loaded shards' recent outputs, a
+//     placement-independent cross-shard floor. Implements
+//     WorkloadObserver; drivers feed placement decisions back.
+//   - "drift": rotating community structure (knobs: communities, period,
+//     maxins, fanout) — periodically invalidates accumulated p'(v) mass;
+//     stresses adaptation speed of history-weighted fitness.
+//
+// RegisterWorkload adds new scenarios; Workloads enumerates them. Every
+// scenario is selectable by the -workload flags of optchain-sim, tangen,
+// and tanstats (spec syntax "name:knob=value,..."), swept by the
+// optchain-bench "scenarios" experiment, and tracked per-PR in the
+// BENCH_baseline.json scenarios section. MaterializeWorkload converts any
+// scenario into a Dataset when a full stream is genuinely needed.
+//
 // # Registries
 //
-// Strategies and protocols resolve by name through an open registry.
-// RegisterStrategy and RegisterProtocol add new ones, which become
-// selectable everywhere a name is accepted — WithStrategy/WithProtocol,
-// SimConfig, and the -strategy/-protocol flags of the cmd/ binaries;
-// Strategies and Protocols enumerate what is registered. The built-ins are
+// Strategies, protocols, and workload scenarios resolve by name through
+// open registries. RegisterStrategy, RegisterProtocol, and RegisterWorkload
+// add new ones, which become selectable everywhere a name is accepted —
+// WithStrategy/WithProtocol/WithWorkload, SimConfig, and the
+// -strategy/-protocol/-workload flags of the cmd/ binaries; Strategies,
+// Protocols, and Workloads enumerate what is registered. The built-ins are
 // the paper's: "OptChain", "T2S", "Greedy", "Metis", and the hash-random
 // "OmniLedger" placement, over the "omniledger" and "rapidchain" commit
 // backends.

@@ -13,6 +13,7 @@ import (
 	"optchain/internal/registry"
 	"optchain/internal/sim"
 	"optchain/internal/txgraph"
+	"optchain/internal/workload"
 )
 
 // Typed errors returned by the Engine API. Match them with errors.Is; none
@@ -22,6 +23,9 @@ var (
 	ErrUnknownStrategy = registry.ErrUnknownStrategy
 	// ErrUnknownProtocol reports a protocol name with no registered factory.
 	ErrUnknownProtocol = registry.ErrUnknownProtocol
+	// ErrUnknownWorkload reports a workload scenario name with no
+	// registered factory.
+	ErrUnknownWorkload = workload.ErrUnknownWorkload
 	// ErrBadShard reports a shard index outside [0, K).
 	ErrBadShard = errors.New("optchain: shard index out of range")
 	// ErrBadInput reports a stream transaction whose input refers to a
@@ -82,6 +86,8 @@ type Engine struct {
 	protocol      string
 	shards        int
 	dataset       *Dataset
+	workloadName  string
+	workloadKnobs map[string]float64
 	txs           int
 	rate          float64
 	seed          int64
@@ -160,6 +166,32 @@ func WithDataset(d *Dataset) Option {
 			return fmt.Errorf("%w: WithDataset(nil)", ErrBadOption)
 		}
 		e.dataset = d
+		return nil
+	}
+}
+
+// WithWorkload selects a named workload scenario (see Workloads) as the
+// engine's transaction stream, with optional generator-specific knobs —
+// instead of a materialized dataset. Scenario runs are streaming: Run pulls
+// one transaction per issue event and PlaceWorkload batches through
+// PlaceBatch, so million-user-scale streams never pre-build a Dataset.
+// WithTxs sizes the stream (default 20000); feedback-aware scenarios
+// (adversarial) receive every placement decision back. WithWorkload and
+// WithDataset are mutually exclusive.
+func WithWorkload(name string, knobs map[string]float64) Option {
+	return func(e *Engine) error {
+		if strings.TrimSpace(name) == "" {
+			return fmt.Errorf("%w: WithWorkload: empty name", ErrBadOption)
+		}
+		e.workloadName = name
+		if len(knobs) > 0 {
+			e.workloadKnobs = make(map[string]float64, len(knobs))
+			for k, v := range knobs {
+				e.workloadKnobs[k] = v
+			}
+		} else {
+			e.workloadKnobs = nil
+		}
 		return nil
 	}
 }
@@ -364,6 +396,16 @@ func New(opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("%w: WithTxs(%d) exceeds dataset length %d",
 			ErrBadOption, e.txs, e.dataset.Len())
 	}
+	if e.workloadName != "" {
+		if e.dataset != nil {
+			return nil, fmt.Errorf("%w: WithWorkload and WithDataset are mutually exclusive", ErrBadOption)
+		}
+		// Eager validation: building a throwaway source surfaces unknown
+		// scenario names and bad knobs at New instead of at Run.
+		if _, err := e.newWorkloadSource(1); err != nil {
+			return nil, err
+		}
+	}
 	// Partition entries are range-checked here rather than in the option:
 	// WithShards may legitimately apply after WithMetisPartition.
 	for i, s := range e.metisPart {
@@ -567,6 +609,76 @@ func (e *Engine) PlaceStream(txs iter.Seq[StreamTx]) (PlacementStats, error) {
 	return e.Stats(), nil
 }
 
+// newWorkloadSource builds the engine's configured scenario for an n-long
+// stream.
+func (e *Engine) newWorkloadSource(n int) (workload.Source, error) {
+	return workload.New(e.workloadName, workload.Params{
+		N:      n,
+		Seed:   e.seed,
+		Shards: e.shards,
+		Knobs:  e.workloadKnobs,
+	})
+}
+
+// PlaceWorkload streams n transactions (0 takes WithTxs, default 20000) of
+// the engine's configured workload scenario (WithWorkload) through
+// PlaceBatch and returns the cumulative placement statistics. The scenario
+// is pulled one chunk at a time — nothing is materialized — and each
+// batch's decisions are fed back to feedback-aware scenarios before the
+// next chunk is generated. Stream positions continue from transactions
+// already placed on this engine.
+func (e *Engine) PlaceWorkload(n int) (PlacementStats, error) {
+	if e.workloadName == "" {
+		return e.Stats(), fmt.Errorf("%w: PlaceWorkload requires WithWorkload", ErrBadOption)
+	}
+	if n <= 0 {
+		n = e.txs
+	}
+	if n <= 0 {
+		n = defaultRunTxs
+	}
+	src, err := e.newWorkloadSource(n)
+	if err != nil {
+		return e.Stats(), err
+	}
+	obs, _ := src.(workload.Observer)
+	base := e.Stats().Placed
+	// Capacity-bounded strategies size per-shard budgets from the stream
+	// hint; default it to this stream's length if nothing was configured.
+	e.mu.Lock()
+	if e.placer == nil && e.streamCap == 0 && e.dataset == nil {
+		e.streamCap = base + n
+	}
+	e.mu.Unlock()
+	buf := make([]StreamTx, 0, placeStreamChunk)
+	var shards []int
+	var tx workload.Tx
+	for placed := 0; placed < n; {
+		buf = buf[:0]
+		for len(buf) < placeStreamChunk && placed+len(buf) < n && src.Next(&tx) {
+			ins := make([]int, len(tx.Inputs))
+			for j, in := range tx.Inputs {
+				ins[j] = base + in.Tx
+			}
+			buf = append(buf, StreamTx{Inputs: ins, Outputs: tx.Outputs})
+		}
+		if len(buf) == 0 {
+			break
+		}
+		shards, err = e.PlaceBatch(buf, shards)
+		if obs != nil {
+			for j, s := range shards {
+				obs.Observe(placed+j, s)
+			}
+		}
+		placed += len(shards)
+		if err != nil {
+			return e.Stats(), err
+		}
+	}
+	return e.Stats(), nil
+}
+
 // Stats returns the streaming-mode placement statistics so far.
 func (e *Engine) Stats() PlacementStats {
 	e.mu.Lock()
@@ -637,7 +749,20 @@ func (e *Engine) Run(ctx context.Context) (*SimResult, error) {
 		e.mu.Unlock()
 	}()
 
-	if d == nil {
+	var src workload.Source
+	runTxs := e.txs
+	if e.workloadName != "" {
+		// Workload scenarios stream: the simulation pulls one transaction
+		// per issue event, so no Dataset is materialized.
+		if runTxs == 0 {
+			runTxs = defaultRunTxs
+		}
+		var err error
+		src, err = e.newWorkloadSource(runTxs)
+		if err != nil {
+			return nil, err
+		}
+	} else if d == nil {
 		cfg := DatasetDefaults()
 		cfg.N = e.txs
 		if cfg.N == 0 {
@@ -656,6 +781,9 @@ func (e *Engine) Run(ctx context.Context) (*SimResult, error) {
 
 	part := e.metisPart
 	if part == nil && strings.EqualFold(e.strategy, "Metis") {
+		if d == nil {
+			return nil, fmt.Errorf("%w: the Metis strategy replays an offline partition and needs a materialized dataset, not a streaming workload", ErrBadOption)
+		}
 		n := e.txs
 		if n == 0 || n > d.Len() {
 			n = d.Len()
@@ -669,7 +797,8 @@ func (e *Engine) Run(ctx context.Context) (*SimResult, error) {
 
 	simCfg := sim.Config{
 		Dataset:       d,
-		Txs:           e.txs,
+		Source:        src,
+		Txs:           runTxs,
 		Shards:        e.shards,
 		Validators:    e.validators,
 		Rate:          e.rate,

@@ -1,0 +1,157 @@
+package optchain_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"optchain"
+)
+
+func TestWithWorkloadValidation(t *testing.T) {
+	if _, err := optchain.New(optchain.WithWorkload("no-such-scenario", nil)); !errors.Is(err, optchain.ErrUnknownWorkload) {
+		t.Fatalf("unknown workload error = %v", err)
+	}
+	if _, err := optchain.New(optchain.WithWorkload("", nil)); !errors.Is(err, optchain.ErrBadOption) {
+		t.Fatalf("empty workload error = %v", err)
+	}
+	if _, err := optchain.New(optchain.WithWorkload("hotspot", map[string]float64{"bogus": 1})); err == nil {
+		t.Fatal("unknown knob accepted")
+	}
+	d, err := optchain.GenerateDataset(optchain.DatasetConfig{N: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := optchain.New(
+		optchain.WithDataset(d),
+		optchain.WithWorkload("hotspot", nil),
+	); !errors.Is(err, optchain.ErrBadOption) {
+		t.Fatalf("dataset+workload conflict error = %v", err)
+	}
+}
+
+func TestWorkloadsRegistered(t *testing.T) {
+	names := optchain.Workloads()
+	if len(names) < 5 {
+		t.Fatalf("Workloads() = %v, want >= 5", names)
+	}
+	for _, n := range []string{"bitcoin", "hotspot", "burst", "adversarial", "drift"} {
+		if !optchain.HasWorkload(n) {
+			t.Errorf("HasWorkload(%q) = false", n)
+		}
+	}
+}
+
+// TestPlaceWorkloadStreams: every registered scenario streams through
+// PlaceBatch on a fresh engine and places the full stream.
+func TestPlaceWorkloadStreams(t *testing.T) {
+	const n = 3000
+	for _, name := range optchain.Workloads() {
+		eng, err := optchain.New(
+			optchain.WithWorkload(name, nil),
+			optchain.WithShards(8),
+			optchain.WithSeed(3),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st, err := eng.PlaceWorkload(n)
+		if err != nil {
+			t.Fatalf("%s: PlaceWorkload: %v", name, err)
+		}
+		if st.Placed != n {
+			t.Fatalf("%s: placed %d of %d", name, st.Placed, n)
+		}
+		var total int64
+		for _, c := range st.ShardCounts {
+			total += c
+		}
+		if total != int64(n) {
+			t.Fatalf("%s: shard counts sum to %d", name, total)
+		}
+	}
+}
+
+// TestPlaceWorkloadWithoutConfig: PlaceWorkload requires WithWorkload.
+func TestPlaceWorkloadWithoutConfig(t *testing.T) {
+	eng, err := optchain.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PlaceWorkload(100); !errors.Is(err, optchain.ErrBadOption) {
+		t.Fatalf("error = %v, want ErrBadOption", err)
+	}
+}
+
+// TestRunWorkloadEndToEnd: Engine.Run drives a streaming scenario through
+// the full simulation without a dataset.
+func TestRunWorkloadEndToEnd(t *testing.T) {
+	for _, name := range []string{"hotspot", "adversarial"} {
+		eng, err := optchain.New(
+			optchain.WithWorkload(name, nil),
+			optchain.WithShards(4),
+			optchain.WithTxs(1500),
+			optchain.WithRate(500),
+			optchain.WithValidators(8),
+			optchain.WithShardTuning(optchain.ShardConfig{
+				BlockTxs:     100,
+				MaxBlockWait: 500 * time.Millisecond,
+			}),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := eng.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s: Run: %v", name, err)
+		}
+		if res.Committed != 1500 {
+			t.Fatalf("%s: committed %d of %d", name, res.Committed, res.Total)
+		}
+	}
+}
+
+// TestRunWorkloadMetisRejected: the Metis replay strategy needs a
+// materialized dataset; streaming scenarios must be rejected clearly.
+func TestRunWorkloadMetisRejected(t *testing.T) {
+	eng, err := optchain.New(
+		optchain.WithWorkload("hotspot", nil),
+		optchain.WithStrategy("Metis"),
+		optchain.WithTxs(500),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background()); !errors.Is(err, optchain.ErrBadOption) {
+		t.Fatalf("Metis-over-workload error = %v, want ErrBadOption", err)
+	}
+}
+
+// TestWorkloadAdversarialBeatsRandomBaseline: the adversarial scenario
+// drives the cross-shard fraction far above the bitcoin baseline for the
+// same strategy — the scenario lab's reason to exist.
+func TestWorkloadAdversarialBeatsRandomBaseline(t *testing.T) {
+	cross := func(name string) float64 {
+		eng, err := optchain.New(
+			optchain.WithWorkload(name, nil),
+			optchain.WithShards(8),
+			optchain.WithSeed(1),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.PlaceWorkload(4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.CrossFraction
+	}
+	adv, btc := cross("adversarial"), cross("bitcoin")
+	if adv <= btc {
+		t.Fatalf("adversarial cross fraction %.3f <= bitcoin %.3f under OptChain", adv, btc)
+	}
+	if adv < 0.5 {
+		t.Fatalf("adversarial cross fraction %.3f, want >= 0.5", adv)
+	}
+}

@@ -17,8 +17,8 @@ import (
 
 // BaselineSchema versions the BENCH_baseline.json layout so downstream
 // tooling (CI artifact diffing, PERFORMANCE.md tables) can detect format
-// changes.
-const BaselineSchema = "optchain-bench-baseline/v1"
+// changes. v2 added the per-workload-scenario Scenarios section.
+const BaselineSchema = "optchain-bench-baseline/v2"
 
 // Baseline is the machine-readable performance record emitted by
 // `optchain-bench -baseline-json` (and `make bench-json`). It captures the
@@ -34,6 +34,11 @@ type Baseline struct {
 	Seed        int64          `json:"seed"`
 	Micro       []BaselineItem `json:"micro"`
 	Sim         []BaselineSim  `json:"sim"`
+	// Scenarios is the per-workload-scenario section: one quick streaming
+	// simulation per scenario × strategy, so placement quality under skew,
+	// bursts, drift, and attack is tracked PR over PR alongside the
+	// single-trace numbers.
+	Scenarios []BaselineSim `json:"scenarios"`
 }
 
 // BaselineItem is one micro-benchmark: per-unit timing and allocation cost
@@ -50,6 +55,9 @@ type BaselineItem struct {
 // BaselineSim is one end-to-end simulation cell: virtual steady-state
 // throughput plus the wall-clock rate the host sustained while computing it.
 type BaselineSim struct {
+	// Workload names the scenario driving the cell (Scenarios section
+	// only; the Sim section replays the shared calibrated dataset).
+	Workload      string  `json:"workload,omitempty"`
 	Strategy      string  `json:"strategy"`
 	Protocol      string  `json:"protocol"`
 	Shards        int     `json:"shards"`
@@ -215,6 +223,36 @@ func CollectBaseline(h *Harness) (*Baseline, error) {
 				cell.TxsPerWallSec = float64(res.Committed) / wall
 			}
 			b.Sim = append(b.Sim, cell)
+		}
+	}
+
+	// Per-scenario section: OptChain vs OmniLedger-random on every workload
+	// scenario, streamed (no dataset materialization). Cells run uncached so
+	// the wall clock measures a real run.
+	for _, name := range h.scenarioNames() {
+		for _, placer := range []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom} {
+			start := time.Now()
+			res, err := h.runScenarioUncached(name, placer, sim.ProtoOmniLedger, shards, rate)
+			if err != nil {
+				return nil, fmt.Errorf("baseline scenario %s/%s: %w", name, placer, err)
+			}
+			wall := time.Since(start).Seconds()
+			cell := BaselineSim{
+				Workload:      name,
+				Strategy:      string(placer),
+				Protocol:      string(sim.ProtoOmniLedger),
+				Shards:        shards,
+				Rate:          rate,
+				Txs:           res.Total,
+				Committed:     res.Committed,
+				SteadyTPS:     res.SteadyTPS,
+				CrossFraction: res.CrossFraction,
+				WallSeconds:   wall,
+			}
+			if wall > 0 {
+				cell.TxsPerWallSec = float64(res.Committed) / wall
+			}
+			b.Scenarios = append(b.Scenarios, cell)
 		}
 	}
 	return b, nil

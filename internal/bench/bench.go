@@ -48,6 +48,10 @@ type Params struct {
 	// (default: OptChain, OmniLedger, Metis, Greedy). Names resolve through
 	// the open registry.
 	Strategies []sim.PlacerKind
+	// Workloads overrides the scenario set the `scenarios` experiment and
+	// the baseline's per-scenario section sweep (default: every registered
+	// workload scenario). Names resolve through the workload registry.
+	Workloads []string
 }
 
 func (p *Params) fillDefaults() {
@@ -269,18 +273,7 @@ func (h *Harness) Run(placer sim.PlacerKind, proto sim.ProtocolKind, shards int,
 	if err != nil {
 		return nil, err
 	}
-	// Scale the Fig. 5 window and the queue-sampling cadence with the run
-	// length: the paper's 50 s windows suit 10M-transaction runs; shorter
-	// streams need proportionally finer buckets to draw the same curves.
-	issue := time.Duration(float64(h.p.N) / rate * float64(time.Second))
-	window := issue / 12
-	if window < time.Second {
-		window = time.Second
-	}
-	sample := issue / 25
-	if sample < 500*time.Millisecond {
-		sample = 500 * time.Millisecond
-	}
+	window, sample := h.windows(rate)
 	cfg := sim.Config{
 		Dataset:          d,
 		Shards:           shards,
@@ -313,6 +306,22 @@ func (h *Harness) Run(placer sim.PlacerKind, proto sim.ProtocolKind, shards int,
 		h.mu.Unlock()
 	}
 	return res, nil
+}
+
+// windows scales the Fig. 5 commit window and the queue-sampling cadence
+// with the run length: the paper's 50 s windows suit 10M-transaction runs;
+// shorter streams need proportionally finer buckets to draw the same curves.
+func (h *Harness) windows(rate float64) (window, sample time.Duration) {
+	issue := time.Duration(float64(h.p.N) / rate * float64(time.Second))
+	window = issue / 12
+	if window < time.Second {
+		window = time.Second
+	}
+	sample = issue / 25
+	if sample < 500*time.Millisecond {
+		sample = 500 * time.Millisecond
+	}
+	return window, sample
 }
 
 // cell identifies one grid element for parallel execution, on the harness
@@ -381,6 +390,7 @@ var Experiments = map[string]func(h *Harness, w io.Writer) error{
 	"fig9":             Fig9,
 	"fig10":            Fig10,
 	"fig11":            Fig11,
+	"scenarios":        Scenarios,
 	"ablation-l2s":     AblationL2S,
 	"ablation-alpha":   AblationAlpha,
 	"ablation-weight":  AblationWeight,
@@ -402,6 +412,7 @@ func RunAll(h *Harness, w io.Writer) error {
 	order := []string{
 		"fig2", "table1", "table2",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"scenarios",
 		"ablation-l2s", "ablation-alpha", "ablation-weight", "ablation-backend",
 	}
 	for _, name := range order {

@@ -31,6 +31,60 @@ func TestNamesCoversAll(t *testing.T) {
 	}
 }
 
+func TestScenariosQuick(t *testing.T) {
+	h := NewHarness(Params{Quick: true, N: 2000, Seed: 1, Workloads: []string{"hotspot", "adversarial"}})
+	var buf bytes.Buffer
+	if err := Scenarios(h, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hotspot", "adversarial", "OptChain", "OmniLedger"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenarios report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Metis") {
+		t.Fatalf("scenarios report includes Metis, which cannot stream:\n%s", out)
+	}
+}
+
+func TestRunScenarioCachesAndRejectsMetis(t *testing.T) {
+	h := NewHarness(Params{Quick: true, N: 1500, Seed: 1})
+	a, err := h.RunScenario("burst", sim.PlacerOptChain, sim.ProtoOmniLedger, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.RunScenario("burst", sim.PlacerOptChain, sim.ProtoOmniLedger, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second RunScenario call did not hit the cache")
+	}
+	if _, err := h.RunScenario("burst", sim.PlacerMetis, sim.ProtoOmniLedger, 4, 1000); err == nil {
+		t.Fatal("Metis over a streaming scenario accepted")
+	}
+}
+
+func TestBaselineHasScenarioSection(t *testing.T) {
+	h := NewHarness(Params{Quick: true, N: 1200, Seed: 1, Workloads: []string{"hotspot"}})
+	b, err := CollectBaseline(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != BaselineSchema || !strings.HasSuffix(b.Schema, "/v2") {
+		t.Fatalf("schema = %q", b.Schema)
+	}
+	if len(b.Scenarios) != 2 {
+		t.Fatalf("scenario cells = %d, want OptChain+OmniLedger on hotspot", len(b.Scenarios))
+	}
+	for _, c := range b.Scenarios {
+		if c.Workload != "hotspot" || c.Committed == 0 || c.SteadyTPS <= 0 {
+			t.Fatalf("degenerate scenario cell: %+v", c)
+		}
+	}
+}
+
 func TestTableIQuick(t *testing.T) {
 	h := quickHarness()
 	var buf bytes.Buffer

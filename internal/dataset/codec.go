@@ -24,6 +24,12 @@ var magic = []byte("TANDS01\n")
 // ErrBadFormat reports a stream that is not a dataset encoding.
 var ErrBadFormat = errors.New("dataset: bad stream format")
 
+// maxPerTxCount bounds the per-transaction input and output counts Decode
+// accepts. Real Bitcoin transactions top out in the low thousands (block
+// size bounds them); a crafted stream claiming, say, 2^60 inputs would
+// otherwise spin reading garbage until EOF with a misleading error.
+const maxPerTxCount = 1 << 20
+
 // Encode writes the dataset to w.
 func (d *Dataset) Encode(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -88,11 +94,21 @@ func Decode(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("%w: implausible count %d", ErrBadFormat, n64)
 	}
 	n := int(n64)
-	d := newDataset(n)
+	// The count is still attacker-controlled at this point: a 10-byte
+	// stream claiming 2^31 transactions must not preallocate gigabytes.
+	// Cap the capacity hint; the columns grow as real data arrives.
+	hint := n
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	d := newDataset(hint)
 	for i := 0; i < n; i++ {
 		nIn, err := get()
 		if err != nil {
 			return nil, fmt.Errorf("%w: tx %d: %v", ErrBadFormat, i, err)
+		}
+		if nIn > maxPerTxCount {
+			return nil, fmt.Errorf("%w: tx %d: implausible input count %d (max %d)", ErrBadFormat, i, nIn, maxPerTxCount)
 		}
 		for j := uint64(0); j < nIn; j++ {
 			txi, err := get()
@@ -114,8 +130,14 @@ func Decode(r io.Reader) (*Dataset, error) {
 		}
 		d.inOff = append(d.inOff, int64(len(d.inTx)))
 		nOut, err := get()
-		if err != nil || nOut == 0 {
+		if err != nil {
 			return nil, fmt.Errorf("%w: tx %d outputs: %v", ErrBadFormat, i, err)
+		}
+		if nOut == 0 {
+			return nil, fmt.Errorf("%w: tx %d has zero outputs", ErrBadFormat, i)
+		}
+		if nOut > maxPerTxCount {
+			return nil, fmt.Errorf("%w: tx %d: implausible output count %d (max %d)", ErrBadFormat, i, nOut, maxPerTxCount)
 		}
 		for j := uint64(0); j < nOut; j++ {
 			v, err := get()

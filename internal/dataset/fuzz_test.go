@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// craft builds a stream from the magic header plus uvarint fields.
+func craft(fields ...uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic)
+	var tmp [binary.MaxVarintLen64]byte
+	for _, f := range fields {
+		n := binary.PutUvarint(tmp[:], f)
+		buf.Write(tmp[:n])
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeZeroOutputsError(t *testing.T) {
+	// One transaction: 0 inputs, then 0 outputs.
+	_, err := Decode(bytes.NewReader(craft(1, 0, 0)))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+	if !strings.Contains(err.Error(), "zero outputs") {
+		t.Fatalf("err = %q, want an explicit zero-outputs message", err)
+	}
+	if strings.Contains(err.Error(), "<nil>") {
+		t.Fatalf("err = %q still formats a nil error", err)
+	}
+}
+
+func TestDecodeImplausibleCounts(t *testing.T) {
+	// A ~20-byte stream claiming 2^60 inputs must be rejected up front with
+	// a clear message, not spin reading garbage until a misleading EOF.
+	_, err := Decode(bytes.NewReader(craft(1, 1<<60)))
+	if !errors.Is(err, ErrBadFormat) || !strings.Contains(err.Error(), "implausible input count") {
+		t.Fatalf("huge nIn err = %v", err)
+	}
+	// Same for outputs: 0 inputs, then 2^60 outputs.
+	_, err = Decode(bytes.NewReader(craft(1, 0, 1<<60)))
+	if !errors.Is(err, ErrBadFormat) || !strings.Contains(err.Error(), "implausible output count") {
+		t.Fatalf("huge nOut err = %v", err)
+	}
+}
+
+func TestAppendTxValidates(t *testing.T) {
+	d := New(4)
+	if err := d.AppendTx(nil, nil, 2, 100); err != nil {
+		t.Fatalf("coinbase append: %v", err)
+	}
+	if err := d.AppendTx([]int32{0}, []uint32{1}, 1, 40); err != nil {
+		t.Fatalf("spend append: %v", err)
+	}
+	if err := d.AppendTx([]int32{5}, []uint32{0}, 1, 1); err == nil {
+		t.Fatal("future reference accepted")
+	}
+	if err := d.AppendTx([]int32{0}, []uint32{9}, 1, 1); err == nil {
+		t.Fatal("out-of-range output slot accepted")
+	}
+	if err := d.AppendTx(nil, nil, 0, 0); err == nil {
+		t.Fatal("zero outputs accepted")
+	}
+	if err := d.AppendTx([]int32{0}, nil, 1, 1); err == nil {
+		t.Fatal("mismatched input slices accepted")
+	}
+	if d.Len() != 2 || d.NumOutputs(0) != 2 || d.NumInputs(1) != 1 {
+		t.Fatalf("built dataset shape wrong: len=%d", d.Len())
+	}
+}
+
+// FuzzDecode proves Decode never panics on arbitrary bytes, and that
+// anything it accepts re-encodes to a decodable fixed point.
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a valid encoding, truncations, and crafted headers.
+	d, err := Generate(Config{N: 60, Seed: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := d.Encode(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte("TANDS01\n"))
+	f.Add(craft(1, 0, 0))
+	f.Add(craft(1, 1<<60))
+	f.Add(craft(1 << 62))
+	f.Add(craft(3, 0, 1, 42, 1, 0, 0, 1, 7))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if got != nil {
+				t.Fatal("Decode returned both a dataset and an error")
+			}
+			return
+		}
+		var re bytes.Buffer
+		if err := got.Encode(&re); err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(re.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded stream failed: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round-trip length %d != %d", again.Len(), got.Len())
+		}
+	})
+}

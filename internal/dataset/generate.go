@@ -200,39 +200,103 @@ type generator struct {
 	commCursor int     // round-robin turnover position
 }
 
-// Generate produces a synthetic dataset.
-func Generate(cfg Config) (*Dataset, error) {
-	cfg.fillDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	g := &generator{
+func newGenerator(cfg Config) *generator {
+	return &generator{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		inTail:  stats.NewPowerLaw(cfg.InTailExp, cfg.MaxInputs-2),
 		outTail: stats.NewPowerLaw(cfg.OutTailExp, cfg.MaxOutputs-2),
 		comms:   make([][]int, cfg.Communities),
 	}
+}
+
+// Generate produces a synthetic dataset.
+func Generate(cfg Config) (*Dataset, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := newGenerator(cfg)
 	d := newDataset(cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		g.emit(d, int32(i))
+		ins, nOut, outSum, community := g.step(int32(i))
+		d.append(ins, nOut, outSum, community)
 	}
 	return d, nil
 }
 
-// emit appends transaction i to the dataset.
-func (g *generator) emit(d *Dataset, i int32) {
+// Stream is the incremental form of Generate: it emits the same calibrated
+// transaction stream one transaction at a time, with memory proportional to
+// the live UTXO set rather than the stream length. Draining a Stream built
+// from a Config reproduces Generate(cfg) exactly, transaction for
+// transaction (same RNG consumption order).
+type Stream struct {
+	g *generator
+	i int
+}
+
+// NewStream validates the config and prepares an incremental generator.
+func NewStream(cfg Config) (*Stream, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Stream{g: newGenerator(cfg)}, nil
+}
+
+// N returns the configured stream length.
+func (s *Stream) N() int { return s.g.cfg.N }
+
+// StreamTx is one transaction pulled from a Stream. The input slices are
+// owned by the Stream and reused between Next calls; callers copy what they
+// keep.
+type StreamTx struct {
+	// InTx / InIdx are parallel: input j spends output InIdx[j] of the
+	// earlier stream transaction InTx[j].
+	InTx  []int32
+	InIdx []uint32
+	// Outputs is the number of outputs created (>= 1).
+	Outputs int
+	// Value is the total value of the created outputs.
+	Value int64
+	// Community is the generator community (entity) of the transaction.
+	Community int
+}
+
+// Next fills tx with the next transaction in stream order and reports
+// whether one was produced (false once N transactions have been emitted).
+func (s *Stream) Next(tx *StreamTx) bool {
+	if s.i >= s.g.cfg.N {
+		return false
+	}
+	ins, nOut, outSum, community := s.g.step(int32(s.i))
+	s.i++
+	tx.InTx = tx.InTx[:0]
+	tx.InIdx = tx.InIdx[:0]
+	for _, r := range ins {
+		tx.InTx = append(tx.InTx, r.tx)
+		tx.InIdx = append(tx.InIdx, r.idx)
+	}
+	tx.Outputs = nOut
+	tx.Value = outSum
+	tx.Community = community
+	return true
+}
+
+// step computes transaction i and registers its outputs in the pool. The
+// caller records the returned structure (Generate appends it to a Dataset;
+// Stream.Next hands it to the puller).
+func (g *generator) step(i int32) (ins []outRef, nOut int, outSum int64, community int) {
 	// Retire one community round-robin to model entity churn; its unspent
 	// outputs remain in the global pool.
 	if int(i) > 0 && int(i)%g.cfg.TurnoverEvery == 0 {
 		g.comms[g.commCursor] = nil
 		g.commCursor = (g.commCursor + 1) % len(g.comms)
 	}
-	community := g.rng.Intn(len(g.comms))
+	community = g.rng.Intn(len(g.comms))
 	hub := int(i) > 0 && int(i)%g.cfg.HubEvery == 0
 
 	coinbase := g.live == 0 || int(i)%g.cfg.CoinbaseEvery == 0
-	var ins []outRef
 	if !coinbase {
 		nIn := g.sampleInputs()
 		if hub {
@@ -248,17 +312,15 @@ func (g *generator) emit(d *Dataset, i int32) {
 	for _, r := range ins {
 		inSum += r.value
 	}
-	nOut := g.sampleOutputs()
+	nOut = g.sampleOutputs()
 	if hub {
 		nOut = g.cfg.HubFanout/4 + g.rng.Intn(g.cfg.HubFanout*3/4+1)
 	}
-	var outSum int64
 	if coinbase {
 		outSum = g.cfg.CoinbaseValue
 	} else {
 		outSum = inSum - inSum*g.cfg.FeePerMille/1000
 	}
-	d.append(ins, nOut, outSum, community)
 	// Register the new outputs in the pool. Ordinary outputs are owned by
 	// the creating community; hub outputs are payments owned by random
 	// communities.
@@ -279,6 +341,7 @@ func (g *generator) emit(d *Dataset, i int32) {
 		g.live++
 	}
 	g.maybeCompact()
+	return ins, nOut, outSum, community
 }
 
 func (g *generator) sampleInputs() int {
@@ -499,6 +562,71 @@ func newDataset(n int) *Dataset {
 	}
 }
 
+// New returns an empty dataset with a capacity hint of n transactions — the
+// builder surface through which workload scenarios materialize streams (see
+// internal/workload.Materialize).
+func New(n int) *Dataset {
+	if n < 0 {
+		n = 0
+	}
+	return newDataset(n)
+}
+
+// AppendTx appends one transaction: input j spends output inIdx[j] of the
+// earlier transaction inTx[j], and nOut outputs share outSum (split evenly,
+// remainder on the first). It enforces the same referential integrity as
+// Decode: inputs must reference earlier transactions and existing output
+// slots, and every transaction creates at least one output.
+func (d *Dataset) AppendTx(inTx []int32, inIdx []uint32, nOut int, outSum int64) error {
+	i := d.Len()
+	if len(inTx) != len(inIdx) {
+		return fmt.Errorf("dataset: tx %d: %d input txs vs %d input indices", i, len(inTx), len(inIdx))
+	}
+	if nOut < 1 {
+		return fmt.Errorf("dataset: tx %d has zero outputs", i)
+	}
+	if outSum < 0 {
+		return fmt.Errorf("dataset: tx %d: negative output sum %d", i, outSum)
+	}
+	for j := range inTx {
+		if inTx[j] < 0 || int(inTx[j]) >= i {
+			return fmt.Errorf("dataset: tx %d references future tx %d", i, inTx[j])
+		}
+		if int(inIdx[j]) >= d.NumOutputs(int(inTx[j])) {
+			return fmt.Errorf("dataset: tx %d references output %d:%d out of range", i, inTx[j], inIdx[j])
+		}
+	}
+	d.comm = append(d.comm, -1)
+	d.inTx = append(d.inTx, inTx...)
+	d.inIdx = append(d.inIdx, inIdx...)
+	d.inOff = append(d.inOff, int64(len(d.inTx)))
+	SplitValue(nOut, outSum, func(_ uint32, val int64) {
+		d.outVal = append(d.outVal, val)
+	})
+	d.outOff = append(d.outOff, int64(len(d.outVal)))
+	return nil
+}
+
+// SplitValue distributes total across n output slots: an even split with
+// the remainder on slot 0. This is the single value convention shared by
+// the generator, AppendTx, the workload scenario rings, and the streaming
+// simulator — every consumer must see identical per-output values whether
+// a stream is materialized or simulated live.
+func SplitValue(n int, total int64, fn func(idx uint32, val int64)) {
+	if n <= 0 {
+		return
+	}
+	per := total / int64(n)
+	rem := total - per*int64(n)
+	for o := 0; o < n; o++ {
+		v := per
+		if o == 0 {
+			v += rem
+		}
+		fn(uint32(o), v)
+	}
+}
+
 func (d *Dataset) append(ins []outRef, nOut int, outSum int64, community int) {
 	d.comm = append(d.comm, int16(community))
 	for _, r := range ins {
@@ -506,15 +634,9 @@ func (d *Dataset) append(ins []outRef, nOut int, outSum int64, community int) {
 		d.inIdx = append(d.inIdx, r.idx)
 	}
 	d.inOff = append(d.inOff, int64(len(d.inTx)))
-	per := outSum / int64(nOut)
-	rem := outSum - per*int64(nOut)
-	for o := 0; o < nOut; o++ {
-		v := per
-		if o == 0 {
-			v += rem
-		}
-		d.outVal = append(d.outVal, v)
-	}
+	SplitValue(nOut, outSum, func(_ uint32, val int64) {
+		d.outVal = append(d.outVal, val)
+	})
 	d.outOff = append(d.outOff, int64(len(d.outVal)))
 }
 

@@ -26,6 +26,7 @@ import (
 	"optchain/internal/simnet"
 	"optchain/internal/stats"
 	"optchain/internal/txgraph"
+	"optchain/internal/workload"
 )
 
 // PlacerKind selects the transaction placement strategy.
@@ -55,6 +56,15 @@ type Config struct {
 	// (0 = whole dataset).
 	Dataset *dataset.Dataset
 	Txs     int
+
+	// Source supplies the transaction stream as a streaming workload
+	// scenario instead of a materialized Dataset — exactly one of Dataset
+	// and Source may be set, and Source requires a positive Txs (the run
+	// length). Source runs pull one transaction per issue event (nothing is
+	// pre-built), honor each transaction's Gap so Markov-modulated
+	// scenarios shape real arrival processes, and feed every placement
+	// decision back to feedback-aware sources (workload.Observer).
+	Source workload.Source
 
 	// Shards and Validators shape the committees (paper: 4-16 shards, ~400
 	// validators each).
@@ -117,10 +127,16 @@ type Config struct {
 }
 
 func (c *Config) fillDefaults() error {
-	if c.Dataset == nil {
-		return errors.New("sim: Dataset is required")
+	if c.Dataset == nil && c.Source == nil {
+		return errors.New("sim: Dataset or Source is required")
 	}
-	if c.Txs <= 0 || c.Txs > c.Dataset.Len() {
+	if c.Dataset != nil && c.Source != nil {
+		return errors.New("sim: Dataset and Source are mutually exclusive")
+	}
+	if c.Source != nil && c.Txs <= 0 {
+		return errors.New("sim: Source requires a positive Txs")
+	}
+	if c.Dataset != nil && (c.Txs <= 0 || c.Txs > c.Dataset.Len()) {
 		c.Txs = c.Dataset.Len()
 	}
 	if c.Shards <= 0 {
@@ -208,7 +224,8 @@ type Result struct {
 	// window [0.2·T, T] (T = issue duration): the steady-state service
 	// rate, robust to warm-up and drain edges.
 	SteadyTPS float64
-	// IssueSeconds is the offered-load duration Total/Rate.
+	// IssueSeconds is the offered-load duration: Total/Rate for dataset
+	// runs, the actual Gap-modulated issue span for streaming-source runs.
 	IssueSeconds float64
 
 	AvgLatency float64 // seconds
@@ -269,6 +286,19 @@ type runner struct {
 
 	clients []simnet.NodeID
 	rng     *rand.Rand
+
+	// Streaming-source state (cfg.Source runs): the prefetched next
+	// transaction, the per-transaction output counts recorded so far (the
+	// placer's |Nout(v)| divisor), the optional feedback hook, the time of
+	// the last issue (the actual offered-load window end under Gap
+	// modulation), and the first source-validation failure, which aborts
+	// the run.
+	srcPending workload.Tx
+	srcOuts    []int32
+	srcObs     workload.Observer
+	srcErr     error
+	lastIssue  time.Duration
+	perTx      time.Duration
 
 	scheduledAt  []time.Duration
 	decidedShard []int32
@@ -345,12 +375,23 @@ func (r *runner) run() (*Result, error) {
 	r.decidedShard = make([]int32, n)
 	r.issued = make([]bool, n)
 	r.commitAt = make([]time.Duration, n)
-	perTx := time.Duration(float64(time.Second) / cfg.Rate)
-	for i := 0; i < n; i++ {
-		i := i
-		at := time.Duration(i) * perTx
-		r.scheduledAt[i] = at
-		r.sim.ScheduleAt(at, "sim.issue", func(*des.Simulator) { r.decide(i) })
+	r.perTx = time.Duration(float64(time.Second) / cfg.Rate)
+	if cfg.Source != nil {
+		// Streaming mode: issue events are chained (each schedules the
+		// next after its Gap-scaled inter-arrival), so the source is pulled
+		// one transaction at a time and nothing is materialized.
+		r.srcOuts = make([]int32, n)
+		r.srcObs, _ = cfg.Source.(workload.Observer)
+		if r.pullSource(0) {
+			r.scheduleSourceIssue(0, 0)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			i := i
+			at := time.Duration(i) * r.perTx
+			r.scheduledAt[i] = at
+			r.sim.ScheduleAt(at, "sim.issue", func(*des.Simulator) { r.decide(i) })
+		}
 	}
 
 	// Queue sampler.
@@ -372,15 +413,27 @@ func (r *runner) run() (*Result, error) {
 	}
 
 	// Wall-clock control: cancellation and deadlines on the run's context
-	// abort between events.
+	// abort between events, as does a source-validation failure.
+	ctxErr := func() error { return nil }
 	if r.ctx != nil && r.ctx.Done() != nil {
-		r.sim.Interrupt = r.ctx.Err
+		ctxErr = r.ctx.Err
+	}
+	r.sim.Interrupt = func() error {
+		if r.srcErr != nil {
+			return r.srcErr
+		}
+		return ctxErr()
 	}
 
 	// Safety caps: a generous event budget plus the configured time cap.
 	r.sim.MaxEvents = uint64(n)*2000 + 10_000_000
 	if err := r.sim.RunUntil(cfg.MaxSimTime); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if r.srcErr != nil {
+		// A first-transaction validation failure leaves the event loop
+		// empty, so RunUntil returns clean; surface the source error.
+		return nil, fmt.Errorf("sim: %w", r.srcErr)
 	}
 
 	if cfg.Progress != nil {
@@ -414,10 +467,16 @@ func (r *runner) snapshot(done bool) Snapshot {
 // exactly like the built-ins.
 func (r *runner) buildPlacer() (placement.Placer, error) {
 	cfg := r.cfg
+	outCounts := func(v txgraph.Node) int { return cfg.Dataset.NumOutputs(int(v)) }
+	if cfg.Source != nil {
+		// Streaming mode: out-degrees are known only up to the issue
+		// frontier (0 = unknown engages the spenders-seen-so-far fallback).
+		outCounts = func(v txgraph.Node) int { return int(r.srcOuts[v]) }
+	}
 	p, err := registry.NewStrategy(string(cfg.Placer), registry.StrategyContext{
 		K:         cfg.Shards,
 		N:         cfg.Txs,
-		OutCounts: func(v txgraph.Node) int { return cfg.Dataset.NumOutputs(int(v)) },
+		OutCounts: outCounts,
 		Alpha:     cfg.Alpha,
 		Weight:    cfg.L2SWght,
 		Telemetry: r.tel,
@@ -447,6 +506,95 @@ func (r *runner) decide(i int) {
 	r.issued[i] = true
 	r.issuedCount++
 	r.submit(i, client, r.cfg.Dataset.Tx(i), s, 0)
+}
+
+// pullSource prefetches stream transaction i and validates it. A malformed
+// transaction (a custom Source emitting zero outputs) records srcErr, which
+// aborts the run via the event-loop interrupt instead of panicking inside
+// the kernel.
+func (r *runner) pullSource(i int) bool {
+	if !r.cfg.Source.Next(&r.srcPending) {
+		return false
+	}
+	if r.srcPending.Outputs < 1 {
+		r.srcErr = fmt.Errorf("workload %s: tx %d has zero outputs", r.cfg.Source.Name(), i)
+		return false
+	}
+	return true
+}
+
+// scheduleSourceIssue schedules the issue event for the prefetched stream
+// transaction i.
+func (r *runner) scheduleSourceIssue(i int, at time.Duration) {
+	r.scheduledAt[i] = at
+	r.lastIssue = at
+	r.sim.ScheduleAt(at, "sim.issue", func(*des.Simulator) { r.issueFromSource(i) })
+}
+
+// issueFromSource processes the prefetched transaction i, then prefetches
+// i+1 and chains its issue event one Gap-scaled inter-arrival later.
+func (r *runner) issueFromSource(i int) {
+	r.decideSource(i)
+	next := i + 1
+	if next >= r.cfg.Txs || !r.pullSource(next) {
+		return
+	}
+	gap := r.srcPending.Gap
+	if gap <= 0 {
+		gap = 1
+	}
+	r.scheduleSourceIssue(next, r.sim.Now()+time.Duration(gap*float64(r.perTx)))
+}
+
+// decideSource is decide for streaming-source runs: it places and submits
+// the prefetched transaction, materializing only that one transaction, and
+// feeds the decision back to feedback-aware sources.
+func (r *runner) decideSource(i int) {
+	client := r.clients[i%len(r.clients)]
+	r.tel.client = client
+	src := &r.srcPending
+
+	r.inputBuf = r.inputBuf[:0]
+	for _, in := range src.Inputs {
+		v := txgraph.Node(in.Tx)
+		dup := false
+		for _, seen := range r.inputBuf {
+			if seen == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			r.inputBuf = append(r.inputBuf, v)
+		}
+	}
+	// Record |Nout(i)| before placing, mirroring the Engine's streaming
+	// path: the placer may consult the divisor for the new node.
+	r.srcOuts[i] = int32(src.Outputs)
+	s := r.placer.Place(txgraph.Node(i), r.inputBuf)
+	r.decidedShard[i] = int32(s)
+	r.cross.Observe(r.placer.Assignment(), r.inputBuf, s)
+	if r.srcObs != nil {
+		r.srcObs.Observe(i, s)
+	}
+
+	tx := &chain.Transaction{
+		ID:      chain.TxID(i + 1),
+		Inputs:  make([]chain.Outpoint, len(src.Inputs)),
+		Outputs: make([]chain.Output, src.Outputs),
+	}
+	for j, in := range src.Inputs {
+		tx.Inputs[j] = chain.Outpoint{Tx: chain.TxID(in.Tx + 1), Index: in.Index}
+	}
+	// The shared split convention (dataset.SplitValue) keeps ledger values
+	// identical whether a scenario is streamed or materialized.
+	dataset.SplitValue(src.Outputs, src.Value, func(idx uint32, val int64) {
+		tx.Outputs[idx] = chain.Output{Value: val}
+	})
+
+	r.issued[i] = true
+	r.issuedCount++
+	r.submit(i, client, tx, s, 0)
 }
 
 // submit sends the transaction, retrying with backoff on rejection
@@ -524,6 +672,14 @@ func (r *runner) buildResult() *Result {
 
 	res.IssueSeconds = float64(r.cfg.Txs) / r.cfg.Rate
 	issueEnd := time.Duration(res.IssueSeconds * float64(time.Second))
+	if r.cfg.Source != nil && r.lastIssue > 0 {
+		// Gap-modulated sources shape the real arrival process: measure the
+		// steady-state window against the actual offered-load span, not the
+		// nominal Txs/Rate, or burst scenarios would be charged for idle
+		// tail they never offered load in.
+		res.IssueSeconds = r.lastIssue.Seconds()
+		issueEnd = r.lastIssue
+	}
 	// Shift the measurement window by the median confirmation latency so
 	// the commit stream is compared against the issue interval that
 	// produced it (commits lag issues by one pipeline depth).

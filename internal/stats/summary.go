@@ -5,7 +5,10 @@ import (
 	"sort"
 )
 
-// Summary holds basic descriptive statistics of a sample.
+// Summary holds basic descriptive statistics of a sample. Stddev is the
+// unbiased sample estimator (÷(n−1)): the benches aggregate small per-cell
+// samples, where the population form (÷n) systematically under-reports
+// dispersion. A single observation has no dispersion estimate (Stddev 0).
 type Summary struct {
 	Count          int
 	Mean, Max, Min float64
@@ -27,12 +30,14 @@ func Summarize(xs []float64) Summary {
 		s.Max = math.Max(s.Max, x)
 	}
 	s.Mean = sum / float64(len(xs))
-	var ss float64
-	for _, x := range xs {
-		d := x - s.Mean
-		ss += d * d
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
 	}
-	s.Stddev = math.Sqrt(ss / float64(len(xs)))
 	return s
 }
 

@@ -12,8 +12,19 @@ func TestSummarize(t *testing.T) {
 	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
 		t.Fatalf("summary = %+v", s)
 	}
-	if !almostEqual(s.Stddev, 1.118033988749895, 1e-9) {
+	// Sample (unbiased) stddev: sqrt(5/3).
+	if !almostEqual(s.Stddev, 1.2909944487358056, 1e-9) {
 		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Mean != 7 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Stddev != 0 {
+		t.Fatalf("single-sample stddev = %v, want 0", s.Stddev)
 	}
 }
 

@@ -1,0 +1,290 @@
+// Package workload is the pluggable scenario layer: named transaction-stream
+// generators behind a streaming Source interface, resolved through an open
+// registry exactly like placement strategies and commit protocols (see
+// internal/registry). The paper evaluates placement on a single
+// Bitcoin-trace-shaped stream (§V); Ren & Ward ("Transaction Placement in
+// Sharded Blockchains", 2021) show placement quality diverges sharply under
+// skewed and bursty workloads, so every sweep and baseline can now be run
+// against scenarios engineered to stress different parts of the placement
+// problem:
+//
+//   - bitcoin:     the calibrated Bitcoin-like generator (wraps
+//     internal/dataset), matching the paper's Fig. 2 TaN statistics.
+//   - hotspot:     Zipf-skewed wallet popularity with a tunable exponent —
+//     a handful of wallets dominate traffic, concentrating lineage mass.
+//   - burst:       Markov-modulated arrival rate — flash-crowd on/off
+//     phases that stress per-shard queues and the L2S latency model.
+//   - adversarial: inputs deliberately drawn from distinct, least-loaded
+//     shards' recent outputs (fed back via Observer) to maximize
+//     cross-shard traffic.
+//   - drift:       community structure that rotates over time, invalidating
+//     the stale p'(v) mass T2S accumulated for old lineages.
+//
+// Sources are streaming: one transaction at a time, memory proportional to
+// live state (never the stream length), so million-user-scale runs do not
+// pre-build a Dataset. Materialize converts any source into a Dataset when
+// a full stream is genuinely needed (tangen, offline tables).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"optchain/internal/dataset"
+)
+
+// Typed errors. Callers match them with errors.Is.
+var (
+	// ErrUnknownWorkload reports a scenario name with no registered factory.
+	ErrUnknownWorkload = errors.New("unknown workload scenario")
+	// ErrBadParam reports an invalid Params value or an unknown knob.
+	ErrBadParam = errors.New("workload: invalid parameter")
+	// ErrDuplicateName is returned when registering an already-taken name.
+	ErrDuplicateName = errors.New("workload: name already registered")
+	// ErrEmptyName is returned when registering with an empty name.
+	ErrEmptyName = errors.New("workload: empty registration name")
+	// ErrNilFactory is returned when registering a nil factory.
+	ErrNilFactory = errors.New("workload: nil factory")
+)
+
+// Input references one output of an earlier stream transaction: output slot
+// Index of the transaction at stream position Tx.
+type Input struct {
+	Tx    int
+	Index uint32
+}
+
+// Tx is one generated transaction. Placement only needs the stream graph
+// (which parents each transaction spends, how many outputs it creates); the
+// simulator additionally consumes Value and Gap.
+type Tx struct {
+	// Inputs lists the outputs this transaction spends. Empty means
+	// coinbase. Inputs never repeat an outpoint (sources must not
+	// double-spend), but several may share the same parent Tx.
+	Inputs []Input
+	// Outputs is the number of outputs created (>= 1).
+	Outputs int
+	// Value is the total value of the created outputs.
+	Value int64
+	// Gap scales the inter-arrival time before this transaction relative to
+	// the nominal 1/rate spacing. Zero means 1 (nominal); burst scenarios
+	// use values < 1 during flash crowds.
+	Gap float64
+}
+
+// Source is a streaming transaction generator. Implementations must be
+// deterministic per Params.Seed and must never materialize the full stream:
+// state is bounded by the live output set, not the stream length.
+type Source interface {
+	// Next fills tx with the next transaction in stream order and reports
+	// whether one was produced. The Inputs slice is owned by the source and
+	// reused between calls; callers copy what they keep.
+	Next(tx *Tx) bool
+	// Name returns the registered scenario name.
+	Name() string
+}
+
+// Observer is implemented by feedback-aware sources (adversarial): drivers
+// report each placement decision back so the source can adapt. Drivers that
+// batch placements may deliver observations with a lag; sources must
+// tolerate never being observed at all (tangen materializes without any
+// placement).
+type Observer interface {
+	// Observe reports that stream transaction i was placed in shard s.
+	Observe(i, s int)
+}
+
+// Params parameterizes a scenario build. Knobs carries generator-specific
+// tunables by name; factories reject unknown knob names so CLI typos
+// surface immediately.
+type Params struct {
+	// N is the stream length (<= 0 takes DefaultN).
+	N int
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Shards hints the shard count to feedback-aware scenarios
+	// (<= 0 takes 16, the paper's largest configuration).
+	Shards int
+	// Knobs holds generator-specific tunables (see each scenario's
+	// documentation for its knob names and defaults).
+	Knobs map[string]float64
+}
+
+// DefaultN is the stream length used when Params.N is unset.
+const DefaultN = 100_000
+
+func (p Params) fillDefaults() Params {
+	if p.N <= 0 {
+		p.N = DefaultN
+	}
+	if p.Shards <= 0 {
+		p.Shards = 16
+	}
+	return p
+}
+
+// Knob returns the named knob or def when absent.
+func (p Params) Knob(name string, def float64) float64 {
+	if v, ok := p.Knobs[name]; ok {
+		return v
+	}
+	return def
+}
+
+// checkKnobs rejects knob names outside the scenario's allowed set.
+func checkKnobs(scenario string, knobs map[string]float64, allowed ...string) error {
+	for k := range knobs {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			sort.Strings(allowed)
+			return fmt.Errorf("%w: scenario %q has no knob %q (have %s)",
+				ErrBadParam, scenario, k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// Factory builds a scenario source from parameters.
+type Factory func(p Params) (Source, error)
+
+var (
+	regMu   sync.RWMutex
+	entries = make(map[string]regEntry) // keyed by lower-cased name
+)
+
+type regEntry struct {
+	display string
+	factory Factory
+}
+
+// Register adds a scenario under the given case-insensitive name, making it
+// selectable everywhere a workload name is accepted: optchain.WithWorkload,
+// sim.Config, and the -workload flags of the cmd/ binaries. Registering a
+// duplicate name returns ErrDuplicateName.
+func Register(name string, f Factory) error {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return ErrEmptyName
+	}
+	if f == nil {
+		return ErrNilFactory
+	}
+	key := strings.ToLower(name)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := entries[key]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, prev.display)
+	}
+	entries[key] = regEntry{display: name, factory: f}
+	return nil
+}
+
+// mustRegister registers a built-in; failure is a programming error.
+func mustRegister(name string, f Factory) {
+	if err := Register(name, f); err != nil {
+		panic(fmt.Sprintf("workload: built-in scenario %q: %v", name, err))
+	}
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.display)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether name resolves to a registered scenario.
+func Has(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := entries[strings.ToLower(strings.TrimSpace(name))]
+	return ok
+}
+
+// New builds the named scenario. Unknown names return an error wrapping
+// ErrUnknownWorkload that lists the registered names.
+func New(name string, p Params) (Source, error) {
+	regMu.RLock()
+	e, ok := entries[strings.ToLower(strings.TrimSpace(name))]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have %s)", ErrUnknownWorkload, name, strings.Join(Names(), ", "))
+	}
+	return e.factory(p.fillDefaults())
+}
+
+// ParseSpec splits a CLI workload spec "name[:knob=value,knob=value]" into
+// the scenario name and its knob map — the syntax the -workload flags
+// accept (e.g. "hotspot:exp=1.5,wallets=5000").
+func ParseSpec(spec string) (name string, knobs map[string]float64, err error) {
+	name, rest, found := strings.Cut(strings.TrimSpace(spec), ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil, fmt.Errorf("%w: empty workload spec", ErrBadParam)
+	}
+	if !found || strings.TrimSpace(rest) == "" {
+		return name, nil, nil
+	}
+	knobs = make(map[string]float64)
+	for _, pair := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		k = strings.TrimSpace(k)
+		if !ok || k == "" {
+			return "", nil, fmt.Errorf("%w: knob %q is not name=value", ErrBadParam, pair)
+		}
+		x, perr := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if perr != nil {
+			return "", nil, fmt.Errorf("%w: knob %q: %v", ErrBadParam, pair, perr)
+		}
+		knobs[k] = x
+	}
+	return name, knobs, nil
+}
+
+// Materialize drains a source into a Dataset — for tangen, the offline
+// placement tables, and round-trip tests. It caps at n transactions
+// (<= 0 drains the source); streaming consumers (Engine.PlaceWorkload,
+// sim runs with Config.Source) never call it.
+func Materialize(src Source, n int) (*dataset.Dataset, error) {
+	if src == nil {
+		return nil, fmt.Errorf("%w: nil source", ErrBadParam)
+	}
+	cap := n
+	if cap < 0 {
+		cap = 0
+	}
+	d := dataset.New(cap)
+	var tx Tx
+	var inTx []int32
+	var inIdx []uint32
+	for i := 0; n <= 0 || i < n; i++ {
+		if !src.Next(&tx) {
+			break
+		}
+		inTx = inTx[:0]
+		inIdx = inIdx[:0]
+		for _, in := range tx.Inputs {
+			inTx = append(inTx, int32(in.Tx))
+			inIdx = append(inIdx, in.Index)
+		}
+		if err := d.AppendTx(inTx, inIdx, tx.Outputs, tx.Value); err != nil {
+			return nil, fmt.Errorf("workload %s: %w", src.Name(), err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"optchain/internal/dataset"
+)
+
+// drain copies n transactions out of a source (deep-copying reused slices).
+func drain(t *testing.T, src Source, n int) []Tx {
+	t.Helper()
+	out := make([]Tx, 0, n)
+	var tx Tx
+	for len(out) < n && src.Next(&tx) {
+		cp := tx
+		cp.Inputs = append([]Input(nil), tx.Inputs...)
+		out = append(out, cp)
+	}
+	return out
+}
+
+func build(t *testing.T, name string, p Params) Source {
+	t.Helper()
+	src, err := New(name, p)
+	if err != nil {
+		t.Fatalf("New(%q): %v", name, err)
+	}
+	return src
+}
+
+func TestRegistryEnumeratesScenarios(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("Names() = %v, want >= 5 scenarios", names)
+	}
+	for _, want := range []string{"bitcoin", "hotspot", "burst", "adversarial", "drift"} {
+		if !Has(want) {
+			t.Errorf("Has(%q) = false", want)
+		}
+	}
+	if _, err := New("no-such-scenario", Params{}); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("New(unknown) error = %v, want ErrUnknownWorkload", err)
+	}
+	if err := Register("bitcoin", func(Params) (Source, error) { return nil, nil }); !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("duplicate Register error = %v", err)
+	}
+	if err := Register("", func(Params) (Source, error) { return nil, nil }); !errors.Is(err, ErrEmptyName) {
+		t.Fatalf("empty Register error = %v", err)
+	}
+	if err := Register("x-nil", nil); !errors.Is(err, ErrNilFactory) {
+		t.Fatalf("nil-factory Register error = %v", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	name, knobs, err := ParseSpec("hotspot:exp=1.5,wallets=5000")
+	if err != nil || name != "hotspot" || knobs["exp"] != 1.5 || knobs["wallets"] != 5000 {
+		t.Fatalf("ParseSpec = %q %v %v", name, knobs, err)
+	}
+	name, knobs, err = ParseSpec("burst")
+	if err != nil || name != "burst" || knobs != nil {
+		t.Fatalf("ParseSpec bare = %q %v %v", name, knobs, err)
+	}
+	for _, bad := range []string{"", "hotspot:exp", "hotspot:=2", "hotspot:exp=abc"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestUnknownKnobRejected(t *testing.T) {
+	for _, name := range Names() {
+		if _, err := New(name, Params{N: 10, Knobs: map[string]float64{"nosuchknob": 1}}); !errors.Is(err, ErrBadParam) {
+			t.Errorf("%s: unknown knob error = %v, want ErrBadParam", name, err)
+		}
+	}
+}
+
+// TestScenarioDeterminism: identical seeds yield identical streams for every
+// registered scenario; a different seed changes the stream.
+func TestScenarioDeterminism(t *testing.T) {
+	const n = 4000
+	for _, name := range Names() {
+		a := drain(t, build(t, name, Params{N: n, Seed: 7, Shards: 8}), n)
+		b := drain(t, build(t, name, Params{N: n, Seed: 7, Shards: 8}), n)
+		if len(a) != n || len(b) != n {
+			t.Fatalf("%s: drained %d/%d of %d", name, len(a), len(b), n)
+		}
+		for i := range a {
+			if a[i].Outputs != b[i].Outputs || a[i].Value != b[i].Value ||
+				a[i].Gap != b[i].Gap || len(a[i].Inputs) != len(b[i].Inputs) {
+				t.Fatalf("%s: tx %d differs across equal seeds: %+v vs %+v", name, i, a[i], b[i])
+			}
+			for j := range a[i].Inputs {
+				if a[i].Inputs[j] != b[i].Inputs[j] {
+					t.Fatalf("%s: tx %d input %d differs: %v vs %v", name, i, j, a[i].Inputs[j], b[i].Inputs[j])
+				}
+			}
+		}
+		c := drain(t, build(t, name, Params{N: n, Seed: 8, Shards: 8}), n)
+		same := true
+		for i := range a {
+			if a[i].Outputs != c[i].Outputs || len(a[i].Inputs) != len(c[i].Inputs) {
+				same = false
+				break
+			}
+			for j := range a[i].Inputs {
+				if a[i].Inputs[j] != c[i].Inputs[j] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seeds 7 and 8 produced identical streams", name)
+		}
+	}
+}
+
+// TestScenarioValidity: every scenario emits referentially valid,
+// double-spend-free, value-conserving streams.
+func TestScenarioValidity(t *testing.T) {
+	const n = 10_000
+	for _, name := range Names() {
+		src := build(t, name, Params{N: n, Seed: 3, Shards: 8})
+		spent := make(map[Input]bool)
+		outsOf := make([]int, 0, n)
+		valueOf := make(map[Input]int64)
+		var tx Tx
+		for i := 0; src.Next(&tx); i++ {
+			if tx.Outputs < 1 {
+				t.Fatalf("%s: tx %d has %d outputs", name, i, tx.Outputs)
+			}
+			if tx.Value < 0 {
+				t.Fatalf("%s: tx %d has negative value", name, i)
+			}
+			var inSum int64
+			for _, in := range tx.Inputs {
+				if in.Tx < 0 || in.Tx >= i {
+					t.Fatalf("%s: tx %d spends future/self tx %d", name, i, in.Tx)
+				}
+				if int(in.Index) >= outsOf[in.Tx] {
+					t.Fatalf("%s: tx %d spends %d:%d beyond %d outputs", name, i, in.Tx, in.Index, outsOf[in.Tx])
+				}
+				if spent[in] {
+					t.Fatalf("%s: tx %d double-spends %d:%d", name, i, in.Tx, in.Index)
+				}
+				spent[in] = true
+				inSum += valueOf[in]
+			}
+			if len(tx.Inputs) > 0 && tx.Value > inSum {
+				t.Fatalf("%s: tx %d creates value (in=%d out=%d)", name, i, inSum, tx.Value)
+			}
+			outValues(tx.Outputs, tx.Value, func(idx uint32, val int64) {
+				valueOf[Input{Tx: i, Index: idx}] = val
+			})
+			outsOf = append(outsOf, tx.Outputs)
+		}
+		if len(outsOf) != n {
+			t.Fatalf("%s: emitted %d of %d", name, len(outsOf), n)
+		}
+	}
+}
+
+// TestScenarioRoundTrip: Materialize → Encode → Decode reproduces each
+// scenario's dataset byte-for-byte.
+func TestScenarioRoundTrip(t *testing.T) {
+	const n = 3000
+	for _, name := range Names() {
+		src := build(t, name, Params{N: n, Seed: 11, Shards: 8})
+		d, err := Materialize(src, n)
+		if err != nil {
+			t.Fatalf("%s: Materialize: %v", name, err)
+		}
+		if d.Len() != n {
+			t.Fatalf("%s: materialized %d of %d", name, d.Len(), n)
+		}
+		var enc bytes.Buffer
+		if err := d.Encode(&enc); err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		got, err := dataset.Decode(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		var re bytes.Buffer
+		if err := got.Encode(&re); err != nil {
+			t.Fatalf("%s: re-Encode: %v", name, err)
+		}
+		if !bytes.Equal(enc.Bytes(), re.Bytes()) {
+			t.Fatalf("%s: Encode→Decode→Encode is not a fixed point", name)
+		}
+	}
+}
+
+// TestBitcoinMatchesGenerate: the bitcoin scenario is the calibrated
+// generator — materializing it reproduces dataset.Generate exactly.
+func TestBitcoinMatchesGenerate(t *testing.T) {
+	const n = 5000
+	src := build(t, "bitcoin", Params{N: n, Seed: 5})
+	d, err := Materialize(src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.N = n
+	cfg.Seed = 5
+	want, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := d.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("bitcoin scenario diverges from dataset.Generate for equal seeds")
+	}
+}
+
+// TestAdversarialSpansShards: with placement feedback, almost every
+// non-coinbase transaction spends outputs from >= 2 distinct shards, so it
+// is cross-shard under ANY single-shard placement.
+func TestAdversarialSpansShards(t *testing.T) {
+	const n, k = 5000, 8
+	src := build(t, "adversarial", Params{N: n, Seed: 2, Shards: k})
+	obs, ok := src.(Observer)
+	if !ok {
+		t.Fatal("adversarial does not implement Observer")
+	}
+	shardOf := make([]int, 0, n)
+	var tx Tx
+	spanning, spends := 0, 0
+	for i := 0; src.Next(&tx); i++ {
+		// A simple load-balancing driver: place in the least-loaded shard
+		// of the inputs, or round-robin for coinbases.
+		s := i % k
+		if len(tx.Inputs) > 0 {
+			s = shardOf[tx.Inputs[0].Tx]
+		}
+		shardOf = append(shardOf, s)
+		obs.Observe(i, s)
+		if len(tx.Inputs) > 0 {
+			spends++
+			distinct := map[int]bool{}
+			for _, in := range tx.Inputs {
+				distinct[shardOf[in.Tx]] = true
+			}
+			if len(distinct) >= 2 {
+				spanning++
+			}
+		}
+	}
+	if spends == 0 {
+		t.Fatal("adversarial emitted no spending transactions")
+	}
+	if frac := float64(spanning) / float64(spends); frac < 0.9 {
+		t.Fatalf("only %.2f of adversarial spends span >= 2 shards", frac)
+	}
+}
+
+// TestBurstModulatesGaps: burst emits both boosted (flash-crowd) and
+// nominal inter-arrival gaps.
+func TestBurstModulatesGaps(t *testing.T) {
+	txs := drain(t, build(t, "burst", Params{N: 20_000, Seed: 4}), 20_000)
+	fast, slow := 0, 0
+	for _, tx := range txs {
+		switch {
+		case tx.Gap == 1:
+			slow++
+		case tx.Gap < 1 && tx.Gap > 0:
+			fast++
+		default:
+			t.Fatalf("burst emitted gap %v", tx.Gap)
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Fatalf("burst phases missing: %d fast, %d slow", fast, slow)
+	}
+}
+
+// TestMaterializeCaps: Materialize honors its transaction cap.
+func TestMaterializeCaps(t *testing.T) {
+	src := build(t, "hotspot", Params{N: 1000, Seed: 1})
+	d, err := Materialize(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+}

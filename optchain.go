@@ -15,6 +15,7 @@ import (
 	"optchain/internal/sim"
 	"optchain/internal/simnet"
 	"optchain/internal/txgraph"
+	"optchain/internal/workload"
 )
 
 // Re-exported types. These aliases are the public names of the library's
@@ -48,6 +49,64 @@ type (
 	// consensus costs) used by Engine.Run / Simulate.
 	ShardConfig = shard.Config
 )
+
+// Workload-scenario types: the streaming generator layer behind
+// WithWorkload and the -workload CLI flags (see internal/workload).
+type (
+	// WorkloadTx is one generated transaction of a scenario stream.
+	WorkloadTx = workload.Tx
+	// WorkloadInput references one output of an earlier stream transaction.
+	WorkloadInput = workload.Input
+	// WorkloadSource is the streaming generator interface scenarios
+	// implement: one transaction per Next call, memory bounded by live
+	// state rather than stream length.
+	WorkloadSource = workload.Source
+	// WorkloadObserver is implemented by feedback-aware scenarios; drivers
+	// report placement decisions back through it.
+	WorkloadObserver = workload.Observer
+	// WorkloadParams parameterizes a scenario build (stream length, seed,
+	// shard hint, generator knobs).
+	WorkloadParams = workload.Params
+	// WorkloadFactory builds a scenario source from parameters.
+	WorkloadFactory = workload.Factory
+)
+
+// RegisterWorkload adds a workload scenario to the open registry under the
+// given case-insensitive name, making it selectable everywhere a workload
+// name is accepted: WithWorkload, SimConfig.Source construction, and the
+// -workload flags of the cmd/ binaries.
+func RegisterWorkload(name string, f WorkloadFactory) error {
+	return workload.Register(name, f)
+}
+
+// Workloads enumerates the registered workload scenarios, sorted.
+func Workloads() []string { return workload.Names() }
+
+// HasWorkload reports whether name resolves to a registered scenario.
+func HasWorkload(name string) bool { return workload.Has(name) }
+
+// NewWorkloadSource builds a registered scenario by name — the streaming
+// form consumers drive directly (Engine.PlaceWorkload and Engine.Run wrap
+// it; use MaterializeWorkload for a full Dataset).
+func NewWorkloadSource(name string, p WorkloadParams) (WorkloadSource, error) {
+	return workload.New(name, p)
+}
+
+// ParseWorkloadSpec splits a "name[:knob=value,...]" CLI spec into the
+// scenario name and its knob map.
+func ParseWorkloadSpec(spec string) (string, map[string]float64, error) {
+	return workload.ParseSpec(spec)
+}
+
+// MaterializeWorkload drains a named scenario into a Dataset — for tangen
+// and offline tables; streaming consumers never need it.
+func MaterializeWorkload(name string, p WorkloadParams) (*Dataset, error) {
+	src, err := workload.New(name, p)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Materialize(src, p.N)
+}
 
 // Extension-point types for RegisterStrategy / RegisterProtocol.
 type (
