@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt fmt-check bench-smoke bench-json examples scenario-smoke fuzz-smoke ci
+.PHONY: all build test test-race vet fmt fmt-check bench-smoke bench-json examples scenario-smoke fuzz-smoke docs-check ci
 
 all: build
 
@@ -41,16 +41,29 @@ bench-json:
 examples:
 	$(GO) build ./examples/... ./cmd/...
 
-# Every workload scenario must run end-to-end through a small simulation.
+# Every workload scenario must run end-to-end through a small simulation —
+# including a composed mix and a recorded-trace replay.
 scenario-smoke:
 	$(GO) run ./cmd/optchain-sim -workload hotspot -txs 5000 -validators 8
 	$(GO) run ./cmd/optchain-sim -workload burst -txs 5000 -validators 8
 	$(GO) run ./cmd/optchain-sim -workload adversarial -txs 5000 -validators 8
 	$(GO) run ./cmd/optchain-sim -workload drift -txs 5000 -validators 8
 	$(GO) run ./cmd/optchain-sim -workload bitcoin -txs 5000 -validators 8
+	$(GO) run ./cmd/optchain-sim -workload "mix:bitcoin=0.6,hotspot=0.25,adversarial=0.15" -txs 5000 -validators 8
+	$(GO) run ./cmd/tangen -n 3000 -o smoke-replay.tan
+	$(GO) run ./cmd/optchain-sim -workload "replay:smoke-replay.tan,mod=(burst:boost=4)" -txs 3000 -validators 8
+	rm -f smoke-replay.tan
 
 # Short fuzz pass over the dataset decoder (panic-safety + round-trip).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/dataset
 
-ci: fmt-check vet build test bench-smoke
+# Documentation hygiene: examples stay gofmt-clean and the markdown surface
+# (README, SCENARIOS, PERFORMANCE) has no broken relative links.
+docs-check:
+	@out="$$(gofmt -l examples)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	$(GO) run ./internal/docscheck README.md SCENARIOS.md PERFORMANCE.md
+
+ci: fmt-check vet build test bench-smoke docs-check

@@ -1,7 +1,7 @@
 // Benchmarks: one testing.B target per table and figure of the paper's
 // evaluation (each regenerates the corresponding experiment at reduced
-// scale; run cmd/optchain-bench for the full-scale reports recorded in
-// EXPERIMENTS.md), plus micro-benchmarks of the hot paths: T2S score
+// scale; run cmd/optchain-bench for the full-scale reports), plus
+// micro-benchmarks of the hot paths: T2S score
 // maintenance, placement strategies, the ledger, the partitioner, and the
 // event kernel.
 package optchain_test

@@ -9,18 +9,26 @@
 //	optchain-bench -experiment fig3 -n 100000 -validators 400
 //	optchain-bench -experiment fig3 -protocol rapidchain
 //	optchain-bench -experiment fig4 -strategies OptChain,OmniLedger
+//	optchain-bench -experiment fig5 -workload mix:bitcoin=0.7,hotspot=0.3
+//	optchain-bench -experiment table1 -workload "replay:trace.tan"
 //	optchain-bench -experiment scenarios                     # workload lab
 //	optchain-bench -experiment scenarios -workloads hotspot,adversarial
 //	optchain-bench -quick -experiment all       # fast smoke pass
 //
-// The -strategies, -protocol, and -workloads flags resolve through the open
-// registries, so strategies/protocols/workloads added with
+// The -strategies, -protocol, -workload, and -workloads flags resolve
+// through the open registries, so strategies/protocols/workloads added with
 // optchain.RegisterStrategy / RegisterProtocol / RegisterWorkload are
 // selectable here too. Experiment names: fig2 table1 table2 fig3..fig11
-// scenarios ablation-{l2s,alpha,weight,backend}. The scenarios experiment
-// sweeps every workload scenario (hot-spot skew, bursts, drift,
-// adversarial) against the strategy set. See DESIGN.md for the experiment
-// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+// scenarios ablation-{l2s,alpha,weight,backend}.
+//
+// -workload selects the stream driving EVERY figure, table, and ablation
+// sweep: any workload spec (see SCENARIOS.md for the grammar), materialized
+// at each experiment's stream length in place of the calibrated Bitcoin
+// generator. -workloads (plural) instead picks the scenario SET the
+// `scenarios` experiment and the baseline's per-scenario section stream;
+// separate entries with ";" when a spec itself contains commas. The
+// scenarios experiment sweeps workload scenarios (hot-spot skew, bursts,
+// drift, adversarial, mixes) against the strategy set.
 //
 // -baseline-json FILE measures the hot-path micro-benchmarks and one quick
 // simulation per strategy × protocol, and writes the machine-readable
@@ -55,7 +63,8 @@ func run() int {
 		quick      = flag.Bool("quick", false, "shrink all grids for a fast smoke pass")
 		protocol   = flag.String("protocol", "", "commit protocol for the sweeps (default omniledger)")
 		strategies = flag.String("strategies", "", "comma-separated strategy set for the figures (default: paper's four)")
-		workloads  = flag.String("workloads", "", "comma-separated workload-scenario set for the scenarios experiment and baseline (default: all registered)")
+		wl         = flag.String("workload", "", "workload spec driving every figure/table/ablation sweep (default: calibrated bitcoin generator)")
+		workloads  = flag.String("workloads", "", "workload-scenario set for the scenarios experiment and baseline, ','-separated; use ';' separators when specs contain commas (a trailing ';' forces that mode for a single spec); default: all standalone registered")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 		baseline   = flag.String("baseline-json", "", "measure hot paths and write the JSON performance record to this file instead of running experiments")
 	)
@@ -95,15 +104,30 @@ func run() int {
 			params.Strategies = append(params.Strategies, optchain.Strategy(name))
 		}
 	}
+	if *wl != "" {
+		if _, _, err := optchain.ParseWorkloadSpec(*wl); err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-bench: -workload: %v\n", err)
+			return 2
+		}
+		params.Workload = *wl
+	}
 	if *workloads != "" {
-		for _, name := range strings.Split(*workloads, ",") {
-			name = strings.TrimSpace(name)
-			if !optchain.HasWorkload(name) {
-				fmt.Fprintf(os.Stderr, "unknown workload %q; registered: %s\n",
-					name, strings.Join(optchain.Workloads(), " "))
+		sep := ","
+		if strings.Contains(*workloads, ";") {
+			sep = ";" // specs like mix:a=0.5,b=0.5 carry their own commas
+		}
+		for _, spec := range strings.Split(*workloads, sep) {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				// A trailing ';' is the documented way to force ';'-mode
+				// for a single comma-bearing spec; blanks are not entries.
+				continue
+			}
+			if _, _, err := optchain.ParseWorkloadSpec(spec); err != nil {
+				fmt.Fprintf(os.Stderr, "optchain-bench: -workloads: %v\n", err)
 				return 2
 			}
-			params.Workloads = append(params.Workloads, name)
+			params.Workloads = append(params.Workloads, spec)
 		}
 	}
 

@@ -10,15 +10,18 @@
 //	optchain-sim -shards 8 -rate 2000 -strategy OmniLedger -protocol rapidchain
 //	optchain-sim -workload hotspot -txs 50000
 //	optchain-sim -workload "burst:boost=12,onmean=600" -strategy OptChain
+//	optchain-sim -workload "mix:bitcoin=0.7,hotspot=0.2,adversarial=0.1"
+//	optchain-sim -workload "replay:trace.tan,mod=(burst:boost=4)" -txs 100000
 //	optchain-sim -shards 16 -rate 6000 -cpuprofile cpu.out -memprofile mem.out
 //	optchain-sim -list
 //
-// -workload selects a named scenario ("name[:knob=value,...]" — see -list
-// and the "Workload scenarios" section of the package docs) instead of the
-// default calibrated Bitcoin-like dataset; scenario runs stream one
-// transaction per issue event and never materialize a dataset. The
-// -cpuprofile, -memprofile, and -trace flags capture runtime profiles of a
-// run without a rebuild (see PERFORMANCE.md).
+// -workload selects a workload spec (see -list for the registered scenarios
+// and SCENARIOS.md for the full grammar: knobs, mix composition, trace
+// replay with arrival modulators) instead of the default calibrated
+// Bitcoin-like dataset; scenario runs stream one transaction per issue
+// event and never materialize a dataset. The -cpuprofile, -memprofile, and
+// -trace flags capture runtime profiles of a run without a rebuild (see
+// PERFORMANCE.md).
 package main
 
 import (
@@ -42,7 +45,7 @@ func run() int {
 	var (
 		n          = flag.Int("n", 0, "deprecated alias of -txs")
 		txs        = flag.Int("txs", 0, "number of transactions (default 60000)")
-		wl         = flag.String("workload", "", "workload scenario name[:knob=value,...] (see -list); streams instead of generating a dataset")
+		wl         = flag.String("workload", "", "workload spec (name, name:knob=value,..., mix:..., replay:... — see -list and SCENARIOS.md); streams instead of generating a dataset")
 		seed       = flag.Int64("seed", 1, "random seed")
 		shards     = flag.Int("shards", 16, "number of shards")
 		validators = flag.Int("validators", 400, "validators per shard")
@@ -51,7 +54,7 @@ func run() int {
 		placer     = flag.String("placer", "", "deprecated alias for -strategy")
 		protocol   = flag.String("protocol", "omniledger", "commit protocol (see -list)")
 		exactL2S   = flag.Bool("exact-l2s", false, "use exact quadrature for the L2S score")
-		validate   = flag.Bool("validate-utxo", false, "strict in-order UTXO validation (see DESIGN.md)")
+		validate   = flag.Bool("validate-utxo", false, "strict in-order UTXO validation (see the SimConfig.ValidateUTXO docs)")
 		maxSim     = flag.Duration("max-sim-time", 20*time.Minute, "virtual-time cap")
 		progress   = flag.Bool("progress", false, "print live progress to stderr")
 		list       = flag.Bool("list", false, "list registered strategies and protocols, then exit")
@@ -114,12 +117,9 @@ func run() int {
 		optchain.WithMaxSimTime(*maxSim),
 	}
 	if *wl != "" {
-		name, knobs, err := optchain.ParseWorkloadSpec(*wl)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "optchain-sim: %v\n", err)
-			return 2
-		}
-		opts = append(opts, optchain.WithWorkload(name, knobs))
+		// The full spec passes through unchanged — composite scenarios
+		// (mix components, replay arguments) are parsed by the engine.
+		opts = append(opts, optchain.WithWorkload(*wl, nil))
 	}
 	if *progress {
 		opts = append(opts, optchain.WithProgress(func(s optchain.MetricsSnapshot) {

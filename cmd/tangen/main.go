@@ -10,7 +10,11 @@
 //	tangen -n 1000000 -seed 7 -o txs.tan
 //	tangen -workload "hotspot:exp=1.5" -n 200000 -o hot.tan
 //	tangen -workload adversarial -shards 16 -n 100000 -o adv.tan
+//	tangen -workload "mix:bitcoin=0.7,hotspot=0.3" -n 500000 -o mixed.tan
 //	tangen -list
+//
+// The full spec grammar (mix composition, replay, knobs per scenario) is
+// documented in SCENARIOS.md.
 //
 // The dedicated -communities/-intra/-hub-every/-hub-fanout flags apply to
 // the default Bitcoin generator only; scenario generators take their knobs
@@ -55,17 +59,13 @@ func run() int {
 	var d *optchain.Dataset
 	var err error
 	if *wl != "" {
-		var name string
-		var knobs map[string]float64
-		name, knobs, err = optchain.ParseWorkloadSpec(*wl)
-		if err == nil {
-			d, err = optchain.MaterializeWorkload(name, optchain.WorkloadParams{
-				N:      *n,
-				Seed:   *seed,
-				Shards: *shards,
-				Knobs:  knobs,
-			})
-		}
+		// The full spec passes through unchanged, so mix compositions and
+		// replay arguments materialize exactly as they would stream.
+		d, err = optchain.MaterializeWorkload(*wl, optchain.WorkloadParams{
+			N:      *n,
+			Seed:   *seed,
+			Shards: *shards,
+		})
 	} else {
 		cfg := optchain.DatasetDefaults()
 		cfg.N = *n

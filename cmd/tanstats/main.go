@@ -7,6 +7,9 @@
 //	tanstats -i txs.tan
 //	tanstats -n 200000                  # generate on the fly
 //	tanstats -workload hotspot -n 50000 # characterize a scenario stream
+//	tanstats -workload "mix:bitcoin=0.8,hotspot=0.2" -n 50000
+//
+// -workload takes any workload spec (see SCENARIOS.md for the grammar).
 package main
 
 import (
@@ -47,14 +50,9 @@ func run() int {
 			return 1
 		}
 	case *wl != "":
-		var name string
-		var knobs map[string]float64
-		name, knobs, err = optchain.ParseWorkloadSpec(*wl)
-		if err == nil {
-			d, err = optchain.MaterializeWorkload(name, optchain.WorkloadParams{
-				N: *n, Seed: *seed, Shards: *shards, Knobs: knobs,
-			})
-		}
+		d, err = optchain.MaterializeWorkload(*wl, optchain.WorkloadParams{
+			N: *n, Seed: *seed, Shards: *shards,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tanstats: %v\n", err)
 			return 1

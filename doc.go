@@ -61,10 +61,10 @@
 //
 // The paper evaluates on a single Bitcoin-trace-shaped stream; this package
 // adds a pluggable scenario layer so placement is measured where it wins
-// AND where it breaks. WithWorkload selects a named generator; scenarios
-// are streaming — Run pulls one transaction per issue event and
-// PlaceWorkload chunks through PlaceBatch, so million-user-scale streams
-// never materialize a Dataset:
+// AND where it breaks. WithWorkload selects a workload spec; scenarios are
+// streaming — Run pulls one transaction per issue event and PlaceWorkload
+// chunks through PlaceBatch, so million-user-scale streams never
+// materialize a Dataset:
 //
 //	eng, _ := optchain.New(optchain.WithWorkload("hotspot", map[string]float64{"exp": 1.5}))
 //	stats, err := eng.PlaceWorkload(1_000_000)
@@ -86,13 +86,26 @@
 //   - "drift": rotating community structure (knobs: communities, period,
 //     maxins, fanout) — periodically invalidates accumulated p'(v) mass;
 //     stresses adaptation speed of history-weighted fitness.
+//   - "mix": the combinator — weighted rate shares of any registered
+//     sources, deterministically interleaved from one seed, recursively
+//     composable ("mix:bitcoin=0.7,hotspot=0.2,adversarial=0.1").
+//   - "replay": streams a recorded .tan trace through the incremental
+//     decoder, optionally superimposing a burst/drift arrival modulator
+//     on the real structure ("replay:trace.tan,mod=(burst:boost=4)").
 //
-// RegisterWorkload adds new scenarios; Workloads enumerates them. Every
+// Spec strings pass through WithWorkload, NewWorkloadSource, and every
+// -workload flag unchanged; SCENARIOS.md at the repository root documents
+// the grammar (EBNF), every knob, the determinism guarantees, and a
+// writing-your-own-Source walkthrough.
+//
+// RegisterWorkload adds new scenarios; Workloads enumerates them
+// (StandaloneWorkloads excludes the ones needing spec arguments). Every
 // scenario is selectable by the -workload flags of optchain-sim, tangen,
-// and tanstats (spec syntax "name:knob=value,..."), swept by the
-// optchain-bench "scenarios" experiment, and tracked per-PR in the
-// BENCH_baseline.json scenarios section. MaterializeWorkload converts any
-// scenario into a Dataset when a full stream is genuinely needed.
+// and tanstats, drives every optchain-bench figure/table/ablation sweep
+// via -workload, is swept by the "scenarios" experiment, and is tracked
+// per-PR in BENCH_baseline.json (every simulation row records its workload
+// spec). MaterializeWorkload converts any scenario into a Dataset when a
+// full stream is genuinely needed.
 //
 // # Registries
 //
@@ -117,9 +130,13 @@
 // blockchains (committees, PBFT-style block consensus over a
 // latency/bandwidth network model), the OmniLedger atomic-commit and
 // RapidChain yanking cross-shard protocols, and a benchmark harness that
-// regenerates every table and figure of the paper's evaluation (see
-// DESIGN.md and EXPERIMENTS.md).
+// regenerates every table and figure of the paper's evaluation
+// (cmd/optchain-bench).
 //
 // The runnable programs under cmd/ and the worked examples under examples/
-// show the full surface; examples/quickstart is the canonical snippet.
+// show the full surface; examples/quickstart is the canonical snippet and
+// examples/workload shows scenario composition and trace replay. README.md,
+// SCENARIOS.md, and PERFORMANCE.md at the repository root cover the
+// project-level view, the workload spec grammar, and the performance
+// inventory respectively.
 package optchain

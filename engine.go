@@ -170,14 +170,22 @@ func WithDataset(d *Dataset) Option {
 	}
 }
 
-// WithWorkload selects a named workload scenario (see Workloads) as the
-// engine's transaction stream, with optional generator-specific knobs —
-// instead of a materialized dataset. Scenario runs are streaming: Run pulls
-// one transaction per issue event and PlaceWorkload batches through
-// PlaceBatch, so million-user-scale streams never pre-build a Dataset.
-// WithTxs sizes the stream (default 20000); feedback-aware scenarios
-// (adversarial) receive every placement decision back. WithWorkload and
-// WithDataset are mutually exclusive.
+// WithWorkload selects a workload scenario (see Workloads) as the engine's
+// transaction stream, with optional generator-specific knobs — instead of a
+// materialized dataset. The name may be a full workload spec, passed
+// unchanged, so composite scenarios work everywhere the Engine does (the
+// grammar is documented in SCENARIOS.md):
+//
+//	optchain.WithWorkload("hotspot", map[string]float64{"exp": 1.5})
+//	optchain.WithWorkload("mix:bitcoin=0.7,hotspot=0.2,adversarial=0.1", nil)
+//	optchain.WithWorkload("replay:trace.tan,mod=(burst:boost=4)", nil)
+//
+// Scenario runs are streaming: Run pulls one transaction per issue event
+// and PlaceWorkload batches through PlaceBatch, so million-user-scale
+// streams never pre-build a Dataset. WithTxs sizes the stream (default
+// 20000); feedback-aware scenarios (adversarial, mixes containing one)
+// receive every placement decision back. WithWorkload and WithDataset are
+// mutually exclusive.
 func WithWorkload(name string, knobs map[string]float64) Option {
 	return func(e *Engine) error {
 		if strings.TrimSpace(name) == "" {
@@ -401,10 +409,14 @@ func New(opts ...Option) (*Engine, error) {
 			return nil, fmt.Errorf("%w: WithWorkload and WithDataset are mutually exclusive", ErrBadOption)
 		}
 		// Eager validation: building a throwaway source surfaces unknown
-		// scenario names and bad knobs at New instead of at Run.
-		if _, err := e.newWorkloadSource(1); err != nil {
+		// scenario names and bad knobs at New instead of at Run. The probe
+		// is closed, not drained, so replay sources release their trace
+		// file immediately.
+		src, err := e.newWorkloadSource(1)
+		if err != nil {
 			return nil, err
 		}
+		workload.Close(src)
 	}
 	// Partition entries are range-checked here rather than in the option:
 	// WithShards may legitimately apply after WithMetisPartition.
@@ -641,6 +653,7 @@ func (e *Engine) PlaceWorkload(n int) (PlacementStats, error) {
 	if err != nil {
 		return e.Stats(), err
 	}
+	defer workload.Close(src)
 	obs, _ := src.(workload.Observer)
 	base := e.Stats().Placed
 	// Capacity-bounded strategies size per-shard budgets from the stream
@@ -674,6 +687,11 @@ func (e *Engine) PlaceWorkload(n int) (PlacementStats, error) {
 		placed += len(shards)
 		if err != nil {
 			return e.Stats(), err
+		}
+	}
+	if f, ok := src.(workload.Failer); ok {
+		if err := f.Err(); err != nil {
+			return e.Stats(), fmt.Errorf("optchain: workload %s: %w", src.Name(), err)
 		}
 	}
 	return e.Stats(), nil
@@ -762,6 +780,9 @@ func (e *Engine) Run(ctx context.Context) (*SimResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Released on every exit path: a cancelled or failed run must not
+		// leave a replay component's trace file open.
+		defer workload.Close(src)
 	} else if d == nil {
 		cfg := DatasetDefaults()
 		cfg.N = e.txs

@@ -3,6 +3,7 @@ package optchain_test
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -33,21 +34,58 @@ func TestWithWorkloadValidation(t *testing.T) {
 
 func TestWorkloadsRegistered(t *testing.T) {
 	names := optchain.Workloads()
-	if len(names) < 5 {
-		t.Fatalf("Workloads() = %v, want >= 5", names)
+	if len(names) < 7 {
+		t.Fatalf("Workloads() = %v, want >= 7", names)
 	}
-	for _, n := range []string{"bitcoin", "hotspot", "burst", "adversarial", "drift"} {
+	for _, n := range []string{"bitcoin", "hotspot", "burst", "adversarial", "drift", "mix", "replay"} {
 		if !optchain.HasWorkload(n) {
 			t.Errorf("HasWorkload(%q) = false", n)
 		}
 	}
+	// replay needs a trace-file argument, so it is not standalone.
+	for _, n := range optchain.StandaloneWorkloads() {
+		if n == "replay" {
+			t.Fatal("StandaloneWorkloads includes replay")
+		}
+	}
 }
 
-// TestPlaceWorkloadStreams: every registered scenario streams through
-// PlaceBatch on a fresh engine and places the full stream.
+// TestWithWorkloadSpec: WithWorkload accepts full mix/replay specs
+// unchanged, composing scenarios end-to-end through the Engine.
+func TestWithWorkloadSpec(t *testing.T) {
+	const n = 2000
+	eng, err := optchain.New(
+		optchain.WithWorkload("mix:bitcoin=0.7,hotspot=0.2,adversarial=0.1", nil),
+		optchain.WithShards(8),
+		optchain.WithSeed(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.PlaceWorkload(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Placed != n {
+		t.Fatalf("placed %d of %d", st.Placed, n)
+	}
+	// A bad component inside the spec fails New eagerly with the registry
+	// listing, not at Run.
+	_, err = optchain.New(optchain.WithWorkload("mix:bitcoiin=0.7,hotspot=0.3", nil))
+	if err == nil || !errors.Is(err, optchain.ErrUnknownWorkload) {
+		t.Fatalf("bad component error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "bitcoiin") || !strings.Contains(err.Error(), "bitcoin") {
+		t.Fatalf("error %q does not name the token and the registry", err)
+	}
+}
+
+// TestPlaceWorkloadStreams: every standalone scenario (replay needs a
+// trace-file argument) streams through PlaceBatch on a fresh engine and
+// places the full stream.
 func TestPlaceWorkloadStreams(t *testing.T) {
 	const n = 3000
-	for _, name := range optchain.Workloads() {
+	for _, name := range optchain.StandaloneWorkloads() {
 		eng, err := optchain.New(
 			optchain.WithWorkload(name, nil),
 			optchain.WithShards(8),

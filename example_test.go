@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"optchain"
@@ -118,3 +120,72 @@ func (p *roundRobin) Place(u optchain.Node, inputs []optchain.Node) int {
 
 func (p *roundRobin) Assignment() *optchain.Assignment { return p.a }
 func (p *roundRobin) Name() string                     { return "round-robin" }
+
+// Compose workloads with a mix: spec — 70% Bitcoin-like traffic, 20%
+// hot-spot skew, 10% adversarial — and stream it through the engine. The
+// spec string is exactly what optchain-sim -workload accepts; SCENARIOS.md
+// documents the grammar.
+func ExampleWithWorkload() {
+	eng, err := optchain.New(
+		optchain.WithWorkload("mix:bitcoin=0.7,hotspot=0.2,adversarial=0.1", nil),
+		optchain.WithShards(8),
+		optchain.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := eng.PlaceWorkload(10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d transactions across %d shards\n", stats.Placed, len(stats.ShardCounts))
+	fmt.Printf("cross-shard fraction stays moderate under the blended load: %v\n",
+		stats.CrossFraction < 0.5)
+	// Output:
+	// placed 10000 transactions across 8 shards
+	// cross-shard fraction stays moderate under the blended load: true
+}
+
+// Replay a recorded .tan trace with a flash-crowd modulator superimposed
+// on its real structure. Component specs nest in parentheses, so the same
+// grammar drives mixes of replays.
+func ExampleWithWorkload_replay() {
+	dir, err := os.MkdirTemp("", "optchain-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Record a trace (what `tangen -o trace.tan` does).
+	trace := filepath.Join(dir, "trace.tan")
+	d, err := optchain.MaterializeWorkload("bitcoin", optchain.WorkloadParams{N: 5000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Encode(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay it, compressing arrivals 4x during Markov-modulated bursts.
+	eng, err := optchain.New(
+		optchain.WithWorkload("replay:"+trace+",mod=(burst:boost=4)", nil),
+		optchain.WithShards(8),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := eng.PlaceWorkload(5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed the full recorded trace: %v\n", stats.Placed == d.Len())
+	// Output:
+	// replayed the full recorded trace: true
+}

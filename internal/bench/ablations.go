@@ -21,7 +21,7 @@ func AblationL2S(h *Harness, w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "== Ablation A1 — L2S term on/off (k=%d, rate=%.0f) ==\n", k, r)
+	fmt.Fprintf(w, "== Ablation A1 — L2S term on/off (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	fmt.Fprintf(w, "%-22s %-8s %-10s %-10s %-10s %-8s\n", "variant", "cross", "steadyTPS", "avgLat(s)", "maxLat(s)", "peakQ")
 	for _, v := range []struct {
 		name   string
@@ -49,7 +49,7 @@ func AblationAlpha(h *Harness, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "== Ablation A2 — α sensitivity, offline cross-TX %% (k=%d, n=%d) ==\n", k, n)
+	fmt.Fprintf(w, "== Ablation A2 — α sensitivity, offline cross-TX %% (k=%d, n=%d, workload=%s) ==\n", k, n, h.workloadLabel())
 	alphas := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
 	fracs := make([]float64, len(alphas))
 	err = h.parallelEach(len(alphas), func(i int) error {
@@ -73,7 +73,7 @@ func AblationAlpha(h *Harness, w io.Writer) error {
 // the paper fixes 0.01), exposing the cross-TX vs balance trade-off.
 func AblationWeight(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
-	fmt.Fprintf(w, "== Ablation A3 — L2S weight sweep (k=%d, rate=%.0f) ==\n", k, r)
+	fmt.Fprintf(w, "== Ablation A3 — L2S weight sweep (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	fmt.Fprintf(w, "%-8s %-8s %-10s %-10s %-10s %-8s\n", "weight", "cross", "steadyTPS", "avgLat(s)", "maxLat(s)", "peakQ")
 	weights := []float64{0.003, 0.01, 0.03, 0.1, 0.3}
 	results := make([]*sim.Result, len(weights))
@@ -104,7 +104,7 @@ func AblationWeight(h *Harness, w io.Writer) error {
 // placement benefit transfers from OmniLedger to RapidChain yanking.
 func AblationBackend(h *Harness, w io.Writer) error {
 	k, r := h.maxGrid()
-	fmt.Fprintf(w, "== Ablation A4 — protocol backend (k=%d, rate=%.0f) ==\n", k, r)
+	fmt.Fprintf(w, "== Ablation A4 — protocol backend (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	fmt.Fprintf(w, "%-12s %-12s %-8s %-10s %-10s\n", "backend", "placer", "cross", "steadyTPS", "avgLat(s)")
 	protos := []sim.ProtocolKind{sim.ProtoOmniLedger, sim.ProtoRapidChain}
 	placers := []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom}

@@ -17,8 +17,10 @@ import (
 
 // BaselineSchema versions the BENCH_baseline.json layout so downstream
 // tooling (CI artifact diffing, PERFORMANCE.md tables) can detect format
-// changes. v2 added the per-workload-scenario Scenarios section.
-const BaselineSchema = "optchain-bench-baseline/v2"
+// changes. v2 added the per-workload-scenario Scenarios section; v3 records
+// the workload spec on every simulation row (the Sim section replays the
+// harness's selected Params.Workload, default "bitcoin").
+const BaselineSchema = "optchain-bench-baseline/v3"
 
 // Baseline is the machine-readable performance record emitted by
 // `optchain-bench -baseline-json` (and `make bench-json`). It captures the
@@ -55,9 +57,10 @@ type BaselineItem struct {
 // BaselineSim is one end-to-end simulation cell: virtual steady-state
 // throughput plus the wall-clock rate the host sustained while computing it.
 type BaselineSim struct {
-	// Workload names the scenario driving the cell (Scenarios section
-	// only; the Sim section replays the shared calibrated dataset).
-	Workload      string  `json:"workload,omitempty"`
+	// Workload is the workload spec driving the cell: the streamed scenario
+	// in the Scenarios section, the harness's materialized Params.Workload
+	// (default "bitcoin") in the Sim section.
+	Workload      string  `json:"workload"`
 	Strategy      string  `json:"strategy"`
 	Protocol      string  `json:"protocol"`
 	Shards        int     `json:"shards"`
@@ -209,6 +212,7 @@ func CollectBaseline(h *Harness) (*Baseline, error) {
 			}
 			wall := time.Since(start).Seconds()
 			cell := BaselineSim{
+				Workload:      h.workloadLabel(),
 				Strategy:      string(placer),
 				Protocol:      string(proto),
 				Shards:        shards,

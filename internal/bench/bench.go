@@ -1,7 +1,8 @@
 // Package bench regenerates every table and figure of the paper's
-// evaluation (§IV-B Tables I-II, §V Figs. 2-11) plus the ablations listed
-// in DESIGN.md. Each experiment prints rows/series in the same layout the
-// paper reports, so paper-vs-measured comparison is line-by-line.
+// evaluation (§IV-B Tables I-II, §V Figs. 2-11) plus four ablations (L2S
+// on/off, α sensitivity, L2S weight, protocol backend). Each experiment
+// prints rows/series in the same layout the paper reports, so
+// paper-vs-measured comparison is line-by-line.
 //
 // Experiments share a run cache: the Fig. 3 sweep produces the simulation
 // results that Figs. 4-10 present as different views, so an `all` run pays
@@ -21,12 +22,13 @@ import (
 	"optchain/internal/dataset"
 	"optchain/internal/metis"
 	"optchain/internal/sim"
+	"optchain/internal/workload"
 )
 
 // Params scales the experiments. Zero values take defaults.
 type Params struct {
 	// N is the stream length for simulation experiments (default 60k;
-	// the paper used 10M — shapes are scale-stable, see EXPERIMENTS.md).
+	// the paper used 10M — the reported shapes are scale-stable).
 	N int
 	// TableN is the stream length for the offline placement tables
 	// (default 200k).
@@ -49,9 +51,21 @@ type Params struct {
 	// the open registry.
 	Strategies []sim.PlacerKind
 	// Workloads overrides the scenario set the `scenarios` experiment and
-	// the baseline's per-scenario section sweep (default: every registered
-	// workload scenario). Names resolve through the workload registry.
+	// the baseline's per-scenario section sweep (default: every standalone
+	// registered workload scenario). Entries may be full workload specs
+	// ("mix:bitcoin=0.7,hotspot=0.3"); they resolve through the workload
+	// registry.
 	Workloads []string
+	// Workload selects the transaction stream driving EVERY figure, table,
+	// and ablation sweep: a workload spec ("hotspot:exp=1.5",
+	// "mix:bitcoin=0.7,hotspot=0.3", "replay:trace.tan") materialized once
+	// per stream length in place of the calibrated Bitcoin-like dataset.
+	// Materializing keeps each figure an apples-to-apples strategy
+	// comparison (the Metis replay needs the full graph; arrival-gap
+	// modulation is a streaming-only effect — use the `scenarios`
+	// experiment or optchain-sim for that). Empty selects the calibrated
+	// default generator.
+	Workload string
 }
 
 func (p *Params) fillDefaults() {
@@ -144,9 +158,20 @@ func NewHarness(p Params) *Harness {
 // Params returns the effective (default-filled) parameters.
 func (h *Harness) Params() Params { return h.p }
 
-// Dataset returns (generating once) the synthetic stream of length n.
-// Generation is deterministic per (n, Seed), so concurrent callers always
-// observe the same stream.
+// workloadLabel names the stream driving the figure/table sweeps — the
+// selected workload spec, or the calibrated default.
+func (h *Harness) workloadLabel() string {
+	if h.p.Workload == "" {
+		return "bitcoin"
+	}
+	return h.p.Workload
+}
+
+// Dataset returns (generating once) the experiment stream of length n: the
+// calibrated synthetic generator by default, or the Params.Workload
+// scenario materialized at that length. Generation is deterministic per
+// (n, Seed, Workload), so concurrent callers always observe the same
+// stream.
 func (h *Harness) Dataset(n int) (*dataset.Dataset, error) {
 	h.mu.Lock()
 	e, ok := h.data[n]
@@ -156,6 +181,16 @@ func (h *Harness) Dataset(n int) (*dataset.Dataset, error) {
 	}
 	h.mu.Unlock()
 	e.once.Do(func() {
+		if h.p.Workload != "" {
+			src, err := workload.New(h.p.Workload, workload.Params{N: n, Seed: h.p.Seed})
+			if err != nil {
+				e.err = err
+				return
+			}
+			defer workload.Close(src)
+			e.d, e.err = workload.Materialize(src, n)
+			return
+		}
 		cfg := dataset.DefaultConfig()
 		cfg.N = n
 		cfg.Seed = h.p.Seed

@@ -72,7 +72,7 @@ func TestBaselineHasScenarioSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Schema != BaselineSchema || !strings.HasSuffix(b.Schema, "/v2") {
+	if b.Schema != BaselineSchema || !strings.HasSuffix(b.Schema, "/v3") {
 		t.Fatalf("schema = %q", b.Schema)
 	}
 	if len(b.Scenarios) != 2 {
@@ -81,6 +81,12 @@ func TestBaselineHasScenarioSection(t *testing.T) {
 	for _, c := range b.Scenarios {
 		if c.Workload != "hotspot" || c.Committed == 0 || c.SteadyTPS <= 0 {
 			t.Fatalf("degenerate scenario cell: %+v", c)
+		}
+	}
+	// v3: every Sim-section row records the workload spec driving it.
+	for _, c := range b.Sim {
+		if c.Workload != "bitcoin" {
+			t.Fatalf("sim cell missing workload spec: %+v", c)
 		}
 	}
 }
@@ -193,5 +199,52 @@ func TestDatasetCacheKeyedByLength(t *testing.T) {
 	}
 	if c == a || c.Len() != 2000 {
 		t.Fatal("wrong dataset for different length")
+	}
+}
+
+// TestWorkloadThreadsThroughSweeps: Params.Workload swaps the stream under
+// every experiment — the materialized dataset is the selected scenario and
+// the reports say so.
+func TestWorkloadThreadsThroughSweeps(t *testing.T) {
+	const spec = "mix:bitcoin=0.7,hotspot=0.3"
+	h := NewHarness(Params{
+		Quick:      true,
+		N:          1500,
+		TableN:     4000,
+		Seed:       1,
+		Workload:   spec,
+		Strategies: []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom},
+	})
+	d, err := h.Dataset(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1500 {
+		t.Fatalf("materialized workload length = %d", d.Len())
+	}
+	// The mix stream must differ from the calibrated default generator.
+	plain := NewHarness(Params{Quick: true, N: 1500, Seed: 1})
+	pd, err := plain.Dataset(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < d.Len() && same; i++ {
+		same = d.NumInputs(i) == pd.NumInputs(i) && d.NumOutputs(i) == pd.NumOutputs(i)
+	}
+	if same {
+		t.Fatal("workload dataset is identical to the calibrated default")
+	}
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	for _, name := range []string{"fig5", "table1", "ablation-alpha"} {
+		var buf bytes.Buffer
+		if err := Experiments[name](h, &buf); err != nil {
+			t.Fatalf("%s with workload: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "workload="+spec) {
+			t.Fatalf("%s report does not name the workload:\n%s", name, buf.String())
+		}
 	}
 }

@@ -14,7 +14,7 @@ func Fig3(h *Harness, w io.Writer) error {
 		return err
 	}
 	shards, rates := h.simGrids()
-	fmt.Fprintf(w, "== Fig. 3 — latency & throughput grids (n=%d, %d validators/shard) ==\n", h.p.N, h.p.Validators)
+	fmt.Fprintf(w, "== Fig. 3 — latency & throughput grids (n=%d, %d validators/shard, workload=%s) ==\n", h.p.N, h.p.Validators, h.workloadLabel())
 	for _, p := range h.placers() {
 		fmt.Fprintf(w, "-- %s: avg latency seconds (rows: shards, cols: rate) --\n", p)
 		fmt.Fprintf(w, "%-7s", "k\\rate")
@@ -62,7 +62,7 @@ func Fig4(h *Harness, w io.Writer) error {
 	}
 	shards, rates := h.simGrids()
 	kMax := shards[len(shards)-1]
-	fmt.Fprintf(w, "== Fig. 4a — throughput at %d shards ==\n", kMax)
+	fmt.Fprintf(w, "== Fig. 4a — throughput at %d shards (workload=%s) ==\n", kMax, h.workloadLabel())
 	fmt.Fprintf(w, "%-10s", "rate")
 	for _, p := range h.placers() {
 		fmt.Fprintf(w, "%12s", p)
@@ -108,7 +108,7 @@ func Fig5(h *Harness, w io.Writer) error {
 		return err
 	}
 	k, r := h.maxGrid()
-	fmt.Fprintf(w, "== Fig. 5 — committed tx per window (k=%d, rate=%.0f; windows scale with run length) ==\n", k, r)
+	fmt.Fprintf(w, "== Fig. 5 — committed tx per window (k=%d, rate=%.0f, workload=%s; windows scale with run length) ==\n", k, r, h.workloadLabel())
 	fmt.Fprintf(w, "%-8s", "window")
 	for _, p := range h.placers() {
 		fmt.Fprintf(w, "%12s", p)
@@ -147,7 +147,7 @@ func Fig6(h *Harness, w io.Writer) error {
 		return err
 	}
 	k, r := h.maxGrid()
-	fmt.Fprintf(w, "== Fig. 6 — max/min shard queue sizes over time (k=%d, rate=%.0f) ==\n", k, r)
+	fmt.Fprintf(w, "== Fig. 6 — max/min shard queue sizes over time (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	for _, p := range h.placers() {
 		res, err := h.Run(p, h.p.Protocol, k, r, nil)
 		if err != nil {
@@ -171,7 +171,7 @@ func Fig7(h *Harness, w io.Writer) error {
 		return err
 	}
 	k, r := h.maxGrid()
-	fmt.Fprintf(w, "== Fig. 7 — queue size max/min ratio over time (k=%d, rate=%.0f) ==\n", k, r)
+	fmt.Fprintf(w, "== Fig. 7 — queue size max/min ratio over time (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	fmt.Fprintf(w, "%-8s", "sample")
 	for _, p := range h.placers() {
 		fmt.Fprintf(w, "%12s", p)
@@ -211,7 +211,7 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(*
 	}
 	shards, rates := h.simGrids()
 	kMax := shards[len(shards)-1]
-	fmt.Fprintf(w, "== %s (a) at %d shards ==\n", title, kMax)
+	fmt.Fprintf(w, "== %s (a) at %d shards (workload=%s) ==\n", title, kMax, h.workloadLabel())
 	fmt.Fprintf(w, "%-10s", "rate")
 	for _, p := range h.placers() {
 		fmt.Fprintf(w, "%12s", p)
@@ -275,7 +275,7 @@ func Fig10(h *Harness, w io.Writer) error {
 		return err
 	}
 	k, r := h.maxGrid()
-	fmt.Fprintf(w, "== Fig. 10 — latency CDF (k=%d, rate=%.0f) ==\n", k, r)
+	fmt.Fprintf(w, "== Fig. 10 — latency CDF (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	for _, p := range h.placers() {
 		res, err := h.Run(p, h.p.Protocol, k, r, nil)
 		if err != nil {
@@ -299,7 +299,7 @@ func Fig11(h *Harness, w io.Writer) error {
 	if h.p.Quick {
 		shardGrid = []int{4, 8}
 	}
-	fmt.Fprintln(w, "== Fig. 11 — OptChain scalability: sustainable tps vs shard count ==")
+	fmt.Fprintf(w, "== Fig. 11 — OptChain scalability: sustainable tps vs shard count (workload=%s) ==\n", h.workloadLabel())
 	// Each shard count is an independent saturation run; execute them
 	// concurrently and report in grid order.
 	results := make([]*sim.Result, len(shardGrid))

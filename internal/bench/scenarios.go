@@ -11,12 +11,14 @@ import (
 )
 
 // scenarioNames is the workload set the scenario sweeps cover: the
-// Params.Workloads override, or every registered scenario.
+// Params.Workloads override (entries may be full specs, e.g.
+// "mix:bitcoin=0.7,hotspot=0.3"), or every standalone registered scenario
+// (replay is excluded by default — it needs a trace-file argument).
 func (h *Harness) scenarioNames() []string {
 	if len(h.p.Workloads) > 0 {
 		return h.p.Workloads
 	}
-	return workload.Names()
+	return workload.StandaloneNames()
 }
 
 // scenarioPlacers is the strategy set compared per scenario. Metis is
@@ -42,6 +44,7 @@ func (h *Harness) runScenarioUncached(name string, placer sim.PlacerKind, proto 
 	if err != nil {
 		return nil, err
 	}
+	defer workload.Close(src)
 	window, sample := h.windows(rate)
 	cfg := sim.Config{
 		Source:           src,

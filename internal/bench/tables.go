@@ -23,7 +23,7 @@ func Fig2(h *Harness, w io.Writer) error {
 		return err
 	}
 	c := g.TakeCensus()
-	fmt.Fprintf(w, "== Fig. 2 — TaN network statistics (n=%d) ==\n", c.Nodes)
+	fmt.Fprintf(w, "== Fig. 2 — TaN network statistics (n=%d, workload=%s) ==\n", c.Nodes, h.workloadLabel())
 	fmt.Fprintf(w, "nodes=%d edges=%d avg-degree=%.2f (paper: 2.3)\n", c.Nodes, c.Edges, c.AvgInDeg)
 	fmt.Fprintf(w, "coinbase=%d unspent=%d isolated=%d\n", c.Coinbase, c.Unspent, c.Isolated)
 
@@ -111,7 +111,7 @@ func TableI(h *Harness, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "== Table I — %% cross-TX from scratch (n=%d) ==\n", n)
+	fmt.Fprintf(w, "== Table I — %% cross-TX from scratch (n=%d, workload=%s) ==\n", n, h.workloadLabel())
 	fmt.Fprintf(w, "%-4s %-10s %-10s %-12s %-10s\n", "k", "Metis", "Greedy", "OmniLedger", "T2S")
 	names := []string{"Metis", "Greedy", "OmniLedger", "T2S"}
 	ks := h.tableShards()
@@ -186,7 +186,7 @@ func TableII(h *Harness, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "== Table II — # cross-TX in a %d-tx window after a %d-tx Metis warm start ==\n", window, warm)
+	fmt.Fprintf(w, "== Table II — # cross-TX in a %d-tx window after a %d-tx Metis warm start (workload=%s) ==\n", window, warm, h.workloadLabel())
 	fmt.Fprintf(w, "%-4s %-10s %-12s %-10s\n", "k", "Greedy", "OmniLedger", "T2S")
 	names := []string{"Greedy", "OmniLedger", "T2S"}
 	ks := h.tableShards()

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -302,5 +303,82 @@ func TestPropertyGenerateAlwaysValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecodeStreamMatchesDecode: the incremental decoder delivers exactly
+// the transactions Decode materializes, including per-output values, and
+// reports the declared count.
+func TestDecodeStreamMatchesDecode(t *testing.T) {
+	d, err := Generate(Config{N: 800, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := d.Encode(&enc); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDecodeStream(bytes.NewReader(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != d.Len() {
+		t.Fatalf("N() = %d, want %d", s.N(), d.Len())
+	}
+	re := New(d.Len())
+	var tx StreamTx
+	for s.Next(&tx) {
+		var sum int64
+		for _, v := range tx.OutVals {
+			sum += v
+		}
+		if sum != tx.Value {
+			t.Fatalf("OutVals sum %d != Value %d", sum, tx.Value)
+		}
+		if err := re.AppendTx(tx.InTx, tx.InIdx, tx.Outputs, tx.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Err() != nil {
+		t.Fatalf("Err() = %v", s.Err())
+	}
+	var reEnc bytes.Buffer
+	if err := re.Encode(&reEnc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc.Bytes(), reEnc.Bytes()) {
+		t.Fatal("stream-decoded dataset re-encodes differently")
+	}
+}
+
+// TestDecodeStreamSurfacesTruncation: a mid-transaction EOF sets Err
+// instead of silently ending the stream.
+func TestDecodeStreamSurfacesTruncation(t *testing.T) {
+	d, err := Generate(Config{N: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := d.Encode(&enc); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDecodeStream(bytes.NewReader(enc.Bytes()[:enc.Len()/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tx StreamTx
+	n := 0
+	for s.Next(&tx) {
+		n++
+	}
+	if n == 0 || n >= 200 {
+		t.Fatalf("decoded %d transactions from a half stream", n)
+	}
+	if !errors.Is(s.Err(), ErrBadFormat) {
+		t.Fatalf("Err() = %v, want ErrBadFormat", s.Err())
+	}
+	// Next stays false after a failure.
+	if s.Next(&tx) {
+		t.Fatal("Next succeeded after a decode failure")
 	}
 }

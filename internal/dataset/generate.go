@@ -259,6 +259,10 @@ type StreamTx struct {
 	Outputs int
 	// Value is the total value of the created outputs.
 	Value int64
+	// OutVals holds the exact per-output values. DecodeStream fills it (a
+	// recorded trace may split values arbitrarily); the generator Stream
+	// leaves it empty — its outputs always follow the SplitValue convention.
+	OutVals []int64
 	// Community is the generator community (entity) of the transaction.
 	Community int
 }
@@ -273,6 +277,7 @@ func (s *Stream) Next(tx *StreamTx) bool {
 	s.i++
 	tx.InTx = tx.InTx[:0]
 	tx.InIdx = tx.InIdx[:0]
+	tx.OutVals = tx.OutVals[:0]
 	for _, r := range ins {
 		tx.InTx = append(tx.InTx, r.tx)
 		tx.InIdx = append(tx.InIdx, r.idx)

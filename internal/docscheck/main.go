@@ -1,0 +1,57 @@
+// Command docscheck is the repository's markdown link checker, run by
+// `make docs-check` (wired into `make ci`). For every markdown file named
+// on the command line it extracts [text](target) links and verifies that
+// each relative target exists on disk (fragments are stripped; http/https/
+// mailto links are skipped — CI stays network-free). It exits non-zero
+// listing every broken link, so documentation rot fails the build instead
+// of shipping.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target). Targets
+// with spaces or titles ("...") are out of scope — the repository's docs
+// use plain paths.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			broken++
+			continue
+		}
+		dir := filepath.Dir(file)
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; checking it would need the network
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure fragment: links within the same file
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q\n", file, m[1])
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d file(s) clean\n", len(os.Args)-1)
+}

@@ -435,6 +435,16 @@ func (r *runner) run() (*Result, error) {
 		// empty, so RunUntil returns clean; surface the source error.
 		return nil, fmt.Errorf("sim: %w", r.srcErr)
 	}
+	if cfg.Source != nil {
+		// Sources that can fail mid-stream (replay of a corrupt trace)
+		// report it through the Failer interface: surface it instead of
+		// passing the truncation off as a short run.
+		if f, ok := cfg.Source.(workload.Failer); ok {
+			if err := f.Err(); err != nil {
+				return nil, fmt.Errorf("sim: workload %s: %w", cfg.Source.Name(), err)
+			}
+		}
+	}
 
 	if cfg.Progress != nil {
 		cfg.Progress(r.snapshot(true))

@@ -38,11 +38,12 @@ func buildSource(t *testing.T, name string, n, shards int) workload.Source {
 	return src
 }
 
-// TestSourceRunCommitsEveryScenario: every registered workload scenario
-// streams end-to-end through a simulation without a materialized Dataset.
+// TestSourceRunCommitsEveryScenario: every standalone workload scenario
+// (replay needs a trace-file argument) streams end-to-end through a
+// simulation without a materialized Dataset.
 func TestSourceRunCommitsEveryScenario(t *testing.T) {
 	const n, k = 2000, 4
-	for _, name := range workload.Names() {
+	for _, name := range workload.StandaloneNames() {
 		res, err := Run(fastSourceConfig(buildSource(t, name, n, k), n, PlacerOptChain, k, 500))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -65,7 +65,7 @@ func init() {
 }
 
 func newAdversarial(p Params) (Source, error) {
-	if err := checkKnobs("adversarial", p.Knobs, "spread", "fanout"); err != nil {
+	if err := checkArgs("adversarial", p, "spread", "fanout"); err != nil {
 		return nil, err
 	}
 	k := p.Shards

@@ -27,7 +27,7 @@ func init() {
 }
 
 func newBitcoin(p Params) (Source, error) {
-	if err := checkKnobs("bitcoin", p.Knobs, "communities", "intra", "hubevery", "hubfanout"); err != nil {
+	if err := checkArgs("bitcoin", p, "communities", "intra", "hubevery", "hubfanout"); err != nil {
 		return nil, err
 	}
 	cfg := dataset.DefaultConfig()

@@ -3,8 +3,6 @@ package workload
 import (
 	"fmt"
 	"math/rand"
-
-	"optchain/internal/stats"
 )
 
 // burst is a Markov-modulated workload: the stream alternates between calm
@@ -12,7 +10,8 @@ import (
 // arrivals come `boost`× faster AND concentrate on a tight lineage cluster
 // (an NFT drop, a token sale: one crowd churning the same coins). Phase
 // lengths are exponential, so the on/off process is a two-state Markov
-// chain. Bursts stress per-shard queues two ways at once: the queue of
+// chain — the shared BurstModulator, which replay can superimpose on real
+// traces too. Bursts stress per-shard queues two ways at once: the queue of
 // whichever shard hosts the crowd's lineage grows at boost× service rate,
 // and the L2S latency term must detect and route around it before the
 // backlog melts.
@@ -25,14 +24,10 @@ import (
 //	fanout    coinbase fanout when liquidity runs dry (8)
 type burstSource struct {
 	rng    *rand.Rand
+	mod    *BurstModulator
 	n, i   int
-	onMean float64
-	offM   float64
-	boost  float64
 	fanout int
 
-	on    bool
-	left  int // transactions remaining in the current phase
 	calm  *ring
 	crowd *ring
 }
@@ -42,38 +37,29 @@ func init() {
 }
 
 func newBurst(p Params) (Source, error) {
-	if err := checkKnobs("burst", p.Knobs, "onmean", "offmean", "boost", "fanout"); err != nil {
+	if err := checkArgs("burst", p, "onmean", "offmean", "boost", "fanout"); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	mod, err := NewBurstModulator(rng, p.Knob("onmean", 400), p.Knob("offmean", 1600), p.Knob("boost", 8))
+	if err != nil {
 		return nil, err
 	}
 	b := &burstSource{
-		rng:    rand.New(rand.NewSource(p.Seed)),
+		rng:    rng,
+		mod:    mod,
 		n:      p.N,
-		onMean: p.Knob("onmean", 400),
-		offM:   p.Knob("offmean", 1600),
-		boost:  p.Knob("boost", 8),
 		fanout: int(p.Knob("fanout", 8)),
 		calm:   newRing(1 << 14),
 		crowd:  newRing(1 << 10),
 	}
-	if b.onMean < 1 || b.offM < 1 {
-		return nil, fmt.Errorf("%w: burst needs onmean/offmean >= 1", ErrBadParam)
-	}
-	if b.boost <= 1 {
-		return nil, fmt.Errorf("%w: burst needs boost > 1, got %v", ErrBadParam, b.boost)
-	}
 	if b.fanout < 2 {
 		return nil, fmt.Errorf("%w: burst needs fanout >= 2", ErrBadParam)
 	}
-	b.left = b.phaseLen(b.offM) // streams start calm
 	return b, nil
 }
 
 func (b *burstSource) Name() string { return "burst" }
-
-// phaseLen draws an exponential phase length of at least one transaction.
-func (b *burstSource) phaseLen(mean float64) int {
-	return 1 + int(stats.ExpSample(b.rng, 1/mean))
-}
 
 func (b *burstSource) Next(tx *Tx) bool {
 	if b.i >= b.n {
@@ -81,29 +67,22 @@ func (b *burstSource) Next(tx *Tx) bool {
 	}
 	i := int32(b.i)
 	b.i++
-	if b.left == 0 {
-		if b.on {
-			// The crowd disperses; its coins re-enter general circulation.
-			for {
-				o, ok := b.crowd.pop()
-				if !ok {
-					break
-				}
-				b.calm.push(o)
+	wasOn := b.mod.On()
+	tx.Gap = b.mod.Step()
+	if wasOn && !b.mod.On() {
+		// The crowd disperses; its coins re-enter general circulation.
+		for {
+			o, ok := b.crowd.pop()
+			if !ok {
+				break
 			}
-			b.left = b.phaseLen(b.offM)
-		} else {
-			b.left = b.phaseLen(b.onMean)
+			b.calm.push(o)
 		}
-		b.on = !b.on
 	}
-	b.left--
 
 	pool := b.calm
-	tx.Gap = 1
-	if b.on {
+	if b.mod.On() {
 		pool = b.crowd
-		tx.Gap = 1 / b.boost
 		if pool.len() == 0 {
 			// A fresh crowd seeds itself from general circulation.
 			if o, ok := b.calm.popBiased(b.rng); ok {

@@ -40,7 +40,7 @@ func init() {
 const driftCommRing = 2048
 
 func newDrift(p Params) (Source, error) {
-	if err := checkKnobs("drift", p.Knobs, "communities", "period", "maxins", "fanout"); err != nil {
+	if err := checkArgs("drift", p, "communities", "period", "maxins", "fanout"); err != nil {
 		return nil, err
 	}
 	comms := int(p.Knob("communities", 32))

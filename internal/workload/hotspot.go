@@ -41,7 +41,7 @@ const hotspotWalletRing = 12
 const coinbaseValue = int64(1) << 44
 
 func newHotspot(p Params) (Source, error) {
-	if err := checkKnobs("hotspot", p.Knobs, "wallets", "exp", "maxins", "fanout"); err != nil {
+	if err := checkArgs("hotspot", p, "wallets", "exp", "maxins", "fanout"); err != nil {
 		return nil, err
 	}
 	wallets := int(p.Knob("wallets", 10_000))

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"optchain/internal/stats"
+)
+
+// Modulator shapes a stream's arrival process: one Step call per
+// transaction returns the inter-arrival gap multiplier for it (1 = nominal
+// spacing, <1 = faster arrivals, >1 = slower). The burst scenario drives
+// its flash-crowd phases through a BurstModulator, and replay superimposes
+// any modulator on a recorded trace's real structure — so the same on/off
+// and drift shapes apply to synthetic and replayed streams alike.
+type Modulator interface {
+	// Step advances one transaction and returns its gap multiplier.
+	Step() float64
+	// Name returns the modulator name ("burst", "drift").
+	Name() string
+}
+
+// BurstModulator is a two-state Markov arrival modulator: calm OFF phases
+// at nominal spacing alternate with ON phases where arrivals come boost×
+// faster. Phase lengths (in transactions) are exponential with the given
+// means, drawn from the supplied RNG, so a seed fully determines the phase
+// schedule.
+type BurstModulator struct {
+	rng     *rand.Rand
+	onMean  float64
+	offMean float64
+	boost   float64
+	on      bool
+	left    int
+}
+
+// NewBurstModulator validates the phase means (>= 1 transaction each) and
+// the boost factor (> 1) and starts the schedule in a calm phase.
+func NewBurstModulator(rng *rand.Rand, onMean, offMean, boost float64) (*BurstModulator, error) {
+	if onMean < 1 || offMean < 1 {
+		return nil, fmt.Errorf("%w: burst modulation needs onmean/offmean >= 1", ErrBadParam)
+	}
+	if boost <= 1 {
+		return nil, fmt.Errorf("%w: burst modulation needs boost > 1, got %v", ErrBadParam, boost)
+	}
+	b := &BurstModulator{rng: rng, onMean: onMean, offMean: offMean, boost: boost}
+	b.left = b.phaseLen(offMean) // streams start calm
+	return b, nil
+}
+
+// Name implements Modulator.
+func (b *BurstModulator) Name() string { return "burst" }
+
+// On reports whether the current transaction falls in a flash-crowd phase —
+// the burst scenario uses it to route the crowd's spends to a tight lineage
+// cluster while the gap multiplier compresses their arrivals.
+func (b *BurstModulator) On() bool { return b.on }
+
+// phaseLen draws an exponential phase length of at least one transaction.
+func (b *BurstModulator) phaseLen(mean float64) int {
+	return 1 + int(stats.ExpSample(b.rng, 1/mean))
+}
+
+// Step implements Modulator.
+func (b *BurstModulator) Step() float64 {
+	if b.left == 0 {
+		if b.on {
+			b.left = b.phaseLen(b.offMean)
+		} else {
+			b.left = b.phaseLen(b.onMean)
+		}
+		b.on = !b.on
+	}
+	b.left--
+	if b.on {
+		return 1 / b.boost
+	}
+	return 1
+}
+
+// DriftModulator applies a slow, deterministic sinusoidal rate drift: the
+// offered rate swings between (1−amp)× and (1+amp)× nominal over a period
+// measured in transactions — the diurnal load curve real trace replays need
+// when the recorded window is shorter than a day.
+type DriftModulator struct {
+	period float64
+	amp    float64
+	i      int
+}
+
+// NewDriftModulator validates the period (>= 2 transactions) and amplitude
+// (0 <= amp < 1; the rate multiplier must stay positive).
+func NewDriftModulator(period, amp float64) (*DriftModulator, error) {
+	if period < 2 {
+		return nil, fmt.Errorf("%w: drift modulation needs period >= 2, got %v", ErrBadParam, period)
+	}
+	if amp < 0 || amp >= 1 {
+		return nil, fmt.Errorf("%w: drift modulation needs 0 <= amp < 1, got %v", ErrBadParam, amp)
+	}
+	return &DriftModulator{period: period, amp: amp}, nil
+}
+
+// Name implements Modulator.
+func (d *DriftModulator) Name() string { return "drift" }
+
+// Step implements Modulator.
+func (d *DriftModulator) Step() float64 {
+	rate := 1 + d.amp*math.Sin(2*math.Pi*float64(d.i)/d.period)
+	d.i++
+	return 1 / rate
+}
+
+// NewModulator builds an arrival modulator from a spec string — the value
+// replay's mod= argument takes:
+//
+//	burst[:onmean=400,offmean=1600,boost=8]
+//	drift[:period=20000,amp=0.6]
+//
+// (As a modulator, "drift" shapes the arrival RATE; the drift scenario's
+// community rotation is a separate mechanism.) The seed drives the burst
+// phase schedule.
+func NewModulator(spec string, seed int64) (Modulator, error) {
+	ps, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	p := Params{Knobs: ps.Knobs, Args: ps.Args}
+	switch strings.ToLower(ps.Name) {
+	case "burst":
+		if err := checkArgs("burst (as modulator)", p, "onmean", "offmean", "boost"); err != nil {
+			return nil, err
+		}
+		return NewBurstModulator(rand.New(rand.NewSource(seed)),
+			p.Knob("onmean", 400), p.Knob("offmean", 1600), p.Knob("boost", 8))
+	case "drift":
+		if err := checkArgs("drift (as modulator)", p, "period", "amp"); err != nil {
+			return nil, err
+		}
+		return NewDriftModulator(p.Knob("period", 20_000), p.Knob("amp", 0.6))
+	}
+	return nil, fmt.Errorf("%w: %q is not an arrival modulator (have burst, drift)", ErrBadParam, ps.Name)
+}

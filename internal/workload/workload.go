@@ -19,18 +19,25 @@
 //     cross-shard traffic.
 //   - drift:       community structure that rotates over time, invalidating
 //     the stale p'(v) mass T2S accumulated for old lineages.
+//   - mix:         a combinator that interleaves any registered sources by
+//     weighted rate shares from a single seed (components compose
+//     recursively: a mix of a mix is legal).
+//   - replay:      streams a recorded .tan trace file, optionally with a
+//     burst/drift arrival Modulator superimposed on the real structure.
 //
 // Sources are streaming: one transaction at a time, memory proportional to
 // live state (never the stream length), so million-user-scale runs do not
 // pre-build a Dataset. Materialize converts any source into a Dataset when
-// a full stream is genuinely needed (tangen, offline tables).
+// a full stream is genuinely needed (tangen, offline tables). The full spec
+// grammar, every knob, and the determinism guarantees are documented in
+// SCENARIOS.md at the repository root.
 package workload
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -88,6 +95,34 @@ type Source interface {
 	Name() string
 }
 
+// Failer is implemented by sources that can fail mid-stream (replay hitting
+// a truncated or corrupt trace). Next returning false may mean either a
+// clean end of stream or a failure; drivers that care (Materialize, the
+// simulator) check Err after the stream ends and surface it.
+type Failer interface {
+	// Err returns the failure that ended the stream, or nil.
+	Err() error
+}
+
+// sourceErr returns the stream-ending failure of src, if any.
+func sourceErr(src Source) error {
+	if f, ok := src.(Failer); ok {
+		return f.Err()
+	}
+	return nil
+}
+
+// Close releases any resources a source holds open (replay's trace file;
+// mix closes its components). Sources needing cleanup implement io.Closer;
+// Close is safe — and a no-op — on any other source, including nil.
+// Drivers that may abandon a source before draining it to its end (which
+// self-releases) must call it.
+func Close(src Source) {
+	if c, ok := src.(io.Closer); ok {
+		c.Close()
+	}
+}
+
 // Observer is implemented by feedback-aware sources (adversarial): drivers
 // report each placement decision back so the source can adapt. Drivers that
 // batch placements may deliver observations with a lag; sources must
@@ -112,6 +147,12 @@ type Params struct {
 	// Knobs holds generator-specific tunables (see each scenario's
 	// documentation for its knob names and defaults).
 	Knobs map[string]float64
+	// Args holds the structured arguments of composite scenarios, in spec
+	// order: mix components (Key = component spec, Num = weight), replay's
+	// trace path (positional) and modulator spec. Parse fills it from a spec
+	// string; plain generators reject anything here that is not a numeric
+	// knob already mirrored into Knobs.
+	Args []Arg
 }
 
 // DefaultN is the stream length used when Params.N is unset.
@@ -154,6 +195,29 @@ func checkKnobs(scenario string, knobs map[string]float64, allowed ...string) er
 	return nil
 }
 
+// checkArgs validates a plain generator's parameters: numeric knobs must be
+// in the allowed set, and no structured argument (positional values, nested
+// specs, non-numeric values) may remain — those belong to composite
+// scenarios like mix and replay.
+func checkArgs(scenario string, p Params, allowed ...string) error {
+	if err := checkKnobs(scenario, p.Knobs, allowed...); err != nil {
+		return err
+	}
+	for _, a := range p.Args {
+		if a.IsNum && simpleKey(a.Key) {
+			continue // mirrored into Knobs and validated there
+		}
+		tok := a.Value
+		if a.Key != "" {
+			tok = a.Key + "=" + a.Value
+		}
+		sort.Strings(allowed)
+		return fmt.Errorf("%w: scenario %q cannot use argument %q (it takes only numeric knobs: %s)",
+			ErrBadParam, scenario, tok, strings.Join(allowed, ", "))
+	}
+	return nil
+}
+
 // Factory builds a scenario source from parameters.
 type Factory func(p Params) (Source, error)
 
@@ -163,8 +227,10 @@ var (
 )
 
 type regEntry struct {
-	display string
-	factory Factory
+	display   string
+	factory   Factory
+	composite bool // consumes structured spec arguments (mix, replay)
+	needsArgs bool // cannot build from bare Params (replay needs a trace file)
 }
 
 // Register adds a scenario under the given case-insensitive name, making it
@@ -196,6 +262,30 @@ func mustRegister(name string, f Factory) {
 	}
 }
 
+// mustRegisterComposite registers a built-in that consumes structured spec
+// arguments (mix components, replay's trace path) rather than only numeric
+// knobs. needsArgs additionally marks it unbuildable from bare Params
+// (replay needs a trace file), which excludes it from StandaloneNames and
+// thus from default scenario sweeps.
+func mustRegisterComposite(name string, f Factory, needsArgs bool) {
+	mustRegister(name, f)
+	key := strings.ToLower(name)
+	regMu.Lock()
+	e := entries[key]
+	e.composite = true
+	e.needsArgs = needsArgs
+	entries[key] = e
+	regMu.Unlock()
+}
+
+// isComposite reports whether the named scenario consumes structured spec
+// arguments.
+func isComposite(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return entries[strings.ToLower(strings.TrimSpace(name))].composite
+}
+
 // Names returns the registered scenario names, sorted.
 func Names() []string {
 	regMu.RLock()
@@ -208,6 +298,31 @@ func Names() []string {
 	return out
 }
 
+// StandaloneNames returns the registered scenarios that build from bare
+// Params — every scenario except the ones needing spec arguments (replay,
+// which needs a trace file). Default scenario sweeps cover exactly this set.
+func StandaloneNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.needsArgs {
+			out = append(out, e.display)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Standalone reports whether the named scenario builds from bare Params
+// (false for replay, which needs a trace file argument).
+func Standalone(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := entries[strings.ToLower(strings.TrimSpace(name))]
+	return ok && !e.needsArgs
+}
+
 // Has reports whether name resolves to a registered scenario.
 func Has(name string) bool {
 	regMu.RLock()
@@ -216,44 +331,64 @@ func Has(name string) bool {
 	return ok
 }
 
-// New builds the named scenario. Unknown names return an error wrapping
-// ErrUnknownWorkload that lists the registered names.
-func New(name string, p Params) (Source, error) {
-	regMu.RLock()
-	e, ok := entries[strings.ToLower(strings.TrimSpace(name))]
-	regMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("%w %q (have %s)", ErrUnknownWorkload, name, strings.Join(Names(), ", "))
+// New builds a scenario from a spec — either a bare registered name
+// ("hotspot") or a full spec string with arguments
+// ("mix:bitcoin=0.7,hotspot=0.3"); see Parse for the grammar. Spec-inline
+// knobs and arguments are merged over p.Knobs/p.Args (inline values win on
+// name collisions). Unknown names return an error wrapping
+// ErrUnknownWorkload that names the token and lists the registered
+// scenarios.
+func New(spec string, p Params) (Source, error) {
+	ps, err := Parse(spec)
+	if err != nil {
+		return nil, err
 	}
+	if len(ps.Knobs) > 0 {
+		merged := make(map[string]float64, len(p.Knobs)+len(ps.Knobs))
+		for k, v := range p.Knobs {
+			merged[k] = v
+		}
+		for k, v := range ps.Knobs {
+			merged[k] = v
+		}
+		p.Knobs = merged
+	}
+	if len(ps.Args) > 0 {
+		p.Args = append(append([]Arg(nil), p.Args...), ps.Args...)
+	}
+	regMu.RLock()
+	e := entries[strings.ToLower(ps.Name)] // Parse validated the name
+	regMu.RUnlock()
 	return e.factory(p.fillDefaults())
 }
 
-// ParseSpec splits a CLI workload spec "name[:knob=value,knob=value]" into
-// the scenario name and its knob map — the syntax the -workload flags
-// accept (e.g. "hotspot:exp=1.5,wallets=5000").
+// ParseSpec splits a workload spec "name[:arg,...]" into the scenario name
+// and its numeric knob map — the two fields plain generators consume. The
+// full grammar (mix components, replay arguments) is preserved only by
+// Parse; callers that forward a spec should pass the string itself to New.
+// Unknown scenario names fail here, naming the token and listing the
+// registered scenarios; so does a non-numeric knob value on a plain
+// scenario ("hotspot:exp=abc") — silently dropping it from the knob map
+// would run the experiment on defaults.
 func ParseSpec(spec string) (name string, knobs map[string]float64, err error) {
-	name, rest, found := strings.Cut(strings.TrimSpace(spec), ":")
-	name = strings.TrimSpace(name)
-	if name == "" {
-		return "", nil, fmt.Errorf("%w: empty workload spec", ErrBadParam)
+	s, err := Parse(spec)
+	if err != nil {
+		return "", nil, err
 	}
-	if !found || strings.TrimSpace(rest) == "" {
-		return name, nil, nil
-	}
-	knobs = make(map[string]float64)
-	for _, pair := range strings.Split(rest, ",") {
-		k, v, ok := strings.Cut(pair, "=")
-		k = strings.TrimSpace(k)
-		if !ok || k == "" {
-			return "", nil, fmt.Errorf("%w: knob %q is not name=value", ErrBadParam, pair)
+	if !isComposite(s.Name) {
+		for _, a := range s.Args {
+			if a.IsNum && simpleKey(a.Key) {
+				continue
+			}
+			tok := a.Value
+			if a.Key != "" {
+				tok = a.Key + "=" + a.Value
+			}
+			return "", nil, fmt.Errorf("%w: scenario %q argument %q is not a numeric name=value knob",
+				ErrBadParam, s.Name, tok)
 		}
-		x, perr := strconv.ParseFloat(strings.TrimSpace(v), 64)
-		if perr != nil {
-			return "", nil, fmt.Errorf("%w: knob %q: %v", ErrBadParam, pair, perr)
-		}
-		knobs[k] = x
 	}
-	return name, knobs, nil
+	return s.Name, s.Knobs, nil
 }
 
 // Materialize drains a source into a Dataset — for tangen, the offline
@@ -285,6 +420,9 @@ func Materialize(src Source, n int) (*dataset.Dataset, error) {
 		if err := d.AppendTx(inTx, inIdx, tx.Outputs, tx.Value); err != nil {
 			return nil, fmt.Errorf("workload %s: %w", src.Name(), err)
 		}
+	}
+	if err := sourceErr(src); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", src.Name(), err)
 	}
 	return d, nil
 }

@@ -3,6 +3,7 @@ package workload
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 
 	"optchain/internal/dataset"
@@ -63,26 +64,80 @@ func TestParseSpec(t *testing.T) {
 	if err != nil || name != "burst" || knobs != nil {
 		t.Fatalf("ParseSpec bare = %q %v %v", name, knobs, err)
 	}
-	for _, bad := range []string{"", "hotspot:exp", "hotspot:=2", "hotspot:exp=abc"} {
+	// Plain scenarios reject structured or malformed arguments at parse
+	// time — a dropped knob would silently run the experiment on defaults.
+	for _, bad := range []string{"", "hotspot:=2", "hotspot:exp=", "hotspot:exp,,",
+		"mix:(bitcoin=1", "hotspot:exp", "hotspot:exp=abc"} {
 		if _, _, err := ParseSpec(bad); err == nil {
 			t.Errorf("ParseSpec(%q) succeeded, want error", bad)
 		}
+	}
+	// Composite scenarios keep their structured arguments parseable.
+	if _, _, err := ParseSpec("mix:bitcoin=0.5,hotspot=0.5"); err != nil {
+		t.Fatalf("ParseSpec(mix) = %v", err)
+	}
+	if _, _, err := ParseSpec("replay:trace.tan,mod=burst"); err != nil {
+		t.Fatalf("ParseSpec(replay) = %v", err)
+	}
+	// Unknown scenario names fail at parse time, naming the token and
+	// listing the registry — not with a bare "unknown workload".
+	_, _, err = ParseSpec("hotspt:exp=1.5")
+	if !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("unknown-name error = %v", err)
+	}
+	for _, want := range []string{"hotspt", "hotspot", "bitcoin", "mix", "replay"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-name error %q does not mention %q", err, want)
+		}
+	}
+	// Structured arguments parse but are rejected by plain generators with
+	// an error naming the offending token.
+	for _, bad := range []string{"hotspot:exp", "hotspot:exp=abc"} {
+		_, err := New(bad, Params{N: 10})
+		if !errors.Is(err, ErrBadParam) {
+			t.Errorf("New(%q) error = %v, want ErrBadParam", bad, err)
+		}
+	}
+}
+
+// TestParseNested: parenthesized component specs keep their own commas and
+// '=' out of the outer argument structure.
+func TestParseNested(t *testing.T) {
+	s, err := Parse("mix:(hotspot:exp=1.5,wallets=100)=0.5,bitcoin=0.5,stagger=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mix" || len(s.Args) != 3 {
+		t.Fatalf("Parse = %+v", s)
+	}
+	if s.Args[0].Key != "hotspot:exp=1.5,wallets=100" || !s.Args[0].IsNum || s.Args[0].Num != 0.5 {
+		t.Fatalf("nested component arg = %+v", s.Args[0])
+	}
+	if s.Knobs["bitcoin"] != 0.5 || s.Knobs["stagger"] != 0 {
+		t.Fatalf("knob mirror = %v", s.Knobs)
+	}
+	if _, ok := s.Knobs["hotspot:exp=1.5,wallets=100"]; ok {
+		t.Fatal("complex key leaked into the knob map")
 	}
 }
 
 func TestUnknownKnobRejected(t *testing.T) {
 	for _, name := range Names() {
-		if _, err := New(name, Params{N: 10, Knobs: map[string]float64{"nosuchknob": 1}}); !errors.Is(err, ErrBadParam) {
-			t.Errorf("%s: unknown knob error = %v, want ErrBadParam", name, err)
+		_, err := New(name, Params{N: 10, Knobs: map[string]float64{"nosuchknob": 1}})
+		// mix interprets unknown numeric knobs as component weights, so its
+		// rejection is "unknown scenario" rather than "unknown knob".
+		if !errors.Is(err, ErrBadParam) && !errors.Is(err, ErrUnknownWorkload) {
+			t.Errorf("%s: unknown knob error = %v, want ErrBadParam or ErrUnknownWorkload", name, err)
 		}
 	}
 }
 
 // TestScenarioDeterminism: identical seeds yield identical streams for every
-// registered scenario; a different seed changes the stream.
+// standalone scenario (replay needs a trace-file argument; its determinism
+// is covered in replay_test.go); a different seed changes the stream.
 func TestScenarioDeterminism(t *testing.T) {
 	const n = 4000
-	for _, name := range Names() {
+	for _, name := range StandaloneNames() {
 		a := drain(t, build(t, name, Params{N: n, Seed: 7, Shards: 8}), n)
 		b := drain(t, build(t, name, Params{N: n, Seed: 7, Shards: 8}), n)
 		if len(a) != n || len(b) != n {
@@ -126,7 +181,7 @@ func TestScenarioDeterminism(t *testing.T) {
 // double-spend-free, value-conserving streams.
 func TestScenarioValidity(t *testing.T) {
 	const n = 10_000
-	for _, name := range Names() {
+	for _, name := range StandaloneNames() {
 		src := build(t, name, Params{N: n, Seed: 3, Shards: 8})
 		spent := make(map[Input]bool)
 		outsOf := make([]int, 0, n)
@@ -171,7 +226,7 @@ func TestScenarioValidity(t *testing.T) {
 // scenario's dataset byte-for-byte.
 func TestScenarioRoundTrip(t *testing.T) {
 	const n = 3000
-	for _, name := range Names() {
+	for _, name := range StandaloneNames() {
 		src := build(t, name, Params{N: n, Seed: 11, Shards: 8})
 		d, err := Materialize(src, n)
 		if err != nil {

@@ -65,10 +65,16 @@ type (
 	// report placement decisions back through it.
 	WorkloadObserver = workload.Observer
 	// WorkloadParams parameterizes a scenario build (stream length, seed,
-	// shard hint, generator knobs).
+	// shard hint, generator knobs, structured spec arguments).
 	WorkloadParams = workload.Params
+	// WorkloadArg is one structured spec argument (mix components, replay's
+	// trace path) carried by WorkloadParams.Args.
+	WorkloadArg = workload.Arg
 	// WorkloadFactory builds a scenario source from parameters.
 	WorkloadFactory = workload.Factory
+	// WorkloadModulator shapes a stream's arrival process (burst on/off
+	// phases, diurnal drift); replay superimposes one on recorded traces.
+	WorkloadModulator = workload.Modulator
 )
 
 // RegisterWorkload adds a workload scenario to the open registry under the
@@ -82,29 +88,51 @@ func RegisterWorkload(name string, f WorkloadFactory) error {
 // Workloads enumerates the registered workload scenarios, sorted.
 func Workloads() []string { return workload.Names() }
 
+// StandaloneWorkloads enumerates the scenarios that build from bare
+// parameters — every scenario except the ones needing spec arguments
+// (replay, which needs a trace file). Default scenario sweeps cover this
+// set.
+func StandaloneWorkloads() []string { return workload.StandaloneNames() }
+
 // HasWorkload reports whether name resolves to a registered scenario.
 func HasWorkload(name string) bool { return workload.Has(name) }
 
-// NewWorkloadSource builds a registered scenario by name — the streaming
-// form consumers drive directly (Engine.PlaceWorkload and Engine.Run wrap
-// it; use MaterializeWorkload for a full Dataset).
-func NewWorkloadSource(name string, p WorkloadParams) (WorkloadSource, error) {
-	return workload.New(name, p)
+// NewWorkloadSource builds a scenario from a bare name or a full workload
+// spec ("mix:bitcoin=0.7,hotspot=0.3") — the streaming form consumers drive
+// directly (Engine.PlaceWorkload and Engine.Run wrap it; use
+// MaterializeWorkload for a full Dataset). See SCENARIOS.md for the
+// grammar.
+func NewWorkloadSource(spec string, p WorkloadParams) (WorkloadSource, error) {
+	return workload.New(spec, p)
 }
 
-// ParseWorkloadSpec splits a "name[:knob=value,...]" CLI spec into the
-// scenario name and its knob map.
+// ParseWorkloadSpec splits a workload spec into the scenario name and its
+// numeric knob map, validating the name against the registry: unknown
+// scenarios fail with an error naming the offending token and listing
+// everything registered. Composite structure (mix components, replay
+// arguments) is preserved only by passing the spec string itself to
+// NewWorkloadSource / WithWorkload; the grammar is documented in
+// SCENARIOS.md.
 func ParseWorkloadSpec(spec string) (string, map[string]float64, error) {
 	return workload.ParseSpec(spec)
 }
 
-// MaterializeWorkload drains a named scenario into a Dataset — for tangen
-// and offline tables; streaming consumers never need it.
-func MaterializeWorkload(name string, p WorkloadParams) (*Dataset, error) {
-	src, err := workload.New(name, p)
+// NewWorkloadModulator builds an arrival modulator ("burst:boost=4",
+// "drift:period=20000,amp=0.5") — the shape replay's mod= argument
+// superimposes on recorded traces.
+func NewWorkloadModulator(spec string, seed int64) (WorkloadModulator, error) {
+	return workload.NewModulator(spec, seed)
+}
+
+// MaterializeWorkload drains a scenario (bare name or full spec) into a
+// Dataset — for tangen and offline tables; streaming consumers never need
+// it.
+func MaterializeWorkload(spec string, p WorkloadParams) (*Dataset, error) {
+	src, err := workload.New(spec, p)
 	if err != nil {
 		return nil, err
 	}
+	defer workload.Close(src)
 	return workload.Materialize(src, p.N)
 }
 
