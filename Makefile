@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt fmt-check bench-smoke bench-json examples scenario-smoke fuzz-smoke docs-check ci
+.PHONY: all build test test-race vet fmt fmt-check bench-smoke bench-json examples scenario-smoke fuzz-smoke sweep-smoke docs-check ci
 
 all: build
 
@@ -58,6 +58,16 @@ scenario-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/dataset
 
+# Tiny 2x2 streaming sweep through the JSONL reporter, validated with the
+# sweepcheck checker: the experiment layer's data path (streamed cells,
+# stable row identity, machine-readable output) stays working, not just
+# compilable.
+sweep-smoke:
+	@rc=0; \
+	$(GO) run ./cmd/optchain-bench -quick -sweep smoke -reporter jsonl -out sweep-smoke.jsonl \
+		&& $(GO) run ./internal/sweepcheck -rows 4 -streamed sweep-smoke.jsonl || rc=$$?; \
+	rm -f sweep-smoke.jsonl; exit $$rc
+
 # Documentation hygiene: examples stay gofmt-clean and the markdown surface
 # (README, SCENARIOS, PERFORMANCE) has no broken relative links.
 docs-check:
@@ -66,4 +76,4 @@ docs-check:
 	fi
 	$(GO) run ./internal/docscheck README.md SCENARIOS.md PERFORMANCE.md
 
-ci: fmt-check vet build test bench-smoke docs-check
+ci: fmt-check vet build test bench-smoke sweep-smoke docs-check

@@ -1,6 +1,9 @@
-// Command optchain-bench regenerates the tables and figures of the
-// OptChain paper's evaluation (ICDCS 2019, §IV-B and §V) on the synthetic
-// Bitcoin-like workload, printing each as a text report.
+// Command optchain-bench is a thin driver over the optchain/experiment
+// sweep layer. It runs either the paper-layout experiment reports
+// (-experiment: the tables and figures of the OptChain paper's evaluation,
+// ICDCS 2019 §IV-B and §V) or any registered sweep through any registered
+// reporter (-sweep/-reporter: results as streamed data rather than
+// paper-shaped text).
 //
 // Usage:
 //
@@ -10,41 +13,56 @@
 //	optchain-bench -experiment fig3 -protocol rapidchain
 //	optchain-bench -experiment fig4 -strategies OptChain,OmniLedger
 //	optchain-bench -experiment fig5 -workload mix:bitcoin=0.7,hotspot=0.3
-//	optchain-bench -experiment table1 -workload "replay:trace.tan"
+//	optchain-bench -experiment fig5 -workload "replay:trace.tan,mod=(burst:boost=4)" -stream
 //	optchain-bench -experiment scenarios                     # workload lab
-//	optchain-bench -experiment scenarios -workloads hotspot,adversarial
+//	optchain-bench -experiment scenarios -workloads "hotspot;adversarial"
 //	optchain-bench -quick -experiment all       # fast smoke pass
+//
+//	optchain-bench -list-sweeps
+//	optchain-bench -sweep grid -reporter jsonl -out grid.jsonl
+//	optchain-bench -sweep peak -reporter csv
+//	optchain-bench -sweep smoke -reporter text
+//	optchain-bench -quick -sweep grid -stream -workload "mix:burst=0.5,bitcoin=0.5"
 //
 // The -strategies, -protocol, -workload, and -workloads flags resolve
 // through the open registries, so strategies/protocols/workloads added with
 // optchain.RegisterStrategy / RegisterProtocol / RegisterWorkload are
-// selectable here too. Experiment names: fig2 table1 table2 fig3..fig11
-// scenarios ablation-{l2s,alpha,weight,backend}.
+// selectable here too; -sweep and -reporter resolve through
+// experiment.RegisterSweep / RegisterReporter the same way. Experiment
+// names: fig2 table1 table2 fig3..fig11 scenarios
+// ablation-{l2s,alpha,weight,backend}.
 //
 // -workload selects the stream driving EVERY figure, table, and ablation
-// sweep: any workload spec (see SCENARIOS.md for the grammar), materialized
-// at each experiment's stream length in place of the calibrated Bitcoin
-// generator. -workloads (plural) instead picks the scenario SET the
-// `scenarios` experiment and the baseline's per-scenario section stream;
-// separate entries with ";" when a spec itself contains commas. The
-// scenarios experiment sweeps workload scenarios (hot-spot skew, bursts,
-// drift, adversarial, mixes) against the strategy set.
+// sweep: any workload spec (see SCENARIOS.md for the grammar). By default
+// it is materialized at each experiment's stream length; with -stream the
+// simulation sweeps pull it one transaction per issue event instead —
+// nothing is materialized, so `mix:`/`replay:` arrival modulation (burst,
+// drift Gap shaping) bends the figures too. Metis cells still materialize
+// (the offline partition needs the full graph) and say so in their rows.
+// -workloads (plural) instead picks the scenario SET the `scenarios`
+// experiment and the baseline's per-scenario section stream; entries are
+// ','-separated, or ';'-separated when a spec itself contains commas
+// (separators inside parentheses never split a spec).
 //
 // -baseline-json FILE measures the hot-path micro-benchmarks and one quick
 // simulation per strategy × protocol, and writes the machine-readable
-// performance record tracked as BENCH_baseline.json (`make bench-json`).
-// -cpuprofile/-memprofile/-trace capture runtime profiles of any run (see
-// PERFORMANCE.md).
+// performance record tracked as BENCH_baseline.json (`make bench-json`),
+// schema v4. -cpuprofile/-memprofile/-trace capture runtime profiles of
+// any run (see PERFORMANCE.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"optchain"
+	"optchain/experiment"
 	"optchain/internal/profiling"
 )
 
@@ -54,7 +72,12 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run, or 'all'")
+		exp        = flag.String("experiment", "", "paper-layout experiment to run ('all' or a name; default 'all' unless -sweep is given)")
+		sweep      = flag.String("sweep", "", "registered sweep to stream through -reporter (see -list-sweeps)")
+		reporter   = flag.String("reporter", "", "reporter spec for -sweep: name[:key=value,...] (text, jsonl, csv, baseline; default text)")
+		out        = flag.String("out", "", "output file for -sweep (default stdout)")
+		listSweeps = flag.Bool("list-sweeps", false, "list registered sweeps and reporters, then exit")
+		stream     = flag.Bool("stream", false, "drive simulation sweeps from streaming workload sources (no materialization; Metis cells still materialize)")
 		n          = flag.Int("n", 60_000, "transactions per simulation run")
 		tableN     = flag.Int("table-n", 200_000, "transactions for offline tables")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -64,7 +87,7 @@ func run() int {
 		protocol   = flag.String("protocol", "", "commit protocol for the sweeps (default omniledger)")
 		strategies = flag.String("strategies", "", "comma-separated strategy set for the figures (default: paper's four)")
 		wl         = flag.String("workload", "", "workload spec driving every figure/table/ablation sweep (default: calibrated bitcoin generator)")
-		workloads  = flag.String("workloads", "", "workload-scenario set for the scenarios experiment and baseline, ','-separated; use ';' separators when specs contain commas (a trailing ';' forces that mode for a single spec); default: all standalone registered")
+		workloads  = flag.String("workloads", "", "workload-scenario set for the scenarios experiment and baseline; ','-separated, or ';'-separated when a spec contains commas (a trailing ';' forces that mode); default: all standalone registered")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 		baseline   = flag.String("baseline-json", "", "measure hot paths and write the JSON performance record to this file instead of running experiments")
 	)
@@ -76,6 +99,43 @@ func run() int {
 		fmt.Println(strings.Join(optchain.ExperimentNames(), "\n"))
 		return 0
 	}
+	if *listSweeps {
+		fmt.Println("sweeps:")
+		for _, name := range experiment.SweepNames() {
+			fmt.Printf("  %-12s %s\n", name, experiment.SweepDescription(name))
+		}
+		fmt.Printf("reporters: %s\n", strings.Join(experiment.Reporters(), " "))
+		return 0
+	}
+	// Reporter knobs without a sweep would be silently inert; fail instead.
+	if *sweep == "" {
+		for flagName, val := range map[string]string{"-reporter": *reporter, "-out": *out} {
+			if val != "" {
+				fmt.Fprintf(os.Stderr, "optchain-bench: %s %q requires -sweep (see -list-sweeps)\n", flagName, val)
+				return 2
+			}
+		}
+	}
+	if *sweep != "" && *exp != "" {
+		fmt.Fprintln(os.Stderr, "optchain-bench: -sweep and -experiment are mutually exclusive")
+		return 2
+	}
+	if *baseline != "" {
+		// -baseline-json replaces the run; silently dropping a requested
+		// sweep or experiment would leave the user believing it executed,
+		// and -stream is inert in the baseline sections.
+		switch {
+		case *sweep != "":
+			fmt.Fprintln(os.Stderr, "optchain-bench: -sweep and -baseline-json are mutually exclusive")
+			return 2
+		case *exp != "":
+			fmt.Fprintln(os.Stderr, "optchain-bench: -experiment and -baseline-json are mutually exclusive")
+			return 2
+		case *stream:
+			fmt.Fprintln(os.Stderr, "optchain-bench: -stream does not apply to -baseline-json (the baseline sections fix their own streaming mode)")
+			return 2
+		}
+	}
 
 	params := optchain.BenchParams{
 		N:          *n,
@@ -84,6 +144,7 @@ func run() int {
 		Validators: *validators,
 		Workers:    *workers,
 		Quick:      *quick,
+		Streaming:  *stream,
 	}
 	if *protocol != "" {
 		if !optchain.HasProtocol(*protocol) {
@@ -91,7 +152,7 @@ func run() int {
 				*protocol, strings.Join(optchain.Protocols(), " "))
 			return 2
 		}
-		params.Protocol = optchain.Protocol(*protocol)
+		params.Protocol = *protocol
 	}
 	if *strategies != "" {
 		for _, name := range strings.Split(*strategies, ",") {
@@ -101,7 +162,7 @@ func run() int {
 					name, strings.Join(optchain.Strategies(), " "))
 				return 2
 			}
-			params.Strategies = append(params.Strategies, optchain.Strategy(name))
+			params.Strategies = append(params.Strategies, name)
 		}
 	}
 	if *wl != "" {
@@ -112,23 +173,12 @@ func run() int {
 		params.Workload = *wl
 	}
 	if *workloads != "" {
-		sep := ","
-		if strings.Contains(*workloads, ";") {
-			sep = ";" // specs like mix:a=0.5,b=0.5 carry their own commas
+		specs, err := optchain.SplitWorkloadList(*workloads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-bench: -workloads: %v\n", err)
+			return 2
 		}
-		for _, spec := range strings.Split(*workloads, sep) {
-			spec = strings.TrimSpace(spec)
-			if spec == "" {
-				// A trailing ';' is the documented way to force ';'-mode
-				// for a single comma-bearing spec; blanks are not entries.
-				continue
-			}
-			if _, _, err := optchain.ParseWorkloadSpec(spec); err != nil {
-				fmt.Fprintf(os.Stderr, "optchain-bench: -workloads: %v\n", err)
-				return 2
-			}
-			params.Workloads = append(params.Workloads, spec)
-		}
+		params.Workloads = specs
 	}
 
 	h := optchain.NewBenchHarness(params)
@@ -162,10 +212,24 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "wrote %s in %.1fs\n", *baseline, time.Since(start).Seconds())
 		return 0
 	}
-	if *experiment == "all" {
+
+	if *sweep != "" {
+		if err := runSweep(h, *sweep, *reporter, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+		return 0
+	}
+
+	name := *exp
+	if name == "" {
+		name = "all"
+	}
+	if name == "all" {
 		err = optchain.RunAllExperiments(h, os.Stdout)
 	} else {
-		err = optchain.RunExperiment(h, *experiment, os.Stdout)
+		err = optchain.RunExperiment(h, name, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
@@ -173,4 +237,47 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
 	return 0
+}
+
+// runSweep streams one registered sweep through the selected reporter.
+// Ctrl-C cancels the sweep; rows completed before the interrupt are
+// flushed to the reporter before the error is reported.
+func runSweep(h interface {
+	Report(ctx context.Context, s experiment.Sweep, rep experiment.Reporter) error
+	Params() experiment.Params
+}, name, reporterSpec, outPath string) (err error) {
+	s, err := experiment.BuildSweep(name, h.Params())
+	if err != nil {
+		return err
+	}
+	if reporterSpec == "" {
+		reporterSpec = "text"
+	}
+	// Validate the whole reporter spec — name AND option values — before
+	// touching -out: a typo must not truncate an existing results file.
+	if _, err := experiment.NewReporter(reporterSpec, io.Discard); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if outPath != "" {
+		f, ferr := os.Create(outPath)
+		if ferr != nil {
+			return ferr
+		}
+		// A failed close means the flushed results never reached disk; the
+		// run must exit non-zero, not just print a warning.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	rep, err := experiment.NewReporter(reporterSpec, w)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return h.Report(ctx, s, rep)
 }

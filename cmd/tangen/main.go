@@ -1,9 +1,14 @@
-// Command tangen generates a synthetic transaction dataset and writes it in
-// the binary stream format understood by the rest of the toolchain. The
-// default is the calibrated Bitcoin-like generator (TaN-network statistics
-// of the paper's Fig. 2); -workload materializes any registered scenario
-// instead (hotspot, burst, adversarial, drift, ... — see -list), with knobs
-// passed inline.
+// Command tangen produces transaction datasets in the binary stream format
+// understood by the rest of the toolchain (.tan). Three sources:
+//
+//   - the calibrated Bitcoin-like generator (default; TaN-network
+//     statistics of the paper's Fig. 2),
+//   - any registered workload scenario via -workload (hotspot, burst,
+//     adversarial, drift, mix compositions, ... — see -list), with knobs
+//     passed inline,
+//   - a real Bitcoin trace excerpt via -from-csv / -from-json: txid-keyed
+//     extracts are rewritten to positional references and validated, so
+//     published trace excerpts feed `replay:` directly.
 //
 // Usage:
 //
@@ -11,10 +16,20 @@
 //	tangen -workload "hotspot:exp=1.5" -n 200000 -o hot.tan
 //	tangen -workload adversarial -shards 16 -n 100000 -o adv.tan
 //	tangen -workload "mix:bitcoin=0.7,hotspot=0.3" -n 500000 -o mixed.tan
+//	tangen -from-csv excerpt.csv -skip-foreign -o real.tan
+//	tangen -from-json excerpt.json -o real.tan
 //	tangen -list
 //
-// The full spec grammar (mix composition, replay, knobs per scenario) is
-// documented in SCENARIOS.md.
+// The full spec grammar (mix composition, replay, knobs per scenario) and
+// the real-trace ingestion pipeline (excerpt formats, foreign-input
+// handling, end-to-end example) are documented in SCENARIOS.md.
+//
+// -from-csv expects `txid,inputs,outputs` records ('|'-separated
+// txid:vout outpoints and output values; header optional); -from-json an
+// array or JSONL stream of {"txid","inputs","outputs"} objects. Inputs
+// referencing transactions outside the excerpt fail by default, naming the
+// txid; -skip-foreign drops them instead (the spend is treated as
+// externally funded), keeping the excerpt's internal lineage intact.
 //
 // The dedicated -communities/-intra/-hub-every/-hub-fanout flags apply to
 // the default Bitcoin generator only; scenario generators take their knobs
@@ -38,16 +53,19 @@ func main() {
 
 func run() int {
 	var (
-		n         = flag.Int("n", 100_000, "number of transactions")
-		seed      = flag.Int64("seed", 1, "random seed")
-		out       = flag.String("o", "", "output file (default stdout)")
-		wl        = flag.String("workload", "", "workload scenario name[:knob=value,...] (default: calibrated bitcoin generator)")
-		shards    = flag.Int("shards", 16, "shard-count hint for feedback-aware workloads")
-		comms     = flag.Int("communities", 64, "active wallet communities (bitcoin generator)")
-		intra     = flag.Float64("intra", 1.0, "probability an input is drawn from the owner community (bitcoin generator)")
-		hubEvery  = flag.Int("hub-every", 250, "hub (batch payer) cadence in transactions (bitcoin generator)")
-		hubFanout = flag.Int("hub-fanout", 60, "hub transaction output bound (bitcoin generator)")
-		list      = flag.Bool("list", false, "list registered workload scenarios, then exit")
+		n           = flag.Int("n", 100_000, "number of transactions")
+		seed        = flag.Int64("seed", 1, "random seed")
+		out         = flag.String("o", "", "output file (default stdout)")
+		wl          = flag.String("workload", "", "workload scenario name[:knob=value,...] (default: calibrated bitcoin generator)")
+		fromCSV     = flag.String("from-csv", "", "convert a txid-keyed CSV trace excerpt to .tan instead of generating")
+		fromJSON    = flag.String("from-json", "", "convert a JSON/JSONL trace excerpt to .tan instead of generating")
+		skipForeign = flag.Bool("skip-foreign", false, "drop inputs referencing transactions outside the excerpt (default: error naming the txid)")
+		shards      = flag.Int("shards", 16, "shard-count hint for feedback-aware workloads")
+		comms       = flag.Int("communities", 64, "active wallet communities (bitcoin generator)")
+		intra       = flag.Float64("intra", 1.0, "probability an input is drawn from the owner community (bitcoin generator)")
+		hubEvery    = flag.Int("hub-every", 250, "hub (batch payer) cadence in transactions (bitcoin generator)")
+		hubFanout   = flag.Int("hub-fanout", 60, "hub transaction output bound (bitcoin generator)")
+		list        = flag.Bool("list", false, "list registered workload scenarios, then exit")
 	)
 	flag.Parse()
 
@@ -55,10 +73,40 @@ func run() int {
 		fmt.Printf("workloads: %s\n", strings.Join(optchain.Workloads(), " "))
 		return 0
 	}
+	if *fromCSV != "" && *fromJSON != "" {
+		fmt.Fprintln(os.Stderr, "tangen: -from-csv and -from-json are mutually exclusive")
+		return 2
+	}
+	if (*fromCSV != "" || *fromJSON != "") && *wl != "" {
+		fmt.Fprintln(os.Stderr, "tangen: -workload does not combine with a trace conversion")
+		return 2
+	}
+	if *skipForeign && *fromCSV == "" && *fromJSON == "" {
+		fmt.Fprintln(os.Stderr, "tangen: -skip-foreign requires -from-csv or -from-json")
+		return 2
+	}
+	if *fromCSV != "" || *fromJSON != "" {
+		// Generator flags are silently inert in conversion mode; fail
+		// loudly instead (the excerpt alone defines the stream).
+		inert := ""
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n", "seed", "shards", "communities", "intra", "hub-every", "hub-fanout":
+				inert = f.Name
+			}
+		})
+		if inert != "" {
+			fmt.Fprintf(os.Stderr, "tangen: -%s does not apply to a trace conversion (the excerpt defines the stream)\n", inert)
+			return 2
+		}
+	}
 
 	var d *optchain.Dataset
 	var err error
-	if *wl != "" {
+	switch {
+	case *fromCSV != "" || *fromJSON != "":
+		d, err = convertTrace(*fromCSV, *fromJSON, *skipForeign)
+	case *wl != "":
 		// The full spec passes through unchanged, so mix compositions and
 		// replay arguments materialize exactly as they would stream.
 		d, err = optchain.MaterializeWorkload(*wl, optchain.WorkloadParams{
@@ -66,7 +114,7 @@ func run() int {
 			Seed:   *seed,
 			Shards: *shards,
 		})
-	} else {
+	default:
 		cfg := optchain.DatasetDefaults()
 		cfg.N = *n
 		cfg.Seed = *seed
@@ -101,4 +149,32 @@ func run() int {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d transactions\n", d.Len())
 	return 0
+}
+
+// convertTrace converts one real-trace excerpt file (CSV or JSON).
+func convertTrace(csvPath, jsonPath string, skipForeign bool) (*optchain.Dataset, error) {
+	path := csvPath
+	if path == "" {
+		path = jsonPath
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg := optchain.TraceConvertConfig{SkipForeign: skipForeign}
+	var d *optchain.Dataset
+	var foreign int64
+	if csvPath != "" {
+		d, foreign, err = optchain.ConvertTraceCSV(f, cfg)
+	} else {
+		d, foreign, err = optchain.ConvertTraceJSON(f, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if foreign > 0 {
+		fmt.Fprintf(os.Stderr, "dropped %d foreign input(s) referencing transactions outside the excerpt\n", foreign)
+	}
+	return d, nil
 }

@@ -107,17 +107,47 @@
 // spec). MaterializeWorkload converts any scenario into a Dataset when a
 // full stream is genuinely needed.
 //
+// # Experiments: declarative sweeps
+//
+// The sibling package optchain/experiment is the public sweep layer: a
+// declarative Sweep value (axes over shards, rate, strategy, protocol, and
+// full workload specs — or an explicit cell list) executed by a Runner
+// that streams typed Rows as cells complete into pluggable Reporter sinks
+// (text, jsonl, csv, and the BENCH_baseline.json writer are built in):
+//
+//	r := experiment.NewRunner(experiment.Params{N: 60_000, Seed: 1})
+//	sweep := experiment.Sweep{
+//	    Name:       "latency",
+//	    Strategies: []string{"OptChain", "OmniLedger"},
+//	    Shards:     []int{4, 8, 16},
+//	    Rates:      []float64{2000, 4000, 6000},
+//	}
+//	for row, err := range r.Stream(ctx, sweep) { ... }
+//
+// Rows arrive in canonical cell order with stable identity regardless of
+// worker scheduling; cancelling the context stops the sweep promptly with
+// partial rows flushed. Sweep.Streaming drives cells from streaming
+// workload sources — `mix:` and `replay:` arrival modulation bends the
+// figure grids without materializing anything (Metis cells still
+// materialize, and their rows say so). The paper's own figures, tables,
+// and ablations are thin sweep definitions over this API, registered by
+// name (experiment.RegisterSweep) and runnable from cmd/optchain-bench via
+// -sweep/-reporter/-list-sweeps; see the experiment package documentation
+// and PERFORMANCE.md's "Running experiments".
+//
 // # Registries
 //
-// Strategies, protocols, and workload scenarios resolve by name through
-// open registries. RegisterStrategy, RegisterProtocol, and RegisterWorkload
-// add new ones, which become selectable everywhere a name is accepted —
+// Strategies, protocols, workload scenarios, reporters, and named sweeps
+// resolve by name through open registries. RegisterStrategy,
+// RegisterProtocol, and RegisterWorkload add new ones, which become
+// selectable everywhere a name is accepted —
 // WithStrategy/WithProtocol/WithWorkload, SimConfig, and the
 // -strategy/-protocol/-workload flags of the cmd/ binaries; Strategies,
-// Protocols, and Workloads enumerate what is registered. The built-ins are
-// the paper's: "OptChain", "T2S", "Greedy", "Metis", and the hash-random
-// "OmniLedger" placement, over the "omniledger" and "rapidchain" commit
-// backends.
+// Protocols, and Workloads enumerate what is registered (the experiment
+// package's RegisterReporter and RegisterSweep follow the same rules). The
+// built-ins are the paper's: "OptChain", "T2S", "Greedy", "Metis", and the
+// hash-random "OmniLedger" placement, over the "omniledger" and
+// "rapidchain" commit backends.
 //
 // Constructors validate eagerly and return typed errors
 // (ErrUnknownStrategy, ErrBadShard, ErrBadOption, …) — no exported call
@@ -129,9 +159,11 @@
 // Greedy and hash-random baselines, a discrete-event simulation of sharded
 // blockchains (committees, PBFT-style block consensus over a
 // latency/bandwidth network model), the OmniLedger atomic-commit and
-// RapidChain yanking cross-shard protocols, and a benchmark harness that
-// regenerates every table and figure of the paper's evaluation
-// (cmd/optchain-bench).
+// RapidChain yanking cross-shard protocols, and the experiment sweep layer
+// that regenerates every table and figure of the paper's evaluation
+// (cmd/optchain-bench). Real Bitcoin trace excerpts convert to the stream
+// format with ConvertTraceCSV / ConvertTraceJSON (cmd/tangen
+// -from-csv/-from-json) and feed the replay scenario directly.
 //
 // The runnable programs under cmd/ and the worked examples under examples/
 // show the full surface; examples/quickstart is the canonical snippet and

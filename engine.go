@@ -352,6 +352,8 @@ func WithProgress(fn func(MetricsSnapshot)) Option {
 }
 
 // WithProgressEvery sets the progress cadence in virtual time (default 5s).
+// It refines WithProgress; using it without a WithProgress callback fails
+// New with ErrBadOption.
 func WithProgressEvery(d time.Duration) Option {
 	return func(e *Engine) error {
 		if d <= 0 {
@@ -403,6 +405,12 @@ func New(opts ...Option) (*Engine, error) {
 	if e.txs != 0 && e.dataset != nil && e.txs > e.dataset.Len() {
 		return nil, fmt.Errorf("%w: WithTxs(%d) exceeds dataset length %d",
 			ErrBadOption, e.txs, e.dataset.Len())
+	}
+	if e.progressEvery != 0 && e.progress == nil {
+		// A cadence with no callback would be silently inert; fail loudly so
+		// the missing WithProgress is caught at construction.
+		return nil, fmt.Errorf("%w: WithProgressEvery(%v) without WithProgress",
+			ErrBadOption, e.progressEvery)
 	}
 	if e.workloadName != "" {
 		if e.dataset != nil {

@@ -43,6 +43,8 @@ func TestEngineOptionValidation(t *testing.T) {
 		{"nil dataset", []optchain.Option{optchain.WithDataset(nil)}, optchain.ErrBadOption},
 		{"negative txs", []optchain.Option{optchain.WithTxs(-1)}, optchain.ErrBadOption},
 		{"zero progress cadence", []optchain.Option{optchain.WithProgressEvery(0)}, optchain.ErrBadOption},
+		{"progress cadence without callback", []optchain.Option{
+			optchain.WithProgressEvery(time.Second)}, optchain.ErrBadOption},
 		{"bad partition entry", []optchain.Option{optchain.WithMetisPartition([]int32{0, -2})}, optchain.ErrBadShard},
 		{"partition entry beyond shard count", []optchain.Option{
 			optchain.WithMetisPartition([]int32{0, 20}), optchain.WithShards(4)}, optchain.ErrBadShard},

@@ -1,0 +1,170 @@
+// Package experiment is the public sweep layer: declarative experiment
+// grids over the paper's axes (shard count, offered rate, placement
+// strategy, commit protocol, workload spec), executed by a Runner that
+// streams typed Rows as cells complete into pluggable Reporter sinks.
+//
+// The paper's evidence is its sweep figures (Tables I-II, Figs. 2-11);
+// internal/bench renders those exact layouts, but the machinery that runs
+// them is this package — open, so sweeps compose and results are data:
+//
+//	r := experiment.NewRunner(experiment.Params{N: 60_000, Seed: 1})
+//	sweep := experiment.Sweep{
+//	    Name:       "latency-grid",
+//	    Strategies: []string{"OptChain", "OmniLedger"},
+//	    Shards:     []int{4, 8, 16},
+//	    Rates:      []float64{2000, 4000, 6000},
+//	}
+//	for row, err := range r.Stream(ctx, sweep) { ... }
+//
+// Three registries mirror optchain.RegisterStrategy / RegisterProtocol /
+// RegisterWorkload:
+//
+//   - RegisterReporter: result sinks. Built-ins: "text" (aligned table),
+//     "jsonl" (one JSON object per row), "csv", and "baseline" (the
+//     BENCH_baseline.json writer, schema v4).
+//   - RegisterSweep: named sweep definitions, selectable from
+//     cmd/optchain-bench via -sweep / -list-sweeps. internal/bench
+//     registers the paper's grids (grid, peak, scenarios, table1, ...).
+//   - Strategy/protocol/workload names inside a Sweep resolve through the
+//     existing open registries, so externally registered extensions sweep
+//     exactly like built-ins.
+//
+// # Execution model
+//
+// Runner.Stream returns an iter.Seq2[Row, error]: cells fan out across the
+// worker budget (every cell seeds its own RNG from Params.Seed, so results
+// are independent of scheduling), and rows are delivered in canonical cell
+// order as the completion frontier advances — row identity (Row.ID) is a
+// pure function of the cell, never of timing. Cancelling the context stops
+// the sweep promptly (in-flight simulations abort between events); rows
+// already delivered remain valid, and Report flushes them to the reporter
+// before returning the cancellation error.
+//
+// Expensive shared artifacts — materialized datasets and Metis partitions —
+// are built once per key behind a singleflight cache inside the Runner, so
+// concurrent cells needing the same dataset block on one computation.
+//
+// # Streaming sweeps
+//
+// Sweep.Streaming drives every cell from a workload.Source pulled one
+// transaction per issue event — nothing is materialized, so `mix:` and
+// `replay:` specs with arrival modulation (burst/drift Gap shaping) bend
+// the figure grids too. The Metis strategy is the exception: it replays an
+// offline partition of the full graph, so its cells materialize the
+// workload regardless, and the row says so (Row.Streamed=false).
+package experiment
+
+import (
+	"errors"
+	"runtime"
+)
+
+// Typed errors. Match with errors.Is.
+var (
+	// ErrBadSweep reports an invalid sweep definition (empty axis value,
+	// unknown strategy/protocol/workload name, bad cell).
+	ErrBadSweep = errors.New("experiment: invalid sweep")
+	// ErrUnknownReporter reports a reporter name with no registered factory.
+	ErrUnknownReporter = errors.New("experiment: unknown reporter")
+	// ErrBadReporterOption reports a reporter option the named reporter does
+	// not take — misspelled knobs fail instead of being silently inert.
+	ErrBadReporterOption = errors.New("experiment: invalid reporter option")
+	// ErrUnknownSweep reports a sweep name with no registered builder.
+	ErrUnknownSweep = errors.New("experiment: unknown sweep")
+)
+
+// Params scales sweep execution. Zero values take defaults. The same value
+// parameterizes every sweep a Runner executes, so cached cells are shared
+// across sweeps (the fig3 grid warms the cells figs 4-10 present as
+// different views).
+type Params struct {
+	// N is the stream length for simulation cells (default 60k; the paper
+	// used 10M — the reported shapes are scale-stable).
+	N int
+	// TableN is the stream length for offline placement cells (default
+	// 200k).
+	TableN int
+	// Seed drives dataset generation and simulations.
+	Seed int64
+	// Validators per shard (default 400, the paper's committee size).
+	Validators int
+	// Quick shrinks every grid for smoke tests and testing.B benchmarks.
+	Quick bool
+	// Workers bounds parallel cell execution (default GOMAXPROCS).
+	Workers int
+	// Protocol is the default commit backend for sweeps that don't pin one
+	// (default omniledger, the paper's). Resolved by name through the open
+	// registry.
+	Protocol string
+	// Strategies overrides the default strategy axis (default: OptChain,
+	// OmniLedger, Metis, Greedy — the paper's four).
+	Strategies []string
+	// Workloads overrides the scenario set of the `scenarios` sweep and the
+	// baseline's per-scenario section (default: every standalone registered
+	// workload scenario). Entries may be full workload specs.
+	Workloads []string
+	// Workload is the default workload spec driving cells that don't pin
+	// one: a spec ("hotspot:exp=1.5", "mix:bitcoin=0.7,hotspot=0.3",
+	// "replay:trace.tan") used in place of the calibrated Bitcoin-like
+	// generator. Empty selects the calibrated default.
+	Workload string
+	// Streaming makes sim sweeps drive their cells from streaming workload
+	// sources instead of materialized datasets (see the package comment;
+	// Sweep.Streaming pins it per sweep).
+	Streaming bool
+}
+
+func (p *Params) fillDefaults() {
+	if p.N <= 0 {
+		p.N = 60_000
+	}
+	if p.TableN <= 0 {
+		p.TableN = 200_000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Validators <= 0 {
+		p.Validators = 400
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	if p.Protocol == "" {
+		p.Protocol = "omniledger"
+	}
+	if p.Quick {
+		if p.N > 12_000 {
+			p.N = 12_000
+		}
+		if p.TableN > 30_000 {
+			p.TableN = 30_000
+		}
+		if p.Validators > 16 {
+			p.Validators = 16
+		}
+	}
+}
+
+// DefaultStrategies is the strategy axis sweeps compare when neither the
+// sweep nor Params pins one — the paper's four.
+func DefaultStrategies() []string {
+	return []string{"OptChain", "OmniLedger", "Metis", "Greedy"}
+}
+
+// strategies resolves the effective default strategy axis.
+func (p Params) strategies() []string {
+	if len(p.Strategies) > 0 {
+		return p.Strategies
+	}
+	return DefaultStrategies()
+}
+
+// WorkloadLabel names the stream driving cells with no per-cell workload
+// spec — the Params.Workload spec, or the calibrated default.
+func (p Params) WorkloadLabel() string {
+	if p.Workload == "" {
+		return "bitcoin"
+	}
+	return p.Workload
+}

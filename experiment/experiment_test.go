@@ -1,0 +1,419 @@
+package experiment_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"optchain/experiment"
+)
+
+// quickParams keeps every test sweep small and fast.
+func quickParams() experiment.Params {
+	return experiment.Params{Quick: true, N: 1200, TableN: 3000, Seed: 1, Validators: 4}
+}
+
+// tinySweep is a 2x2 sim sweep.
+func tinySweep() experiment.Sweep {
+	return experiment.Sweep{
+		Name:       "tiny",
+		Strategies: []string{"OptChain", "OmniLedger"},
+		Shards:     []int{2, 4},
+		Rates:      []float64{800},
+	}
+}
+
+func TestStreamCanonicalOrderAndIdentity(t *testing.T) {
+	r := experiment.NewRunner(quickParams())
+	rows, err := r.Collect(context.Background(), tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wantOrder := []struct {
+		strategy string
+		shards   int
+	}{
+		{"OptChain", 2}, {"OptChain", 4}, {"OmniLedger", 2}, {"OmniLedger", 4},
+	}
+	seen := map[string]bool{}
+	for i, row := range rows {
+		if row.Index != i || row.Sweep != "tiny" {
+			t.Fatalf("row %d identity: %+v", i, row)
+		}
+		if row.Strategy != wantOrder[i].strategy || row.Shards != wantOrder[i].shards {
+			t.Fatalf("row %d out of canonical order: %+v", i, row)
+		}
+		if row.ID == "" || seen[row.ID] {
+			t.Fatalf("row %d id %q empty or duplicated", i, row.ID)
+		}
+		seen[row.ID] = true
+		if row.Committed == 0 || row.Result == nil {
+			t.Fatalf("row %d degenerate: %+v", i, row)
+		}
+	}
+}
+
+// TestDeterministicAcrossScheduling: a parallel sweep and a serial sweep of
+// the same cells produce identical rows — row identity and values are
+// independent of worker scheduling.
+func TestDeterministicAcrossScheduling(t *testing.T) {
+	par := experiment.NewRunner(quickParams())
+	parRows, err := par.Collect(context.Background(), tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := quickParams()
+	p.Workers = 1
+	ser := experiment.NewRunner(p)
+	serRows, err := ser.Collect(context.Background(), tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parRows {
+		a, b := parRows[i], serRows[i]
+		if a.ID != b.ID || a.SteadyTPS != b.SteadyTPS || a.CrossFraction != b.CrossFraction ||
+			a.Committed != b.Committed || a.AvgLatencySec != b.AvgLatencySec {
+			t.Fatalf("row %d differs across scheduling:\npar: %+v\nser: %+v", i, a, b)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	r := experiment.NewRunner(quickParams())
+	for name, s := range map[string]experiment.Sweep{
+		"no name":          {Strategies: []string{"OptChain"}, Shards: []int{2}, Rates: []float64{100}},
+		"no shards":        {Name: "x", Strategies: []string{"OptChain"}, Rates: []float64{100}},
+		"no rates":         {Name: "x", Strategies: []string{"OptChain"}, Shards: []int{2}},
+		"unknown strategy": {Name: "x", Strategies: []string{"Nope"}, Shards: []int{2}, Rates: []float64{100}},
+		"unknown protocol": {Name: "x", Strategies: []string{"OptChain"}, Protocols: []string{"nope"}, Shards: []int{2}, Rates: []float64{100}},
+		"bad workload":     {Name: "x", Strategies: []string{"OptChain"}, Shards: []int{2}, Rates: []float64{100}, Workloads: []string{"nope:1"}},
+		"placement vocab":  {Name: "x", Kind: experiment.KindPlacement, Strategies: []string{"OptChain"}, Shards: []int{2}},
+		"cells + axis": {Name: "x", Shards: []int{2},
+			Cells: []experiment.Cell{{Strategy: "OptChain", Shards: 2, Rate: 100}}},
+		"cells + cell defaults": {Name: "x", Streaming: true,
+			Cells: []experiment.Cell{{Strategy: "OptChain", Shards: 2, Rate: 100}}},
+		"warm on sim cells": {Name: "x", Strategies: []string{"OptChain"},
+			Shards: []int{2}, Rates: []float64{100}, Warm: 50},
+		"l2s weight on placement cells": {Name: "x", Kind: experiment.KindPlacement,
+			Strategies: []string{"T2S"}, Shards: []int{2}, L2SWeights: []float64{0.1}},
+	} {
+		if _, err := r.Collect(context.Background(), s); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestStreamCancellationMidSweep: cancelling the context mid-sweep stops
+// promptly, leaks no goroutines, and the rows delivered before the cancel
+// are flushed through the reporter (partial output remains valid).
+func TestStreamCancellationMidSweep(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := quickParams()
+	p.N = 4000
+	p.Workers = 2
+	r := experiment.NewRunner(p)
+	// Enough cells that the sweep cannot finish before the cancel.
+	s := experiment.Sweep{
+		Name:       "cancel",
+		Strategies: []string{"OptChain", "OmniLedger", "Greedy", "T2S"},
+		Shards:     []int{2, 3, 4, 5},
+		Rates:      []float64{700, 900},
+		Uncached:   true,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var rows []experiment.Row
+	var sawErr error
+	for row, err := range r.Stream(ctx, s) {
+		if err != nil {
+			sawErr = err
+			break
+		}
+		rows = append(rows, row)
+		if len(rows) == 2 {
+			cancel()
+		}
+	}
+	cancel()
+	if !errors.Is(sawErr, context.Canceled) {
+		t.Fatalf("err = %v (rows %d)", sawErr, len(rows))
+	}
+	if len(rows) < 2 || len(rows) >= 32 {
+		t.Fatalf("rows before cancel = %d", len(rows))
+	}
+	// The iterator waits for in-flight workers before returning, so the
+	// goroutine count settles back to the baseline (+1 slack for unrelated
+	// runtime goroutines; a worker-pool leak would add Workers=2 or more).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+1 {
+		t.Fatalf("goroutines leaked: %d -> %d", before, g)
+	}
+}
+
+// TestStreamBreakStopsRemainingCells: breaking out of the row iteration
+// must cancel the rest of the sweep — not silently execute every
+// remaining cell while the iterator's cleanup waits for workers. We
+// observe it through the cell cache: after an early break, a second pass
+// over the same sweep must re-execute most cells. (The worker can race a
+// few tiny cells ahead of the consumer's break — especially at
+// GOMAXPROCS=1 — so the bound is a majority, not an exact count; without
+// the cancel-before-wait ordering every cell completes.)
+func TestStreamBreakStopsRemainingCells(t *testing.T) {
+	p := quickParams()
+	p.Workers = 1
+	p.N = 4000 // heavy enough that the break lands within a cell or two
+	r := experiment.NewRunner(p)
+	s := experiment.Sweep{
+		Name:       "break",
+		Strategies: []string{"OptChain", "OmniLedger"},
+		Shards:     []int{2, 3, 4, 5},
+		Rates:      []float64{700, 900},
+	}
+	for _, err := range r.Stream(context.Background(), s) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		break // consumer walks away after the first row
+	}
+	rows, err := r.Collect(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for _, row := range rows {
+		if row.WallSeconds == 0 {
+			cached++
+		}
+	}
+	if cached > len(rows)/2 {
+		t.Fatalf("%d of %d cells executed despite the early break", cached, len(rows))
+	}
+}
+
+// TestReportFlushesPartialRowsOnCancel: Report must End (flush) the
+// reporter even when the sweep is cancelled, so the JSONL file holds the
+// completed rows.
+func TestReportFlushesPartialRowsOnCancel(t *testing.T) {
+	p := quickParams()
+	p.N = 4000
+	p.Workers = 1
+	r := experiment.NewRunner(p)
+	s := experiment.Sweep{
+		Name:       "cancel-flush",
+		Strategies: []string{"OptChain", "OmniLedger", "Greedy", "T2S"},
+		Shards:     []int{2, 3, 4},
+		Rates:      []float64{700},
+		Uncached:   true,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sb strings.Builder
+	rep, err := experiment.NewReporter("jsonl", &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &cancelAfter{Reporter: rep, n: 2, cancel: cancel}
+	err = r.Report(ctx, s, counting)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Report err = %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 2 || len(lines) >= 12 {
+		t.Fatalf("flushed %d rows, want the pre-cancel partial set:\n%s", len(lines), sb.String())
+	}
+	for i, l := range lines {
+		if !strings.HasPrefix(l, "{") || !strings.Contains(l, `"id":"sim:`) {
+			t.Fatalf("line %d is not a valid row: %q", i, l)
+		}
+	}
+}
+
+// cancelAfter cancels the sweep context after n rows have reached the
+// reporter.
+type cancelAfter struct {
+	experiment.Reporter
+	n      int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Row(r experiment.Row) error {
+	if err := c.Reporter.Row(r); err != nil {
+		return err
+	}
+	c.seen++
+	if c.seen == c.n {
+		c.cancel()
+	}
+	return nil
+}
+
+// TestStreamingCellsDoNotLeakSources: a streamed replay cell holds a trace
+// file open; cancellation mid-sweep must release it (close happens on the
+// cell's exit path). We can't portably count FDs, so this exercises the
+// path and relies on the deferred Close — a panic or deadlock would fail.
+func TestStreamingSweepRuns(t *testing.T) {
+	p := quickParams()
+	r := experiment.NewRunner(p)
+	s := experiment.Sweep{
+		Name:       "streamed",
+		Strategies: []string{"OptChain"},
+		Shards:     []int{2},
+		Rates:      []float64{800},
+		Workloads:  []string{"hotspot:exp=1.3"},
+		Streaming:  true,
+	}
+	rows, err := r.Collect(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].Streamed || rows[0].Workload != "hotspot:exp=1.3" {
+		t.Fatalf("row: %+v", rows[0])
+	}
+	if !strings.Contains(rows[0].ID, "/streamed") {
+		t.Fatalf("streamed cell id: %q", rows[0].ID)
+	}
+}
+
+func TestPlacementSweep(t *testing.T) {
+	r := experiment.NewRunner(quickParams())
+	s := experiment.Sweep{
+		Name:       "tables",
+		Kind:       experiment.KindPlacement,
+		Strategies: []string{"Metis", "Greedy", "OmniLedger", "T2S"},
+		Shards:     []int{4},
+	}
+	rows, err := r.Collect(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Kind != experiment.KindPlacement {
+			t.Fatalf("kind = %q", row.Kind)
+		}
+		if row.CrossFraction <= 0 || row.CrossFraction > 1 {
+			t.Fatalf("%s cross fraction = %v", row.Strategy, row.CrossFraction)
+		}
+		if row.Protocol != "" || row.Rate != 0 {
+			t.Fatalf("placement row carries sim fields: %+v", row)
+		}
+	}
+	// OmniLedger's hash placement must be (much) worse than T2S lineage
+	// placement — sanity that the right strategies ran.
+	var t2s, random float64
+	for _, row := range rows {
+		switch row.Strategy {
+		case "T2S":
+			t2s = row.CrossFraction
+		case "OmniLedger":
+			random = row.CrossFraction
+		}
+	}
+	if t2s >= random {
+		t.Fatalf("T2S %v not better than random %v", t2s, random)
+	}
+	// A warm start covering the whole stream has nothing to measure and
+	// must fail rather than report a misleading 0% cross fraction.
+	_, err = r.Cell(context.Background(), experiment.Cell{
+		Kind: experiment.KindPlacement, Strategy: "T2S", Shards: 4, Warm: 1 << 30,
+	})
+	if !errors.Is(err, experiment.ErrBadSweep) {
+		t.Fatalf("whole-stream warm start: err = %v", err)
+	}
+}
+
+// TestExpandDoesNotMutateCallerCells: running an Uncached sweep over an
+// explicit cell list must not write the sticky flags back into the
+// caller's slice (a later cached sweep over the same cells would silently
+// re-execute everything).
+func TestExpandDoesNotMutateCallerCells(t *testing.T) {
+	r := experiment.NewRunner(quickParams())
+	cells := []experiment.Cell{{Strategy: "OptChain", Shards: 2, Rate: 800}}
+	if _, err := r.Collect(context.Background(), experiment.Sweep{Name: "wall", Cells: cells, Uncached: true}); err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].NoCache || cells[0].Kind != "" {
+		t.Fatalf("expand mutated the caller's cells: %+v", cells[0])
+	}
+}
+
+// TestConcurrentSweepsSingleflight: two overlapping sweeps streamed
+// concurrently on one runner execute each shared cell once — the second
+// consumer blocks on the in-flight execution instead of duplicating it.
+func TestConcurrentSweepsSingleflight(t *testing.T) {
+	r := experiment.NewRunner(quickParams())
+	s := tinySweep()
+	type res struct {
+		rows []experiment.Row
+		err  error
+	}
+	results := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rows, err := r.Collect(context.Background(), s)
+			results <- res{rows, err}
+		}()
+	}
+	a, b := <-results, <-results
+	if a.err != nil || b.err != nil {
+		t.Fatal(a.err, b.err)
+	}
+	// Exactly one of the two observers of each cell paid wall time.
+	for i := range a.rows {
+		wallA, wallB := a.rows[i].WallSeconds > 0, b.rows[i].WallSeconds > 0
+		if wallA && wallB {
+			t.Fatalf("cell %s executed twice across concurrent sweeps", a.rows[i].ID)
+		}
+		if a.rows[i].SteadyTPS != b.rows[i].SteadyTPS {
+			t.Fatalf("cell %d diverged across concurrent sweeps", i)
+		}
+	}
+}
+
+func TestCellCacheSharedAcrossSweeps(t *testing.T) {
+	r := experiment.NewRunner(quickParams())
+	if _, err := r.Collect(context.Background(), tinySweep()); err != nil {
+		t.Fatal(err)
+	}
+	other := tinySweep()
+	other.Name = "other"
+	rows, err := r.Collect(context.Background(), other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.WallSeconds != 0 {
+			t.Fatalf("cell re-executed despite cache: %+v", row)
+		}
+		if row.Sweep != "other" {
+			t.Fatalf("cached row kept stale sweep identity: %+v", row)
+		}
+	}
+}
+
+// TestMetisCaseInsensitive: strategy names resolve case-insensitively
+// everywhere else, so a "metis" sim cell must get its partition wired
+// exactly like "Metis".
+func TestMetisCaseInsensitive(t *testing.T) {
+	r := experiment.NewRunner(quickParams())
+	row, err := r.Cell(context.Background(), experiment.Cell{
+		Kind: experiment.KindSim, Strategy: "metis", Shards: 2, Rate: 800,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Committed == 0 {
+		t.Fatalf("degenerate metis row: %+v", row)
+	}
+}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Reporter is a sweep result sink. The Runner drives it through Report:
+// Begin once, Row per result in canonical order as cells complete, End
+// once — including after a failure or cancellation, so partial output is
+// flushed rather than lost.
+//
+// Implementations need not be safe for concurrent use; the Runner
+// serializes calls.
+type Reporter interface {
+	// Begin observes the sweep definition before any row.
+	Begin(s Sweep, p Params) error
+	// Row observes one completed result row.
+	Row(r Row) error
+	// End flushes. It is called exactly once, even on failure paths.
+	End() error
+}
+
+// ReporterFactory builds a reporter writing to w. opts carries the
+// reporter's knobs (from a "name:key=value,..." spec); factories MUST
+// reject unknown keys with an error wrapping ErrBadReporterOption, so
+// misspelled knobs fail instead of being silently inert.
+type ReporterFactory func(w io.Writer, opts map[string]string) (Reporter, error)
+
+var (
+	repMu      sync.RWMutex
+	repEntries = make(map[string]repEntry) // keyed by lower-cased name
+)
+
+type repEntry struct {
+	display string
+	factory ReporterFactory
+}
+
+// RegisterReporter adds a reporter to the open registry under the given
+// case-insensitive name, making it selectable everywhere a reporter name
+// is accepted (NewReporter, cmd/optchain-bench -reporter). Registering a
+// duplicate or empty name, or a nil factory, returns an error — the same
+// rules as optchain.RegisterStrategy.
+func RegisterReporter(name string, f ReporterFactory) error {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return fmt.Errorf("experiment: empty reporter name")
+	}
+	if f == nil {
+		return fmt.Errorf("experiment: nil reporter factory for %q", name)
+	}
+	key := strings.ToLower(name)
+	repMu.Lock()
+	defer repMu.Unlock()
+	if prev, ok := repEntries[key]; ok {
+		return fmt.Errorf("experiment: reporter %q already registered", prev.display)
+	}
+	repEntries[key] = repEntry{display: name, factory: f}
+	return nil
+}
+
+// mustRegisterReporter registers a built-in; failure is a programming error.
+func mustRegisterReporter(name string, f ReporterFactory) {
+	if err := RegisterReporter(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// Reporters enumerates the registered reporter names, sorted.
+func Reporters() []string {
+	repMu.RLock()
+	defer repMu.RUnlock()
+	out := make([]string, 0, len(repEntries))
+	for _, e := range repEntries {
+		out = append(out, e.display)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasReporter reports whether name resolves to a registered reporter.
+func HasReporter(name string) bool {
+	repMu.RLock()
+	defer repMu.RUnlock()
+	_, ok := repEntries[strings.ToLower(strings.TrimSpace(name))]
+	return ok
+}
+
+// ParseReporterSpec splits a reporter spec "name[:key=value,...]" into the
+// registry name and its option map. The name is validated against the
+// registry; option keys are validated later, by the named factory.
+func ParseReporterSpec(spec string) (string, map[string]string, error) {
+	s := strings.TrimSpace(spec)
+	name, rest, found := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "", nil, fmt.Errorf("%w: empty reporter spec", ErrUnknownReporter)
+	}
+	if !HasReporter(name) {
+		return "", nil, fmt.Errorf("%w %q (registered: %s)",
+			ErrUnknownReporter, name, strings.Join(Reporters(), ", "))
+	}
+	var opts map[string]string
+	if found && strings.TrimSpace(rest) != "" {
+		opts = make(map[string]string)
+		for _, tok := range strings.Split(rest, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok || strings.TrimSpace(k) == "" {
+				return "", nil, fmt.Errorf("%w: reporter %q option %q is not key=value",
+					ErrBadReporterOption, name, tok)
+			}
+			opts[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	return name, opts, nil
+}
+
+// NewReporter builds a registered reporter from a spec ("jsonl",
+// "csv:header=off") writing to w. Unknown names list the registry; unknown
+// option keys fail with ErrBadReporterOption.
+func NewReporter(spec string, w io.Writer) (Reporter, error) {
+	name, opts, err := ParseReporterSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	repMu.RLock()
+	e := repEntries[strings.ToLower(name)]
+	repMu.RUnlock()
+	return e.factory(w, opts)
+}
+
+// checkReporterOpts rejects option keys outside the reporter's allowed set.
+func checkReporterOpts(reporter string, opts map[string]string, allowed ...string) error {
+	for k := range opts {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			sort.Strings(allowed)
+			have := "it takes none"
+			if len(allowed) > 0 {
+				have = "it takes: " + strings.Join(allowed, ", ")
+			}
+			return fmt.Errorf("%w: reporter %q has no option %q (%s)",
+				ErrBadReporterOption, reporter, k, have)
+		}
+	}
+	return nil
+}

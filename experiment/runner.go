@@ -1,0 +1,487 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optchain/internal/dataset"
+	"optchain/internal/metis"
+	"optchain/internal/sim"
+	"optchain/internal/workload"
+)
+
+// Runner executes sweeps. It owns the shared caches: materialized datasets
+// and Metis partitions are built once per key behind a singleflight, and
+// completed cells are memoized by identity so overlapping sweeps (the fig3
+// grid and the figs 4-10 views of it) pay for each cell once.
+//
+// Methods are safe for concurrent use.
+type Runner struct {
+	p Params
+
+	mu    sync.Mutex
+	data  map[dataKey]*datasetEntry
+	parts map[partKey]*partEntry
+	rows  map[string]*rowEntry // by cell ID
+
+	// graphs serializes the expensive Metis partition computations: a
+	// 200k-node graph build + multilevel partition per key would multiply
+	// peak memory by the number of distinct shard counts if the table
+	// sweeps ran them all at once.
+	graphs sync.Mutex
+}
+
+type dataKey struct {
+	n    int
+	spec string // workload spec ("" = Params.Workload or the calibrated default)
+}
+
+type partKey struct {
+	n, k int
+	spec string
+}
+
+type datasetEntry struct {
+	once sync.Once
+	d    *dataset.Dataset
+	err  error
+}
+
+type partEntry struct {
+	once sync.Once
+	part []int32
+	err  error
+}
+
+// rowEntry is one cell's singleflight slot: the first caller owns the
+// execution, concurrent callers of the same cell wait on done. Failed
+// executions are removed from the map by their owner (under mu, before
+// done closes), so a cancellation does not poison the cache — the next
+// caller re-executes.
+type rowEntry struct {
+	done chan struct{}
+	row  Row
+	err  error
+}
+
+// NewRunner prepares a runner with the given parameters (zero values take
+// defaults; see Params).
+func NewRunner(p Params) *Runner {
+	p.fillDefaults()
+	return &Runner{
+		p:     p,
+		data:  make(map[dataKey]*datasetEntry),
+		parts: make(map[partKey]*partEntry),
+		rows:  make(map[string]*rowEntry),
+	}
+}
+
+// Params returns the effective (default-filled) parameters.
+func (r *Runner) Params() Params { return r.p }
+
+// Dataset returns (generating once) the materialized experiment stream of
+// length n driven by the runner's default workload: the calibrated
+// synthetic generator, or Params.Workload materialized at that length.
+// Generation is deterministic per (n, Seed, Workload), so concurrent
+// callers always observe the same stream.
+func (r *Runner) Dataset(n int) (*dataset.Dataset, error) {
+	return r.dataset(n, "")
+}
+
+// dataset is Dataset with a per-cell workload-spec override.
+func (r *Runner) dataset(n int, spec string) (*dataset.Dataset, error) {
+	key := dataKey{n: n, spec: spec}
+	r.mu.Lock()
+	e, ok := r.data[key]
+	if !ok {
+		e = &datasetEntry{}
+		r.data[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		wl := spec
+		if wl == "" {
+			wl = r.p.Workload
+		}
+		if wl != "" {
+			src, err := workload.New(wl, workload.Params{N: n, Seed: r.p.Seed})
+			if err != nil {
+				e.err = err
+				return
+			}
+			defer workload.Close(src)
+			e.d, e.err = workload.Materialize(src, n)
+			return
+		}
+		cfg := dataset.DefaultConfig()
+		cfg.N = n
+		cfg.Seed = r.p.Seed
+		e.d, e.err = dataset.Generate(cfg)
+	})
+	return e.d, e.err
+}
+
+// Partition returns (computing once) a Metis k-way partition of the first
+// n transactions' TaN network under the runner's default workload.
+// Distinct (n, k) keys partition in parallel; each partition is
+// deterministic per Seed.
+func (r *Runner) Partition(n, k int) ([]int32, error) {
+	return r.partition(n, k, "")
+}
+
+// partition is Partition with a per-cell workload-spec override.
+func (r *Runner) partition(n, k int, spec string) ([]int32, error) {
+	key := partKey{n: n, k: k, spec: spec}
+	r.mu.Lock()
+	e, ok := r.parts[key]
+	if !ok {
+		e = &partEntry{}
+		r.parts[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		d, err := r.dataset(n, spec)
+		if err != nil {
+			e.err = err
+			return
+		}
+		r.graphs.Lock()
+		defer r.graphs.Unlock()
+		g, err := d.BuildGraph()
+		if err != nil {
+			e.err = err
+			return
+		}
+		xadj, adj := g.UndirectedCSR()
+		e.part, e.err = metis.PartitionKWay(xadj, adj, k, &metis.Options{Seed: r.p.Seed, Imbalance: 0.1})
+	})
+	return e.part, e.err
+}
+
+// Cell executes (or returns the cached row for) one cell. Concurrent
+// calls for the same cell — including from concurrently streamed
+// overlapping sweeps — execute it once: later callers block on the first
+// execution and share its row. The row's sweep identity fields (Sweep,
+// Index) are zero; Stream fills them per sweep.
+func (r *Runner) Cell(ctx context.Context, c Cell) (Row, error) {
+	if c.Kind == "" {
+		c.Kind = KindSim
+	}
+	if err := validCell(c, r.p); err != nil {
+		return Row{}, err
+	}
+	id := c.id(r.p)
+	if c.NoCache {
+		return r.executeCell(ctx, c, id)
+	}
+	for {
+		r.mu.Lock()
+		e, ok := r.rows[id]
+		if !ok {
+			e = &rowEntry{done: make(chan struct{})}
+			r.rows[id] = e
+			r.mu.Unlock()
+			row, err := r.executeCell(ctx, c, id)
+			r.mu.Lock()
+			if err != nil {
+				// Do not poison the cache (the error may be this caller's
+				// cancellation); the next caller re-executes.
+				delete(r.rows, id)
+			}
+			e.row, e.err = row, err
+			r.mu.Unlock()
+			close(e.done)
+			return row, err
+		}
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return Row{}, ctx.Err()
+		}
+		if e.err == nil {
+			row := e.row
+			row.WallSeconds = 0 // served from cache; no host time spent
+			return row, nil
+		}
+		// The owning execution failed and removed its entry; retry (the
+		// failure may have been the owner's cancellation, not ours).
+		if err := ctx.Err(); err != nil {
+			return Row{}, err
+		}
+	}
+}
+
+// executeCell runs one cell for real and stamps its identity.
+func (r *Runner) executeCell(ctx context.Context, c Cell, id string) (Row, error) {
+	start := time.Now()
+	row, err := r.runCell(ctx, c)
+	if err != nil {
+		return Row{}, err
+	}
+	row.ID = id
+	row.Cell = c
+	row.WallSeconds = time.Since(start).Seconds()
+	return row, nil
+}
+
+// runCell dispatches one cell by kind.
+func (r *Runner) runCell(ctx context.Context, c Cell) (Row, error) {
+	switch c.Kind {
+	case KindPlacement:
+		return r.runPlacementCell(ctx, c)
+	default:
+		return r.runSimCell(ctx, c)
+	}
+}
+
+// windows scales the Fig. 5 commit window and the queue-sampling cadence
+// with the run length: the paper's 50 s windows suit 10M-transaction runs;
+// shorter streams need proportionally finer buckets to draw the same
+// curves.
+func (r *Runner) windows(n int, rate float64) (window, sample time.Duration) {
+	issue := time.Duration(float64(n) / rate * float64(time.Second))
+	window = issue / 12
+	if window < time.Second {
+		window = time.Second
+	}
+	sample = issue / 25
+	if sample < 500*time.Millisecond {
+		sample = 500 * time.Millisecond
+	}
+	return window, sample
+}
+
+// runSimCell executes one end-to-end simulation cell.
+func (r *Runner) runSimCell(ctx context.Context, c Cell) (Row, error) {
+	proto := c.Protocol
+	if proto == "" {
+		proto = r.p.Protocol
+	}
+	cfg := sim.Config{
+		Shards:     c.Shards,
+		Validators: r.p.Validators,
+		Rate:       c.Rate,
+		Placer:     sim.PlacerKind(c.Strategy),
+		Protocol:   sim.ProtocolKind(proto),
+		Seed:       r.p.Seed,
+		MaxSimTime: 20 * time.Minute,
+		Alpha:      c.Alpha,
+		L2SWght:    c.L2SWeight,
+	}
+	txs := c.Txs
+	if txs == 0 {
+		// Default-length cells scale the commit window and queue-sampling
+		// cadence with the run length; explicit-Txs cells (the Fig. 11
+		// saturation runs) keep the simulator's fixed defaults.
+		txs = r.p.N
+		cfg.CommitWindow, cfg.QueueSampleEvery = r.windows(txs, c.Rate)
+	}
+
+	streamed := c.effectiveStreamed()
+	var src workload.Source
+	if streamed {
+		spec := c.Workload
+		if spec == "" {
+			spec = r.p.WorkloadLabel()
+		}
+		var err error
+		src, err = workload.New(spec, workload.Params{
+			N:      txs,
+			Seed:   r.p.Seed,
+			Shards: c.Shards,
+		})
+		if err != nil {
+			return Row{}, err
+		}
+		// Released on every exit path: a cancelled or failed cell must not
+		// leave a replay component's trace file open.
+		defer workload.Close(src)
+		cfg.Source = src
+		cfg.Txs = txs
+	} else {
+		d, err := r.dataset(txs, c.Workload)
+		if err != nil {
+			return Row{}, err
+		}
+		cfg.Dataset = d
+		if c.Txs != 0 {
+			cfg.Txs = c.Txs
+		}
+		// EqualFold, not ==: strategy names resolve case-insensitively
+		// everywhere else, and "metis" must get its partition wired too.
+		if strings.EqualFold(c.Strategy, string(sim.PlacerMetis)) {
+			part, err := r.partition(txs, c.Shards, c.Workload)
+			if err != nil {
+				return Row{}, err
+			}
+			cfg.MetisPart = part
+		}
+	}
+
+	res, err := sim.RunContext(ctx, cfg)
+	if err != nil {
+		return Row{}, err
+	}
+	wl := c.Workload
+	if wl == "" {
+		wl = r.p.WorkloadLabel()
+	}
+	return Row{
+		Kind:          KindSim,
+		Strategy:      c.Strategy,
+		Protocol:      proto,
+		Shards:        c.Shards,
+		Rate:          c.Rate,
+		Workload:      wl,
+		Txs:           txs,
+		Streamed:      streamed,
+		Tag:           c.Tag,
+		Total:         res.Total,
+		Committed:     res.Committed,
+		SteadyTPS:     res.SteadyTPS,
+		ThroughputTPS: res.ThroughputTPS,
+		AvgLatencySec: res.AvgLatency,
+		MaxLatencySec: res.MaxLatency,
+		P50Sec:        res.P50,
+		P99Sec:        res.P99,
+		Retries:       res.Retries,
+		Aborts:        res.Aborts,
+		PeakQueue:     res.Queues.PeakMax(),
+		CrossFraction: res.CrossFraction,
+		Result:        res,
+	}, nil
+}
+
+// Stream executes the sweep, delivering one Row per cell in canonical cell
+// order as the completion frontier advances. Cells fan out across the
+// worker budget; every cell seeds its own RNG from Params.Seed, so rows
+// are identical to a sequential sweep. The first cell error — or a context
+// cancellation — is yielded as the final (Row{}, error) pair and ends the
+// sequence. Breaking out of the loop cancels the remaining cells and waits
+// for in-flight workers before returning, so no goroutines outlive the
+// iteration.
+func (r *Runner) Stream(ctx context.Context, s Sweep) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		cells, err := s.expand(r.p)
+		if err != nil {
+			yield(Row{}, err)
+			return
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		n := len(cells)
+		rows := make([]Row, n)
+		errs := make([]error, n)
+		done := make([]chan struct{}, n)
+		for i := range done {
+			done[i] = make(chan struct{})
+		}
+		var wg sync.WaitGroup
+		// Defers run LIFO: cancel MUST run before wg.Wait, so that breaking
+		// out of the iteration (or a cell error) stops the remaining cells
+		// instead of silently executing the whole sweep while we wait.
+		defer wg.Wait() // no goroutine outlives the iteration
+		defer cancel()
+		var next atomic.Int64
+		next.Store(-1)
+		workers := r.p.Workers
+		if workers > n {
+			workers = n
+		}
+		if workers < 1 || s.Serial {
+			workers = 1
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					if err := cctx.Err(); err != nil {
+						errs[i] = err
+					} else {
+						rows[i], errs[i] = r.Cell(cctx, cells[i])
+					}
+					close(done[i])
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			// Prefer an already-completed row over a simultaneous
+			// cancellation: a two-way select picks randomly when both are
+			// ready, and the partial row set delivered under cancellation
+			// must be deterministic for the rows that did finish.
+			select {
+			case <-done[i]:
+			default:
+				select {
+				case <-done[i]:
+				case <-ctx.Done():
+					yield(Row{}, ctx.Err())
+					return
+				}
+			}
+			if errs[i] != nil {
+				yield(Row{}, fmt.Errorf("sweep %q cell %d (%s): %w", s.Name, i, cells[i].id(r.p), errs[i]))
+				return
+			}
+			row := rows[i]
+			row.Sweep = s.Name
+			row.Index = i
+			if !yield(row, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Collect drains Stream into a slice, in canonical cell order.
+func (r *Runner) Collect(ctx context.Context, s Sweep) ([]Row, error) {
+	var out []Row
+	for row, err := range r.Stream(ctx, s) {
+		if err != nil {
+			return out, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Report streams the sweep into a reporter: Begin, one Row call per result
+// as it completes, then End. End runs even when the sweep fails or is
+// cancelled mid-flight, so partially complete output is flushed — the rows
+// delivered before the failure remain valid data.
+func (r *Runner) Report(ctx context.Context, s Sweep, rep Reporter) error {
+	if err := rep.Begin(s, r.p); err != nil {
+		// End still runs — the interface promises it on every failure path,
+		// and buffered reporters release resources there.
+		_ = rep.End()
+		return err
+	}
+	var first error
+	for row, err := range r.Stream(ctx, s) {
+		if err != nil {
+			first = err
+			break
+		}
+		if err := rep.Row(row); err != nil {
+			first = err
+			break
+		}
+	}
+	if err := rep.End(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

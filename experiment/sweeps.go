@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SweepBuilder materializes a named sweep definition against the
+// parameters it will run under (grids shrink under Params.Quick, strategy
+// axes default from Params.Strategies, and so on).
+type SweepBuilder func(p Params) (Sweep, error)
+
+var (
+	swMu      sync.RWMutex
+	swEntries = make(map[string]sweepEntry) // keyed by lower-cased name
+)
+
+type sweepEntry struct {
+	display     string
+	description string
+	build       SweepBuilder
+}
+
+// RegisterSweep adds a named sweep definition to the open registry, making
+// it selectable from cmd/optchain-bench -sweep (and enumerable with
+// -list-sweeps). internal/bench registers the paper's grids; externally
+// defined sweeps register here exactly like built-ins. The same naming
+// rules as RegisterStrategy apply.
+func RegisterSweep(name, description string, build SweepBuilder) error {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return fmt.Errorf("experiment: empty sweep name")
+	}
+	if build == nil {
+		return fmt.Errorf("experiment: nil sweep builder for %q", name)
+	}
+	key := strings.ToLower(name)
+	swMu.Lock()
+	defer swMu.Unlock()
+	if prev, ok := swEntries[key]; ok {
+		return fmt.Errorf("experiment: sweep %q already registered", prev.display)
+	}
+	swEntries[key] = sweepEntry{display: name, description: description, build: build}
+	return nil
+}
+
+// MustRegisterSweep registers a built-in; failure is a programming error.
+func MustRegisterSweep(name, description string, build SweepBuilder) {
+	if err := RegisterSweep(name, description, build); err != nil {
+		panic(err)
+	}
+}
+
+// SweepNames enumerates the registered sweep names, sorted.
+func SweepNames() []string {
+	swMu.RLock()
+	defer swMu.RUnlock()
+	out := make([]string, 0, len(swEntries))
+	for _, e := range swEntries {
+		out = append(out, e.display)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SweepDescription returns the registered one-line description for name
+// ("" when unknown).
+func SweepDescription(name string) string {
+	swMu.RLock()
+	defer swMu.RUnlock()
+	return swEntries[strings.ToLower(strings.TrimSpace(name))].description
+}
+
+// HasSweep reports whether name resolves to a registered sweep.
+func HasSweep(name string) bool {
+	swMu.RLock()
+	defer swMu.RUnlock()
+	_, ok := swEntries[strings.ToLower(strings.TrimSpace(name))]
+	return ok
+}
+
+// BuildSweep materializes the named sweep against p. Unknown names list
+// the registry.
+func BuildSweep(name string, p Params) (Sweep, error) {
+	swMu.RLock()
+	e, ok := swEntries[strings.ToLower(strings.TrimSpace(name))]
+	swMu.RUnlock()
+	if !ok {
+		return Sweep{}, fmt.Errorf("%w %q (registered: %s)",
+			ErrUnknownSweep, name, strings.Join(SweepNames(), ", "))
+	}
+	p.fillDefaults()
+	return e.build(p)
+}

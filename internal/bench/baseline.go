@@ -1,77 +1,30 @@
 package bench
 
 import (
-	"encoding/json"
-	"fmt"
+	"context"
 	"io"
-	"runtime"
 	"testing"
-	"time"
 
+	"optchain/experiment"
 	"optchain/internal/core"
 	"optchain/internal/des"
 	"optchain/internal/placement"
-	"optchain/internal/sim"
 	"optchain/internal/txgraph"
 )
 
-// BaselineSchema versions the BENCH_baseline.json layout so downstream
-// tooling (CI artifact diffing, PERFORMANCE.md tables) can detect format
-// changes. v2 added the per-workload-scenario Scenarios section; v3 records
-// the workload spec on every simulation row (the Sim section replays the
-// harness's selected Params.Workload, default "bitcoin").
-const BaselineSchema = "optchain-bench-baseline/v3"
+// Baseline re-exports the machine-readable performance record (see
+// experiment.Baseline; the writer is the experiment package's "baseline"
+// reporter at schema v4).
+type Baseline = experiment.Baseline
 
-// Baseline is the machine-readable performance record emitted by
-// `optchain-bench -baseline-json` (and `make bench-json`). It captures the
-// hot-path micro costs (ns/op, allocs/op) and end-to-end simulation
-// throughput per strategy × protocol, so every PR's perf trajectory is
-// comparable against the committed BENCH_baseline.json.
-type Baseline struct {
-	Schema      string         `json:"schema"`
-	GeneratedAt string         `json:"generated_at,omitempty"`
-	GoVersion   string         `json:"go_version"`
-	GOMAXPROCS  int            `json:"gomaxprocs"`
-	Quick       bool           `json:"quick"`
-	Seed        int64          `json:"seed"`
-	Micro       []BaselineItem `json:"micro"`
-	Sim         []BaselineSim  `json:"sim"`
-	// Scenarios is the per-workload-scenario section: one quick streaming
-	// simulation per scenario × strategy, so placement quality under skew,
-	// bursts, drift, and attack is tracked PR over PR alongside the
-	// single-trace numbers.
-	Scenarios []BaselineSim `json:"scenarios"`
-}
+// BaselineItem is one micro-benchmark entry (see experiment.BaselineItem).
+type BaselineItem = experiment.BaselineItem
 
-// BaselineItem is one micro-benchmark: per-unit timing and allocation cost
-// of a hot path (unit = one transaction or one event).
-type BaselineItem struct {
-	Name        string  `json:"name"`
-	Unit        string  `json:"unit"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec"`
-}
+// BaselineSim is one end-to-end simulation cell (see experiment.BaselineSim).
+type BaselineSim = experiment.BaselineSim
 
-// BaselineSim is one end-to-end simulation cell: virtual steady-state
-// throughput plus the wall-clock rate the host sustained while computing it.
-type BaselineSim struct {
-	// Workload is the workload spec driving the cell: the streamed scenario
-	// in the Scenarios section, the harness's materialized Params.Workload
-	// (default "bitcoin") in the Sim section.
-	Workload      string  `json:"workload"`
-	Strategy      string  `json:"strategy"`
-	Protocol      string  `json:"protocol"`
-	Shards        int     `json:"shards"`
-	Rate          float64 `json:"rate"`
-	Txs           int     `json:"txs"`
-	Committed     int     `json:"committed"`
-	SteadyTPS     float64 `json:"steady_tps"`
-	CrossFraction float64 `json:"cross_fraction"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	TxsPerWallSec float64 `json:"txs_per_wall_sec"`
-}
+// BaselineSchema is the current BENCH_baseline.json schema tag.
+const BaselineSchema = experiment.BaselineSchema
 
 // baselinePlaceBench replays the dataset through a fresh placer per
 // iteration, reporting per-transaction cost.
@@ -151,12 +104,9 @@ func baselineDESBench() BaselineItem {
 // (they re-run the whole stream per testing.B iteration).
 const baselineMicroN = 50_000
 
-// CollectBaseline measures the hot-path micro-benchmarks and one quick
-// end-to-end simulation per strategy × protocol. Simulation cells run
-// sequentially so wall-clock rates are not distorted by contention; every
-// cell is deterministic per the harness seed.
-func CollectBaseline(h *Harness) (*Baseline, error) {
-	n := h.p.N
+// collectMicro measures the hot-path micro-benchmarks.
+func collectMicro(h *Harness) ([]BaselineItem, error) {
+	n := h.Params().N
 	if n > baselineMicroN {
 		n = baselineMicroN
 	}
@@ -169,15 +119,7 @@ func CollectBaseline(h *Harness) (*Baseline, error) {
 	for i := range tel.Comm {
 		tel.Comm[i], tel.Verify[i] = 10, 0.5
 	}
-
-	b := &Baseline{
-		Schema:     BaselineSchema,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Quick:      h.p.Quick,
-		Seed:       h.p.Seed,
-	}
-	b.Micro = append(b.Micro,
+	return []BaselineItem{
 		baselinePlaceBench("t2s_prepare_commit", d, func() placement.Placer {
 			p := core.NewT2SPlacer(16, d.Len(), core.DefaultAlpha, core.DefaultCapacityEps)
 			p.Scores().SetOutCounts(outCounts)
@@ -195,82 +137,108 @@ func CollectBaseline(h *Harness) (*Baseline, error) {
 			return placement.NewRandom(16, d.Len())
 		}),
 		baselineDESBench(),
-	)
-
-	shards := 8
-	rate := 2000.0
-	for _, proto := range []sim.ProtocolKind{sim.ProtoOmniLedger, sim.ProtoRapidChain} {
-		for _, placer := range h.placers() {
-			// Harness.Run owns the config assembly (dataset, Metis
-			// partition wiring, window scaling); the no-op mutate keeps
-			// this cell out of the result cache so the wall clock measures
-			// a real run.
-			start := time.Now()
-			res, err := h.Run(placer, proto, shards, rate, func(*sim.Config) {})
-			if err != nil {
-				return nil, fmt.Errorf("baseline %s/%s: %w", placer, proto, err)
-			}
-			wall := time.Since(start).Seconds()
-			cell := BaselineSim{
-				Workload:      h.workloadLabel(),
-				Strategy:      string(placer),
-				Protocol:      string(proto),
-				Shards:        shards,
-				Rate:          rate,
-				Txs:           res.Total,
-				Committed:     res.Committed,
-				SteadyTPS:     res.SteadyTPS,
-				CrossFraction: res.CrossFraction,
-				WallSeconds:   wall,
-			}
-			if wall > 0 {
-				cell.TxsPerWallSec = float64(res.Committed) / wall
-			}
-			b.Sim = append(b.Sim, cell)
-		}
-	}
-
-	// Per-scenario section: OptChain vs OmniLedger-random on every workload
-	// scenario, streamed (no dataset materialization). Cells run uncached so
-	// the wall clock measures a real run.
-	for _, name := range h.scenarioNames() {
-		for _, placer := range []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom} {
-			start := time.Now()
-			res, err := h.runScenarioUncached(name, placer, sim.ProtoOmniLedger, shards, rate)
-			if err != nil {
-				return nil, fmt.Errorf("baseline scenario %s/%s: %w", name, placer, err)
-			}
-			wall := time.Since(start).Seconds()
-			cell := BaselineSim{
-				Workload:      name,
-				Strategy:      string(placer),
-				Protocol:      string(sim.ProtoOmniLedger),
-				Shards:        shards,
-				Rate:          rate,
-				Txs:           res.Total,
-				Committed:     res.Committed,
-				SteadyTPS:     res.SteadyTPS,
-				CrossFraction: res.CrossFraction,
-				WallSeconds:   wall,
-			}
-			if wall > 0 {
-				cell.TxsPerWallSec = float64(res.Committed) / wall
-			}
-			b.Scenarios = append(b.Scenarios, cell)
-		}
-	}
-	return b, nil
+	}, nil
 }
 
-// WriteBaselineJSON measures (see CollectBaseline) and writes the indented
-// JSON report, stamped with the current UTC time.
-func WriteBaselineJSON(h *Harness, w io.Writer) error {
-	b, err := CollectBaseline(h)
+// BaselineSimSweep is the Sim section of the baseline record: one quick
+// end-to-end cell per strategy × protocol, uncached so the wall clock
+// measures a real run. Cells run in canonical order (protocol outer,
+// strategy inner), materialized on the harness's default workload.
+func BaselineSimSweep(p Params) experiment.Sweep {
+	var cells []experiment.Cell
+	for _, proto := range []string{"omniledger", "rapidchain"} {
+		for _, s := range placers(p) {
+			cells = append(cells, experiment.Cell{
+				Kind:     experiment.KindSim,
+				Strategy: s,
+				Protocol: proto,
+				Shards:   8,
+				Rate:     2000,
+			})
+		}
+	}
+	return experiment.Sweep{
+		Name:        "baseline-sim",
+		Description: "baseline Sim section: strategy x protocol at 8 shards / 2000 tps, uncached",
+		Cells:       cells,
+		Uncached:    true,
+		Serial:      true,
+	}
+}
+
+// BaselineScenarioSweep is the Scenarios section: OptChain vs
+// OmniLedger-random on every workload scenario, streamed (no dataset
+// materialization), uncached for honest wall clocks.
+func BaselineScenarioSweep(p Params) experiment.Sweep {
+	var cells []experiment.Cell
+	for _, name := range scenarioNames(p) {
+		for _, s := range []string{"OptChain", "OmniLedger"} {
+			cells = append(cells, experiment.Cell{
+				Kind:     experiment.KindSim,
+				Strategy: s,
+				Protocol: "omniledger",
+				Shards:   8,
+				Rate:     2000,
+				Workload: name,
+				Streamed: true,
+			})
+		}
+	}
+	return experiment.Sweep{
+		Name:        "baseline-scenarios",
+		Description: "baseline Scenarios section: OptChain vs OmniLedger per streamed scenario, uncached",
+		Cells:       cells,
+		Uncached:    true,
+		Serial:      true,
+	}
+}
+
+// collectBaselineInto measures the micro benches and streams the two
+// baseline sweeps through the given reporter. Both sweeps are Serial and
+// Uncached: cells run one at a time so per-cell wall-clock rates are not
+// distorted by contention, and every cell executes for real even when the
+// grid sweeps already cached an identical one.
+func collectBaselineInto(h *Harness, rep *experiment.BaselineReporter) error {
+	micro, err := collectMicro(h)
 	if err != nil {
 		return err
 	}
-	b.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(b)
+	rep.SetMicro(micro)
+	simSweep := BaselineSimSweep(h.Params())
+	if err := rep.Begin(simSweep, h.Params()); err != nil {
+		return err
+	}
+	for _, sweep := range []experiment.Sweep{simSweep, BaselineScenarioSweep(h.Params())} {
+		for row, err := range h.Stream(context.Background(), sweep) {
+			if err != nil {
+				return err
+			}
+			if err := rep.Row(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CollectBaseline measures the hot-path micro-benchmarks and one quick
+// end-to-end simulation per strategy × protocol plus the per-scenario
+// section, returning the accumulated record without writing it.
+func CollectBaseline(h *Harness) (*Baseline, error) {
+	rep := experiment.NewBaselineReporter(io.Discard)
+	if err := collectBaselineInto(h, rep); err != nil {
+		return nil, err
+	}
+	return rep.Baseline(), nil
+}
+
+// WriteBaselineJSON measures (see CollectBaseline) and writes the indented
+// JSON report, stamped with the current UTC time, through the experiment
+// package's baseline reporter.
+func WriteBaselineJSON(h *Harness, w io.Writer) error {
+	rep := experiment.NewBaselineReporter(w)
+	if err := collectBaselineInto(h, rep); err != nil {
+		return err
+	}
+	return rep.End()
 }

@@ -4,276 +4,59 @@
 // prints rows/series in the same layout the paper reports, so
 // paper-vs-measured comparison is line-by-line.
 //
-// Experiments share a run cache: the Fig. 3 sweep produces the simulation
-// results that Figs. 4-10 present as different views, so an `all` run pays
-// for the sweep once.
+// The execution machinery lives in the public optchain/experiment package:
+// every experiment here is a thin declarative Sweep definition plus a
+// paper-layout renderer over the typed rows. Because the Runner memoizes
+// cells by identity, the Fig. 3 grid produces the simulation results that
+// Figs. 4-10 present as different views — an `all` run pays for the sweep
+// once. The same sweep definitions are registered by name
+// (experiment.RegisterSweep), so cmd/optchain-bench -sweep streams them
+// through any registered reporter (text, jsonl, csv, baseline) instead of
+// the paper layouts.
 package bench
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
-	"time"
+	"strings"
 
-	"optchain/internal/dataset"
-	"optchain/internal/metis"
-	"optchain/internal/sim"
+	"optchain/experiment"
 	"optchain/internal/workload"
 )
 
-// Params scales the experiments. Zero values take defaults.
-type Params struct {
-	// N is the stream length for simulation experiments (default 60k;
-	// the paper used 10M — the reported shapes are scale-stable).
-	N int
-	// TableN is the stream length for the offline placement tables
-	// (default 200k).
-	TableN int
-	// Seed drives dataset generation and simulations.
-	Seed int64
-	// Validators per shard (default 400, the paper's committee size).
-	Validators int
-	// Quick shrinks every grid for smoke tests and testing.B benchmarks.
-	Quick bool
-	// Workers bounds parallel simulation runs (default NumCPU).
-	Workers int
-	// Protocol selects the commit backend the figure/table sweeps run on
-	// (default omniledger, the paper's; the backend ablation still compares
-	// both). Resolved by name through the open registry, so externally
-	// registered protocols work too.
-	Protocol sim.ProtocolKind
-	// Strategies overrides the placement-strategy set the figures compare
-	// (default: OptChain, OmniLedger, Metis, Greedy). Names resolve through
-	// the open registry.
-	Strategies []sim.PlacerKind
-	// Workloads overrides the scenario set the `scenarios` experiment and
-	// the baseline's per-scenario section sweep (default: every standalone
-	// registered workload scenario). Entries may be full workload specs
-	// ("mix:bitcoin=0.7,hotspot=0.3"); they resolve through the workload
-	// registry.
-	Workloads []string
-	// Workload selects the transaction stream driving EVERY figure, table,
-	// and ablation sweep: a workload spec ("hotspot:exp=1.5",
-	// "mix:bitcoin=0.7,hotspot=0.3", "replay:trace.tan") materialized once
-	// per stream length in place of the calibrated Bitcoin-like dataset.
-	// Materializing keeps each figure an apples-to-apples strategy
-	// comparison (the Metis replay needs the full graph; arrival-gap
-	// modulation is a streaming-only effect — use the `scenarios`
-	// experiment or optchain-sim for that). Empty selects the calibrated
-	// default generator.
-	Workload string
-}
+// Params scales the experiments (alias of experiment.Params; see that type
+// for field documentation).
+type Params = experiment.Params
 
-func (p *Params) fillDefaults() {
-	if p.N <= 0 {
-		p.N = 60_000
-	}
-	if p.TableN <= 0 {
-		p.TableN = 200_000
-	}
-	if p.Seed == 0 {
-		p.Seed = 1
-	}
-	if p.Validators <= 0 {
-		p.Validators = 400
-	}
-	if p.Workers <= 0 {
-		p.Workers = runtime.GOMAXPROCS(0)
-	}
-	if p.Protocol == "" {
-		p.Protocol = sim.ProtoOmniLedger
-	}
-	if p.Quick {
-		if p.N > 12_000 {
-			p.N = 12_000
-		}
-		if p.TableN > 30_000 {
-			p.TableN = 30_000
-		}
-		if p.Validators > 16 {
-			p.Validators = 16
-		}
-	}
-}
-
-// Harness owns the shared dataset, partitions, and simulation cache.
-// Expensive artifacts (datasets, partitions) are built once per key behind
-// a sync.Once, so concurrent experiments needing different keys build them
-// in parallel while same-key requests block on one computation instead of
-// duplicating it.
+// Harness owns sweep execution and the shared caches — a thin wrapper
+// around the public experiment.Runner that adds the paper's named
+// experiments.
 type Harness struct {
-	p Params
-
-	mu    sync.Mutex
-	data  map[int]*datasetEntry // by length
-	parts map[partKey]*partEntry
-	runs  map[runKey]*sim.Result
-
-	// graphs serializes the expensive Metis partition computations: a
-	// 200k-node graph build + multilevel partition per key would multiply
-	// peak memory by the number of distinct shard counts if the table
-	// sweeps ran them all at once.
-	graphs sync.Mutex
-}
-
-type datasetEntry struct {
-	once sync.Once
-	d    *dataset.Dataset
-	err  error
-}
-
-type partEntry struct {
-	once sync.Once
-	part []int32
-	err  error
-}
-
-type partKey struct {
-	n, k int
-}
-
-type runKey struct {
-	placer sim.PlacerKind
-	proto  sim.ProtocolKind
-	shards int
-	rate   int
-	tag    string // distinguishes ablation variants
+	*experiment.Runner
 }
 
 // NewHarness prepares a harness with the given parameters.
 func NewHarness(p Params) *Harness {
-	p.fillDefaults()
-	return &Harness{
-		p:     p,
-		data:  make(map[int]*datasetEntry),
-		parts: make(map[partKey]*partEntry),
-		runs:  make(map[runKey]*sim.Result),
-	}
+	return &Harness{Runner: experiment.NewRunner(p)}
 }
-
-// Params returns the effective (default-filled) parameters.
-func (h *Harness) Params() Params { return h.p }
 
 // workloadLabel names the stream driving the figure/table sweeps — the
 // selected workload spec, or the calibrated default.
-func (h *Harness) workloadLabel() string {
-	if h.p.Workload == "" {
-		return "bitcoin"
-	}
-	return h.p.Workload
-}
-
-// Dataset returns (generating once) the experiment stream of length n: the
-// calibrated synthetic generator by default, or the Params.Workload
-// scenario materialized at that length. Generation is deterministic per
-// (n, Seed, Workload), so concurrent callers always observe the same
-// stream.
-func (h *Harness) Dataset(n int) (*dataset.Dataset, error) {
-	h.mu.Lock()
-	e, ok := h.data[n]
-	if !ok {
-		e = &datasetEntry{}
-		h.data[n] = e
-	}
-	h.mu.Unlock()
-	e.once.Do(func() {
-		if h.p.Workload != "" {
-			src, err := workload.New(h.p.Workload, workload.Params{N: n, Seed: h.p.Seed})
-			if err != nil {
-				e.err = err
-				return
-			}
-			defer workload.Close(src)
-			e.d, e.err = workload.Materialize(src, n)
-			return
-		}
-		cfg := dataset.DefaultConfig()
-		cfg.N = n
-		cfg.Seed = h.p.Seed
-		e.d, e.err = dataset.Generate(cfg)
-	})
-	return e.d, e.err
-}
-
-// Partition returns (computing once) a Metis k-way partition of the first
-// n transactions' TaN network. Distinct (n, k) keys partition in parallel;
-// each partition is deterministic per Seed.
-func (h *Harness) Partition(n, k int) ([]int32, error) {
-	key := partKey{n: n, k: k}
-	h.mu.Lock()
-	e, ok := h.parts[key]
-	if !ok {
-		e = &partEntry{}
-		h.parts[key] = e
-	}
-	h.mu.Unlock()
-	e.once.Do(func() {
-		d, err := h.Dataset(n)
-		if err != nil {
-			e.err = err
-			return
-		}
-		h.graphs.Lock()
-		defer h.graphs.Unlock()
-		g, err := d.BuildGraph()
-		if err != nil {
-			e.err = err
-			return
-		}
-		xadj, adj := g.UndirectedCSR()
-		e.part, e.err = metis.PartitionKWay(xadj, adj, k, &metis.Options{Seed: h.p.Seed, Imbalance: 0.1})
-	})
-	return e.part, e.err
-}
-
-// parallelEach runs fn(i) for every i in [0, n) across the worker budget.
-// Output determinism is the caller's job: fn writes only to index i of its
-// result slice, so the assembled output is independent of scheduling. The
-// returned error joins every per-index failure.
-func (h *Harness) parallelEach(n int, fn func(i int) error) error {
-	workers := h.p.Workers
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	next.Store(-1)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1))
-				if i >= n {
-					return
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return errors.Join(errs...)
-}
+func (h *Harness) workloadLabel() string { return h.Params().WorkloadLabel() }
 
 // simGrids returns the shard and rate grids for simulation experiments.
-func (h *Harness) simGrids() (shards []int, rates []float64) {
-	if h.p.Quick {
+func simGrids(p Params) (shards []int, rates []float64) {
+	if p.Quick {
 		return []int{4, 8}, []float64{1000, 2000}
 	}
 	return []int{4, 6, 8, 10, 12, 14, 16}, []float64{2000, 3000, 4000, 5000, 6000}
 }
 
 // tableShards returns the shard grid for Tables I-II.
-func (h *Harness) tableShards() []int {
-	if h.p.Quick {
+func tableShards(p Params) []int {
+	if p.Quick {
 		return []int{4, 16}
 	}
 	return []int{4, 8, 16, 32, 64}
@@ -281,137 +64,213 @@ func (h *Harness) tableShards() []int {
 
 // placers is the strategy set compared in the figures (overridable via
 // Params.Strategies).
-func (h *Harness) placers() []sim.PlacerKind {
-	if len(h.p.Strategies) > 0 {
-		return h.p.Strategies
+func placers(p Params) []string {
+	if len(p.Strategies) > 0 {
+		return p.Strategies
 	}
-	return []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom, sim.PlacerMetis, sim.PlacerGreedy}
-}
-
-// Run executes (or returns cached) one simulation cell.
-func (h *Harness) Run(placer sim.PlacerKind, proto sim.ProtocolKind, shards int, rate float64, mutate func(*sim.Config)) (*sim.Result, error) {
-	tag := ""
-	if mutate != nil {
-		tag = "custom"
-	}
-	key := runKey{placer: placer, proto: proto, shards: shards, rate: int(rate), tag: tag}
-	if tag == "" {
-		h.mu.Lock()
-		if res, ok := h.runs[key]; ok {
-			h.mu.Unlock()
-			return res, nil
-		}
-		h.mu.Unlock()
-	}
-
-	d, err := h.Dataset(h.p.N)
-	if err != nil {
-		return nil, err
-	}
-	window, sample := h.windows(rate)
-	cfg := sim.Config{
-		Dataset:          d,
-		Shards:           shards,
-		Validators:       h.p.Validators,
-		Rate:             rate,
-		Placer:           placer,
-		Protocol:         proto,
-		Seed:             h.p.Seed,
-		MaxSimTime:       20 * time.Minute,
-		CommitWindow:     window,
-		QueueSampleEvery: sample,
-	}
-	if placer == sim.PlacerMetis {
-		part, err := h.Partition(h.p.N, shards)
-		if err != nil {
-			return nil, err
-		}
-		cfg.MetisPart = part
-	}
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if tag == "" {
-		h.mu.Lock()
-		h.runs[key] = res
-		h.mu.Unlock()
-	}
-	return res, nil
-}
-
-// windows scales the Fig. 5 commit window and the queue-sampling cadence
-// with the run length: the paper's 50 s windows suit 10M-transaction runs;
-// shorter streams need proportionally finer buckets to draw the same curves.
-func (h *Harness) windows(rate float64) (window, sample time.Duration) {
-	issue := time.Duration(float64(h.p.N) / rate * float64(time.Second))
-	window = issue / 12
-	if window < time.Second {
-		window = time.Second
-	}
-	sample = issue / 25
-	if sample < 500*time.Millisecond {
-		sample = 500 * time.Millisecond
-	}
-	return window, sample
-}
-
-// cell identifies one grid element for parallel execution, on the harness
-// protocol.
-type cell struct {
-	placer sim.PlacerKind
-	shards int
-	rate   float64
-}
-
-// runGrid executes all cells concurrently across the worker budget and
-// blocks until done. Every cell's simulation seeds its own RNG from the
-// harness seed, so results are identical to a sequential sweep.
-func (h *Harness) runGrid(cells []cell) error {
-	return h.parallelEach(len(cells), func(i int) error {
-		c := cells[i]
-		_, err := h.Run(c.placer, h.p.Protocol, c.shards, c.rate, nil)
-		return err
-	})
-}
-
-// fullGrid lists every (placer, shards, rate) cell of the Fig. 3 sweep.
-func (h *Harness) fullGrid() []cell {
-	shards, rates := h.simGrids()
-	var cells []cell
-	for _, p := range h.placers() {
-		for _, k := range shards {
-			for _, r := range rates {
-				cells = append(cells, cell{placer: p, shards: k, rate: r})
-			}
-		}
-	}
-	return cells
-}
-
-// peakCells lists one cell per compared strategy at the peak configuration
-// — the set Figs. 5-7 and 10 consume. Running them through runGrid before
-// the sequential report loop warms the cache concurrently.
-func (h *Harness) peakCells() []cell {
-	k, r := h.maxGrid()
-	var cells []cell
-	for _, p := range h.placers() {
-		cells = append(cells, cell{placer: p, shards: k, rate: r})
-	}
-	return cells
+	return experiment.DefaultStrategies()
 }
 
 // maxGrid returns the largest shard count and rate of the sweep — the
 // configuration Figs. 5-7 and 10 single out (paper: 16 shards, 6000 tps).
-func (h *Harness) maxGrid() (int, float64) {
-	shards, rates := h.simGrids()
+func maxGrid(p Params) (int, float64) {
+	shards, rates := simGrids(p)
 	return shards[len(shards)-1], rates[len(rates)-1]
 }
 
-// Experiments maps CLI names to runners.
+// simCell is the canonical grid cell: the runner-default protocol and
+// stream length, streamed when the harness runs in streaming mode.
+func simCell(p Params, strategy string, k int, rate float64) experiment.Cell {
+	return experiment.Cell{
+		Kind:     experiment.KindSim,
+		Strategy: strategy,
+		Shards:   k,
+		Rate:     rate,
+		Streamed: p.Streaming,
+	}
+}
+
+// row executes (or reads from cache) one canonical grid cell.
+func (h *Harness) row(strategy string, k int, rate float64) (experiment.Row, error) {
+	return h.Cell(context.Background(), simCell(h.Params(), strategy, k, rate))
+}
+
+// scenarioRow executes (or reads from cache) one streamed scenario cell.
+func (h *Harness) scenarioRow(spec, strategy string, shards int, rate float64) (experiment.Row, error) {
+	return h.Cell(context.Background(), experiment.Cell{
+		Kind:     experiment.KindSim,
+		Strategy: strategy,
+		Shards:   shards,
+		Rate:     rate,
+		Workload: spec,
+		Streamed: true,
+	})
+}
+
+// warm pre-executes a sweep across the worker budget so the sequential
+// render loop below it reads every cell from cache.
+func (h *Harness) warm(s experiment.Sweep) error {
+	_, err := h.Collect(context.Background(), s)
+	return err
+}
+
+// GridSweep is the full Fig. 3 sweep: every (strategy, shards, rate) cell
+// of the simulation grid.
+func GridSweep(p Params) experiment.Sweep {
+	shards, rates := simGrids(p)
+	return experiment.Sweep{
+		Name:        "grid",
+		Description: "full (strategy x shards x rate) simulation grid behind Figs. 3-4 and 8-9",
+		Strategies:  placers(p),
+		Shards:      shards,
+		Rates:       rates,
+	}
+}
+
+// PeakSweep is one cell per compared strategy at the peak configuration —
+// the set Figs. 5-7 and 10 consume.
+func PeakSweep(p Params) experiment.Sweep {
+	k, r := maxGrid(p)
+	return experiment.Sweep{
+		Name:        "peak",
+		Description: "per-strategy cells at the peak configuration (Figs. 5-7, 10)",
+		Strategies:  placers(p),
+		Shards:      []int{k},
+		Rates:       []float64{r},
+	}
+}
+
+// SaturationSweep is the Fig. 11 scalability run: each shard count offered
+// more load than it can serve, measuring sustainable throughput.
+func SaturationSweep(p Params) experiment.Sweep {
+	shardGrid := []int{4, 8, 16, 32, 62}
+	if p.Quick {
+		shardGrid = []int{4, 8}
+	}
+	var cells []experiment.Cell
+	for _, k := range shardGrid {
+		offered := float64(450 * k)
+		n := int(offered * 25)
+		if n > 600_000 {
+			n = 600_000
+		}
+		if n < p.N {
+			n = p.N
+		}
+		cells = append(cells, experiment.Cell{
+			Kind:     experiment.KindSim,
+			Strategy: "OptChain",
+			Shards:   k,
+			Rate:     offered,
+			Txs:      n,
+			Streamed: p.Streaming,
+		})
+	}
+	return experiment.Sweep{
+		Name:        "saturation",
+		Description: "OptChain sustainable-tps vs shard count under saturating load (Fig. 11)",
+		Cells:       cells,
+	}
+}
+
+// scenarioNames is the workload set the scenario sweeps cover: the
+// Params.Workloads override (entries may be full specs, e.g.
+// "mix:bitcoin=0.7,hotspot=0.3"), or every standalone registered scenario
+// (replay is excluded by default — it needs a trace-file argument).
+func scenarioNames(p Params) []string {
+	if len(p.Workloads) > 0 {
+		return p.Workloads
+	}
+	return workload.StandaloneNames()
+}
+
+// scenarioPlacers is the strategy set compared per scenario. Metis is
+// excluded even when configured: it replays an offline partition of a
+// materialized graph, which contradicts a streaming scenario by definition.
+func scenarioPlacers(p Params) []string {
+	var out []string
+	for _, s := range placers(p) {
+		if !strings.EqualFold(s, "Metis") {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// scenarioGrid returns the (shards, rate) configuration of the scenario
+// sweep — the paper's mid-size setup, shrunk under Quick.
+func scenarioGrid(p Params) (int, float64) {
+	if p.Quick {
+		return 4, 1000
+	}
+	return 8, 2000
+}
+
+// ScenariosSweep compares the placement strategies across every workload
+// scenario, streamed — the dimension the paper's single-trace evaluation
+// lacks.
+func ScenariosSweep(p Params) experiment.Sweep {
+	shards, rate := scenarioGrid(p)
+	var cells []experiment.Cell
+	for _, name := range scenarioNames(p) {
+		for _, s := range scenarioPlacers(p) {
+			cells = append(cells, experiment.Cell{
+				Kind:     experiment.KindSim,
+				Strategy: s,
+				Shards:   shards,
+				Rate:     rate,
+				Workload: name,
+				Streamed: true,
+			})
+		}
+	}
+	return experiment.Sweep{
+		Name:        "scenarios",
+		Description: "strategy set against every workload scenario, streamed (skew, bursts, drift, attack)",
+		Cells:       cells,
+	}
+}
+
+// SmokeSweep is the tiny streaming sweep CI pushes through the JSONL
+// reporter (`make sweep-smoke`): 2 strategies x 2 shard counts, streamed.
+func SmokeSweep(p Params) experiment.Sweep {
+	return experiment.Sweep{
+		Name:        "smoke",
+		Description: "tiny 2x2 streaming sweep for CI smoke validation",
+		Strategies:  []string{"OptChain", "OmniLedger"},
+		Shards:      []int{2, 4},
+		Rates:       []float64{800},
+		Txs:         4000,
+		Streaming:   true,
+	}
+}
+
+func init() {
+	for _, s := range []struct {
+		name  string
+		build func(Params) experiment.Sweep
+	}{
+		{"grid", GridSweep},
+		{"peak", PeakSweep},
+		{"saturation", SaturationSweep},
+		{"scenarios", ScenariosSweep},
+		{"smoke", SmokeSweep},
+		{"table1", TableISweep},
+		{"table2", TableIISweep},
+		{"alpha", AlphaSweep},
+		{"weight", WeightSweep},
+		{"backend", BackendSweep},
+		{"l2s", L2SSweep},
+	} {
+		build := s.build
+		probe := build(Params{})
+		experiment.MustRegisterSweep(s.name, probe.Description, func(p Params) (experiment.Sweep, error) {
+			return build(p), nil
+		})
+	}
+}
+
+// Experiments maps CLI names to paper-layout renderers.
 var Experiments = map[string]func(h *Harness, w io.Writer) error{
 	"fig2":             Fig2,
 	"table1":           TableI,

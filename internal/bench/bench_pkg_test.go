@@ -2,10 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
-	"optchain/internal/sim"
+	"optchain/experiment"
 )
 
 func quickHarness() *Harness {
@@ -31,6 +32,17 @@ func TestNamesCoversAll(t *testing.T) {
 	}
 }
 
+func TestSweepsRegistered(t *testing.T) {
+	for _, want := range []string{"grid", "peak", "saturation", "scenarios", "smoke", "table1", "table2", "alpha", "weight", "backend", "l2s"} {
+		if !experiment.HasSweep(want) {
+			t.Fatalf("sweep %q not registered (have %v)", want, experiment.SweepNames())
+		}
+		if experiment.SweepDescription(want) == "" {
+			t.Fatalf("sweep %q has no description", want)
+		}
+	}
+}
+
 func TestScenariosQuick(t *testing.T) {
 	h := NewHarness(Params{Quick: true, N: 2000, Seed: 1, Workloads: []string{"hotspot", "adversarial"}})
 	var buf bytes.Buffer
@@ -48,21 +60,38 @@ func TestScenariosQuick(t *testing.T) {
 	}
 }
 
-func TestRunScenarioCachesAndRejectsMetis(t *testing.T) {
+func TestScenarioCellsCacheAndMetisMaterializes(t *testing.T) {
 	h := NewHarness(Params{Quick: true, N: 1500, Seed: 1})
-	a, err := h.RunScenario("burst", sim.PlacerOptChain, sim.ProtoOmniLedger, 4, 1000)
+	cell := experiment.Cell{
+		Kind: experiment.KindSim, Strategy: "OptChain", Shards: 4, Rate: 1000,
+		Workload: "burst", Streamed: true,
+	}
+	a, err := h.Cell(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := h.RunScenario("burst", sim.PlacerOptChain, sim.ProtoOmniLedger, 4, 1000)
+	if !a.Streamed {
+		t.Fatalf("streamed scenario cell reported Streamed=false: %+v", a)
+	}
+	if a.WallSeconds <= 0 {
+		t.Fatalf("first execution has no wall clock: %+v", a)
+	}
+	b, err := h.Cell(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
-		t.Fatal("second RunScenario call did not hit the cache")
+	if b.WallSeconds != 0 || b.SteadyTPS != a.SteadyTPS {
+		t.Fatalf("second Cell call did not hit the cache: %+v vs %+v", a, b)
 	}
-	if _, err := h.RunScenario("burst", sim.PlacerMetis, sim.ProtoOmniLedger, 4, 1000); err == nil {
-		t.Fatal("Metis over a streaming scenario accepted")
+	// A Metis cell inside a streaming sweep materializes — and says so.
+	m, err := h.Cell(context.Background(), experiment.Cell{
+		Kind: experiment.KindSim, Strategy: "Metis", Shards: 4, Rate: 1000, Streamed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Streamed {
+		t.Fatalf("Metis cell claims to have streamed: %+v", m)
 	}
 }
 
@@ -72,8 +101,11 @@ func TestBaselineHasScenarioSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.Schema != BaselineSchema || !strings.HasSuffix(b.Schema, "/v3") {
+	if b.Schema != BaselineSchema || !strings.HasSuffix(b.Schema, "/v4") {
 		t.Fatalf("schema = %q", b.Schema)
+	}
+	if b.Reporter != experiment.BaselineReporterName {
+		t.Fatalf("reporter provenance = %q", b.Reporter)
 	}
 	if len(b.Scenarios) != 2 {
 		t.Fatalf("scenario cells = %d, want OptChain+OmniLedger on hotspot", len(b.Scenarios))
@@ -82,11 +114,21 @@ func TestBaselineHasScenarioSection(t *testing.T) {
 		if c.Workload != "hotspot" || c.Committed == 0 || c.SteadyTPS <= 0 {
 			t.Fatalf("degenerate scenario cell: %+v", c)
 		}
+		if c.CellID == "" || !strings.Contains(c.CellID, "streamed") {
+			t.Fatalf("scenario cell missing stable cell id: %+v", c)
+		}
 	}
 	// v3: every Sim-section row records the workload spec driving it.
+	// v4: it additionally carries the stable cell ID.
 	for _, c := range b.Sim {
 		if c.Workload != "bitcoin" {
 			t.Fatalf("sim cell missing workload spec: %+v", c)
+		}
+		if c.CellID == "" {
+			t.Fatalf("sim cell missing cell id: %+v", c)
+		}
+		if c.WallSeconds <= 0 {
+			t.Fatalf("uncached baseline cell has no wall clock: %+v", c)
 		}
 	}
 }
@@ -167,15 +209,15 @@ func TestAblationsQuick(t *testing.T) {
 
 func TestRunCacheReusesResults(t *testing.T) {
 	h := quickHarness()
-	a, err := h.Run(sim.PlacerRandom, sim.ProtoOmniLedger, 4, 1000, nil)
+	a, err := h.row("OmniLedger", 4, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := h.Run(sim.PlacerRandom, sim.ProtoOmniLedger, 4, 1000, nil)
+	b, err := h.row("OmniLedger", 4, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if b.WallSeconds != 0 || a.Result != b.Result {
 		t.Fatal("cache miss for identical cell")
 	}
 }
@@ -213,7 +255,7 @@ func TestWorkloadThreadsThroughSweeps(t *testing.T) {
 		TableN:     4000,
 		Seed:       1,
 		Workload:   spec,
-		Strategies: []sim.PlacerKind{sim.PlacerOptChain, sim.PlacerRandom},
+		Strategies: []string{"OptChain", "OmniLedger"},
 	})
 	d, err := h.Dataset(1500)
 	if err != nil {
@@ -246,5 +288,48 @@ func TestWorkloadThreadsThroughSweeps(t *testing.T) {
 		if !strings.Contains(buf.String(), "workload="+spec) {
 			t.Fatalf("%s report does not name the workload:\n%s", name, buf.String())
 		}
+	}
+}
+
+// TestStreamingGridSweep: the acceptance scenario — a `mix:`-modulated
+// fig5-style peak sweep runs end-to-end streamed, without materializing
+// the workload, and its rows say they streamed.
+func TestStreamingGridSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	h := NewHarness(Params{
+		Quick:      true,
+		N:          1500,
+		Seed:       1,
+		Workload:   "mix:burst=0.5,bitcoin=0.5",
+		Streaming:  true,
+		Strategies: []string{"OptChain", "OmniLedger"},
+	})
+	rows, err := h.Collect(context.Background(), PeakSweep(h.Params()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Streamed {
+			t.Fatalf("streaming sweep produced materialized row: %+v", row)
+		}
+		if row.Committed == 0 {
+			t.Fatalf("degenerate streamed row: %+v", row)
+		}
+		if row.Workload != "mix:burst=0.5,bitcoin=0.5" {
+			t.Fatalf("row does not name the workload spec: %+v", row)
+		}
+	}
+	// Fig5 renders from the same streamed cells.
+	var buf bytes.Buffer
+	if err := Fig5(h, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig. 5") {
+		t.Fatalf("fig5 output:\n%s", buf.String())
 	}
 }

@@ -1,22 +1,24 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"optchain/internal/sim"
+	"optchain/experiment"
 )
 
 // Fig3 prints, per strategy, the latency and throughput grid over
 // (shard count × transaction rate) — the paper's Fig. 3 heat plots.
 func Fig3(h *Harness, w io.Writer) error {
-	if err := h.runGrid(h.fullGrid()); err != nil {
+	p := h.Params()
+	if err := h.warm(GridSweep(p)); err != nil {
 		return err
 	}
-	shards, rates := h.simGrids()
-	fmt.Fprintf(w, "== Fig. 3 — latency & throughput grids (n=%d, %d validators/shard, workload=%s) ==\n", h.p.N, h.p.Validators, h.workloadLabel())
-	for _, p := range h.placers() {
-		fmt.Fprintf(w, "-- %s: avg latency seconds (rows: shards, cols: rate) --\n", p)
+	shards, rates := simGrids(p)
+	fmt.Fprintf(w, "== Fig. 3 — latency & throughput grids (n=%d, %d validators/shard, workload=%s) ==\n", p.N, p.Validators, h.workloadLabel())
+	for _, s := range placers(p) {
+		fmt.Fprintf(w, "-- %s: avg latency seconds (rows: shards, cols: rate) --\n", s)
 		fmt.Fprintf(w, "%-7s", "k\\rate")
 		for _, r := range rates {
 			fmt.Fprintf(w, "%9.0f", r)
@@ -25,15 +27,15 @@ func Fig3(h *Harness, w io.Writer) error {
 		for _, k := range shards {
 			fmt.Fprintf(w, "%-7d", k)
 			for _, r := range rates {
-				res, err := h.Run(p, h.p.Protocol, k, r, nil)
+				row, err := h.row(s, k, r)
 				if err != nil {
 					return err
 				}
-				fmt.Fprintf(w, "%9.2f", res.AvgLatency)
+				fmt.Fprintf(w, "%9.2f", row.AvgLatencySec)
 			}
 			fmt.Fprintln(w)
 		}
-		fmt.Fprintf(w, "-- %s: steady throughput tps --\n", p)
+		fmt.Fprintf(w, "-- %s: steady throughput tps --\n", s)
 		fmt.Fprintf(w, "%-7s", "k\\rate")
 		for _, r := range rates {
 			fmt.Fprintf(w, "%9.0f", r)
@@ -42,11 +44,11 @@ func Fig3(h *Harness, w io.Writer) error {
 		for _, k := range shards {
 			fmt.Fprintf(w, "%-7d", k)
 			for _, r := range rates {
-				res, err := h.Run(p, h.p.Protocol, k, r, nil)
+				row, err := h.row(s, k, r)
 				if err != nil {
 					return err
 				}
-				fmt.Fprintf(w, "%9.0f", res.SteadyTPS)
+				fmt.Fprintf(w, "%9.0f", row.SteadyTPS)
 			}
 			fmt.Fprintln(w)
 		}
@@ -57,45 +59,46 @@ func Fig3(h *Harness, w io.Writer) error {
 // Fig4 prints system throughput: (a) at the largest shard count across
 // rates, and (b) the maximum over the whole grid per strategy.
 func Fig4(h *Harness, w io.Writer) error {
-	if err := h.runGrid(h.fullGrid()); err != nil {
+	p := h.Params()
+	if err := h.warm(GridSweep(p)); err != nil {
 		return err
 	}
-	shards, rates := h.simGrids()
+	shards, rates := simGrids(p)
 	kMax := shards[len(shards)-1]
 	fmt.Fprintf(w, "== Fig. 4a — throughput at %d shards (workload=%s) ==\n", kMax, h.workloadLabel())
 	fmt.Fprintf(w, "%-10s", "rate")
-	for _, p := range h.placers() {
-		fmt.Fprintf(w, "%12s", p)
+	for _, s := range placers(p) {
+		fmt.Fprintf(w, "%12s", s)
 	}
 	fmt.Fprintln(w)
 	for _, r := range rates {
 		fmt.Fprintf(w, "%-10.0f", r)
-		for _, p := range h.placers() {
-			res, err := h.Run(p, h.p.Protocol, kMax, r, nil)
+		for _, s := range placers(p) {
+			row, err := h.row(s, kMax, r)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%12.0f", res.SteadyTPS)
+			fmt.Fprintf(w, "%12.0f", row.SteadyTPS)
 		}
 		fmt.Fprintln(w)
 	}
 
 	fmt.Fprintln(w, "== Fig. 4b — max throughput over all (rate, shards) ==")
-	for _, p := range h.placers() {
+	for _, s := range placers(p) {
 		best := 0.0
 		bestK, bestR := 0, 0.0
 		for _, k := range shards {
 			for _, r := range rates {
-				res, err := h.Run(p, h.p.Protocol, k, r, nil)
+				row, err := h.row(s, k, r)
 				if err != nil {
 					return err
 				}
-				if res.SteadyTPS > best {
-					best, bestK, bestR = res.SteadyTPS, k, r
+				if row.SteadyTPS > best {
+					best, bestK, bestR = row.SteadyTPS, k, r
 				}
 			}
 		}
-		fmt.Fprintf(w, "%-12s max=%6.0f tps (at %d shards, rate %.0f)\n", p, best, bestK, bestR)
+		fmt.Fprintf(w, "%-12s max=%6.0f tps (at %d shards, rate %.0f)\n", s, best, bestK, bestR)
 	}
 	fmt.Fprintln(w, "(paper: OptChain's max at 16 shards is 34.4%/30.5%/16.6% above OmniLedger/Metis/Greedy)")
 	return nil
@@ -104,34 +107,35 @@ func Fig4(h *Harness, w io.Writer) error {
 // Fig5 prints the committed-transactions timeline at the peak
 // configuration (paper: 16 shards, 6000 tps, 50 s windows).
 func Fig5(h *Harness, w io.Writer) error {
-	if err := h.runGrid(h.peakCells()); err != nil {
+	p := h.Params()
+	if err := h.warm(PeakSweep(p)); err != nil {
 		return err
 	}
-	k, r := h.maxGrid()
+	k, r := maxGrid(p)
 	fmt.Fprintf(w, "== Fig. 5 — committed tx per window (k=%d, rate=%.0f, workload=%s; windows scale with run length) ==\n", k, r, h.workloadLabel())
 	fmt.Fprintf(w, "%-8s", "window")
-	for _, p := range h.placers() {
-		fmt.Fprintf(w, "%12s", p)
+	for _, s := range placers(p) {
+		fmt.Fprintf(w, "%12s", s)
 	}
 	fmt.Fprintln(w)
-	series := make(map[sim.PlacerKind][]int64, len(h.placers()))
+	series := make(map[string][]int64, len(placers(p)))
 	maxLen := 0
-	for _, p := range h.placers() {
-		res, err := h.Run(p, h.p.Protocol, k, r, nil)
+	for _, s := range placers(p) {
+		row, err := h.row(s, k, r)
 		if err != nil {
 			return err
 		}
-		series[p] = res.WindowCommits
-		if len(res.WindowCommits) > maxLen {
-			maxLen = len(res.WindowCommits)
+		series[s] = row.Result.WindowCommits
+		if len(row.Result.WindowCommits) > maxLen {
+			maxLen = len(row.Result.WindowCommits)
 		}
 	}
 	for i := 0; i < maxLen; i++ {
 		fmt.Fprintf(w, "%-8d", i)
-		for _, p := range h.placers() {
+		for _, s := range placers(p) {
 			v := int64(0)
-			if i < len(series[p]) {
-				v = series[p][i]
+			if i < len(series[s]) {
+				v = series[s][i]
 			}
 			fmt.Fprintf(w, "%12d", v)
 		}
@@ -143,18 +147,20 @@ func Fig5(h *Harness, w io.Writer) error {
 // Fig6 prints each strategy's max and min shard queue sizes over time at
 // the peak configuration.
 func Fig6(h *Harness, w io.Writer) error {
-	if err := h.runGrid(h.peakCells()); err != nil {
+	p := h.Params()
+	if err := h.warm(PeakSweep(p)); err != nil {
 		return err
 	}
-	k, r := h.maxGrid()
+	k, r := maxGrid(p)
 	fmt.Fprintf(w, "== Fig. 6 — max/min shard queue sizes over time (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
-	for _, p := range h.placers() {
-		res, err := h.Run(p, h.p.Protocol, k, r, nil)
+	for _, s := range placers(p) {
+		row, err := h.row(s, k, r)
 		if err != nil {
 			return err
 		}
+		res := row.Result
 		maxs, mins := res.Queues.MaxMin()
-		fmt.Fprintf(w, "-- %s (peak max queue: %d) --\n", p, res.Queues.PeakMax())
+		fmt.Fprintf(w, "-- %s (peak max queue: %d) --\n", s, res.Queues.PeakMax())
 		step := len(maxs)/12 + 1
 		for i := 0; i < len(maxs); i += step {
 			fmt.Fprintf(w, "t=%6.0fs  max=%-8d min=%-8d\n", res.Queues.Times[i].Seconds(), maxs[i], mins[i])
@@ -167,35 +173,36 @@ func Fig6(h *Harness, w io.Writer) error {
 // Fig7 prints the queue max/min ratio over time — the temporal-balance
 // comparison.
 func Fig7(h *Harness, w io.Writer) error {
-	if err := h.runGrid(h.peakCells()); err != nil {
+	p := h.Params()
+	if err := h.warm(PeakSweep(p)); err != nil {
 		return err
 	}
-	k, r := h.maxGrid()
+	k, r := maxGrid(p)
 	fmt.Fprintf(w, "== Fig. 7 — queue size max/min ratio over time (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	fmt.Fprintf(w, "%-8s", "sample")
-	for _, p := range h.placers() {
-		fmt.Fprintf(w, "%12s", p)
+	for _, s := range placers(p) {
+		fmt.Fprintf(w, "%12s", s)
 	}
 	fmt.Fprintln(w)
-	ratios := make(map[sim.PlacerKind][]float64, len(h.placers()))
+	ratios := make(map[string][]float64, len(placers(p)))
 	maxLen := 0
-	for _, p := range h.placers() {
-		res, err := h.Run(p, h.p.Protocol, k, r, nil)
+	for _, s := range placers(p) {
+		row, err := h.row(s, k, r)
 		if err != nil {
 			return err
 		}
-		ratios[p] = res.Queues.Ratio()
-		if len(ratios[p]) > maxLen {
-			maxLen = len(ratios[p])
+		ratios[s] = row.Result.Queues.Ratio()
+		if len(ratios[s]) > maxLen {
+			maxLen = len(ratios[s])
 		}
 	}
 	step := maxLen/15 + 1
 	for i := 0; i < maxLen; i += step {
 		fmt.Fprintf(w, "%-8d", i)
-		for _, p := range h.placers() {
+		for _, s := range placers(p) {
 			v := 0.0
-			if i < len(ratios[p]) {
-				v = ratios[p][i]
+			if i < len(ratios[s]) {
+				v = ratios[s][i]
 			}
 			fmt.Fprintf(w, "%12.1f", v)
 		}
@@ -205,26 +212,27 @@ func Fig7(h *Harness, w io.Writer) error {
 }
 
 // latencyFigure factors Figs. 8 and 9 (average vs maximum latency).
-func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(*sim.Result) float64) error {
-	if err := h.runGrid(h.fullGrid()); err != nil {
+func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(experiment.Row) float64) error {
+	p := h.Params()
+	if err := h.warm(GridSweep(p)); err != nil {
 		return err
 	}
-	shards, rates := h.simGrids()
+	shards, rates := simGrids(p)
 	kMax := shards[len(shards)-1]
 	fmt.Fprintf(w, "== %s (a) at %d shards (workload=%s) ==\n", title, kMax, h.workloadLabel())
 	fmt.Fprintf(w, "%-10s", "rate")
-	for _, p := range h.placers() {
-		fmt.Fprintf(w, "%12s", p)
+	for _, s := range placers(p) {
+		fmt.Fprintf(w, "%12s", s)
 	}
 	fmt.Fprintln(w)
 	for _, r := range rates {
 		fmt.Fprintf(w, "%-10.0f", r)
-		for _, p := range h.placers() {
-			res, err := h.Run(p, h.p.Protocol, kMax, r, nil)
+		for _, s := range placers(p) {
+			row, err := h.row(s, kMax, r)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%12.2f", pick(res))
+			fmt.Fprintf(w, "%12.2f", pick(row))
 		}
 		fmt.Fprintln(w)
 	}
@@ -232,22 +240,22 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(*
 	for _, r := range rates {
 		bestK := shards[len(shards)-1]
 		for _, k := range shards {
-			res, err := h.Run(sim.PlacerOptChain, h.p.Protocol, k, r, nil)
+			row, err := h.row("OptChain", k, r)
 			if err != nil {
 				return err
 			}
-			if res.SteadyTPS >= 0.93*r {
+			if row.SteadyTPS >= 0.93*r {
 				bestK = k
 				break
 			}
 		}
 		fmt.Fprintf(w, "rate %-6.0f @ k=%-3d", r, bestK)
-		for _, p := range h.placers() {
-			res, err := h.Run(p, h.p.Protocol, bestK, r, nil)
+		for _, s := range placers(p) {
+			row, err := h.row(s, bestK, r)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "  %s=%.2f", p, pick(res))
+			fmt.Fprintf(w, "  %s=%.2f", s, pick(row))
 		}
 		fmt.Fprintln(w)
 	}
@@ -259,29 +267,31 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(*
 func Fig8(h *Harness, w io.Writer) error {
 	return latencyFigure(h, w, "Fig. 8 — average latency (s)",
 		"(paper: OptChain 8.7s at 4000tps/16 shards; OmniLedger 346.2s at 6000/16)",
-		func(r *sim.Result) float64 { return r.AvgLatency })
+		func(r experiment.Row) float64 { return r.AvgLatencySec })
 }
 
 // Fig9 prints maximum transaction latency.
 func Fig9(h *Harness, w io.Writer) error {
 	return latencyFigure(h, w, "Fig. 9 — maximum latency (s)",
 		"(paper at 6000/16: OptChain 100.9s; OmniLedger 1309.5s; Metis 1345.9s; Greedy 628.9s)",
-		func(r *sim.Result) float64 { return r.MaxLatency })
+		func(r experiment.Row) float64 { return r.MaxLatencySec })
 }
 
 // Fig10 prints the latency CDF at the peak configuration.
 func Fig10(h *Harness, w io.Writer) error {
-	if err := h.runGrid(h.peakCells()); err != nil {
+	p := h.Params()
+	if err := h.warm(PeakSweep(p)); err != nil {
 		return err
 	}
-	k, r := h.maxGrid()
+	k, r := maxGrid(p)
 	fmt.Fprintf(w, "== Fig. 10 — latency CDF (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
-	for _, p := range h.placers() {
-		res, err := h.Run(p, h.p.Protocol, k, r, nil)
+	for _, s := range placers(p) {
+		row, err := h.row(s, k, r)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "-- %s: fraction confirmed within 10s = %.3f --\n", p, res.Latencies.FractionWithin(10e9))
+		res := row.Result
+		fmt.Fprintf(w, "-- %s: fraction confirmed within 10s = %.3f --\n", s, res.Latencies.FractionWithin(10e9))
 		for _, pt := range res.Latencies.CDF(8) {
 			fmt.Fprintf(w, "  P%.0f <= %.2fs\n", pt.Fraction*100, pt.X)
 		}
@@ -295,51 +305,16 @@ func Fig10(h *Harness, w io.Writer) error {
 // commit rate is the capacity. The stream grows with the offered rate so
 // the steady window stays long enough to measure.
 func Fig11(h *Harness, w io.Writer) error {
-	shardGrid := []int{4, 8, 16, 32, 62}
-	if h.p.Quick {
-		shardGrid = []int{4, 8}
-	}
-	fmt.Fprintf(w, "== Fig. 11 — OptChain scalability: sustainable tps vs shard count (workload=%s) ==\n", h.workloadLabel())
-	// Each shard count is an independent saturation run; execute them
-	// concurrently and report in grid order.
-	results := make([]*sim.Result, len(shardGrid))
-	offereds := make([]float64, len(shardGrid))
-	err := h.parallelEach(len(shardGrid), func(i int) error {
-		k := shardGrid[i]
-		offered := float64(450 * k)
-		offereds[i] = offered
-		n := int(offered * 25)
-		if n > 600_000 {
-			n = 600_000
-		}
-		if n < h.p.N {
-			n = h.p.N
-		}
-		d, err := h.Dataset(n)
-		if err != nil {
-			return err
-		}
-		res, err := sim.Run(sim.Config{
-			Dataset:    d,
-			Shards:     k,
-			Validators: h.p.Validators,
-			Rate:       offered,
-			Placer:     sim.PlacerOptChain,
-			Seed:       h.p.Seed,
-			MaxSimTime: 20 * 60e9,
-		})
-		if err != nil {
-			return err
-		}
-		results[i] = res
-		return nil
-	})
+	p := h.Params()
+	sweep := SaturationSweep(p)
+	rows, err := h.Collect(context.Background(), sweep)
 	if err != nil {
 		return err
 	}
-	for i, k := range shardGrid {
+	fmt.Fprintf(w, "== Fig. 11 — OptChain scalability: sustainable tps vs shard count (workload=%s) ==\n", h.workloadLabel())
+	for _, row := range rows {
 		fmt.Fprintf(w, "k=%-3d offered=%-6.0f sustainable=%-6.0f avgLat=%.2fs\n",
-			k, offereds[i], results[i].SteadyTPS, results[i].AvgLatency)
+			row.Shards, row.Rate, row.SteadyTPS, row.AvgLatencySec)
 	}
 	fmt.Fprintln(w, "(paper: near-linear scaling, >20000 tps at 62 shards, confirmation never above 11s when healthy)")
 	return nil

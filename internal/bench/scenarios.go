@@ -3,142 +3,39 @@ package bench
 import (
 	"fmt"
 	"io"
-	"strings"
-	"time"
-
-	"optchain/internal/sim"
-	"optchain/internal/workload"
 )
-
-// scenarioNames is the workload set the scenario sweeps cover: the
-// Params.Workloads override (entries may be full specs, e.g.
-// "mix:bitcoin=0.7,hotspot=0.3"), or every standalone registered scenario
-// (replay is excluded by default — it needs a trace-file argument).
-func (h *Harness) scenarioNames() []string {
-	if len(h.p.Workloads) > 0 {
-		return h.p.Workloads
-	}
-	return workload.StandaloneNames()
-}
-
-// scenarioPlacers is the strategy set compared per scenario. Metis is
-// excluded even when configured: it replays an offline partition of a
-// materialized graph, which contradicts a streaming scenario by definition.
-func (h *Harness) scenarioPlacers() []sim.PlacerKind {
-	var out []sim.PlacerKind
-	for _, p := range h.placers() {
-		if p != sim.PlacerMetis {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// runScenarioUncached executes one streaming-scenario simulation cell.
-func (h *Harness) runScenarioUncached(name string, placer sim.PlacerKind, proto sim.ProtocolKind, shards int, rate float64) (*sim.Result, error) {
-	src, err := workload.New(name, workload.Params{
-		N:      h.p.N,
-		Seed:   h.p.Seed,
-		Shards: shards,
-	})
-	if err != nil {
-		return nil, err
-	}
-	defer workload.Close(src)
-	window, sample := h.windows(rate)
-	cfg := sim.Config{
-		Source:           src,
-		Txs:              h.p.N,
-		Shards:           shards,
-		Validators:       h.p.Validators,
-		Rate:             rate,
-		Placer:           placer,
-		Protocol:         proto,
-		Seed:             h.p.Seed,
-		MaxSimTime:       20 * time.Minute,
-		CommitWindow:     window,
-		QueueSampleEvery: sample,
-	}
-	return sim.Run(cfg)
-}
-
-// RunScenario executes (or returns cached) one simulation cell driven by a
-// streaming workload scenario instead of the shared dataset. Each cell
-// builds a fresh source, so results are deterministic per the harness seed.
-func (h *Harness) RunScenario(name string, placer sim.PlacerKind, proto sim.ProtocolKind, shards int, rate float64) (*sim.Result, error) {
-	if placer == sim.PlacerMetis {
-		return nil, fmt.Errorf("bench: the Metis replay needs a materialized dataset; scenario %q streams", name)
-	}
-	key := runKey{placer: placer, proto: proto, shards: shards, rate: int(rate), tag: "workload:" + strings.ToLower(name)}
-	h.mu.Lock()
-	if res, ok := h.runs[key]; ok {
-		h.mu.Unlock()
-		return res, nil
-	}
-	h.mu.Unlock()
-	res, err := h.runScenarioUncached(name, placer, proto, shards, rate)
-	if err != nil {
-		return nil, err
-	}
-	h.mu.Lock()
-	h.runs[key] = res
-	h.mu.Unlock()
-	return res, nil
-}
-
-// scenarioGrid returns the (shards, rate) configuration of the scenario
-// sweep — the paper's mid-size setup, shrunk under Quick.
-func (h *Harness) scenarioGrid() (int, float64) {
-	if h.p.Quick {
-		return 4, 1000
-	}
-	return 8, 2000
-}
 
 // Scenarios compares the placement strategies across every workload
 // scenario — the dimension the paper's single-trace evaluation lacks.
 // Per (scenario, strategy) cell it reports steady-state throughput,
 // cross-shard fraction, retries, and the peak queue depth: together these
 // show where lineage-aware fitness wins (bitcoin, hotspot), where it must
-// adapt (burst, drift), and its floor (adversarial).
+// adapt (burst, drift), and its floor (adversarial). Every cell streams its
+// scenario — nothing is materialized — which is why Metis sits this sweep
+// out.
 func Scenarios(h *Harness, w io.Writer) error {
-	shards, rate := h.scenarioGrid()
-	names := h.scenarioNames()
-	placers := h.scenarioPlacers()
-
-	type cell struct {
-		name   string
-		placer sim.PlacerKind
-	}
-	var cells []cell
-	for _, n := range names {
-		for _, p := range placers {
-			cells = append(cells, cell{name: n, placer: p})
-		}
-	}
-	// Warm the cache across the worker budget; the report loop below then
-	// reads every cell without recomputation.
-	if err := h.parallelEach(len(cells), func(i int) error {
-		_, err := h.RunScenario(cells[i].name, cells[i].placer, h.p.Protocol, shards, rate)
-		return err
-	}); err != nil {
+	p := h.Params()
+	if err := h.warm(ScenariosSweep(p)); err != nil {
 		return err
 	}
+	shards, rate := scenarioGrid(p)
+	names := scenarioNames(p)
+	strategies := scenarioPlacers(p)
 
 	fmt.Fprintf(w, "== Workload scenarios — placement under skew, bursts, drift, and attack (n=%d, k=%d, rate=%.0f, protocol=%s) ==\n",
-		h.p.N, shards, rate, h.p.Protocol)
+		p.N, shards, rate, p.Protocol)
 	fmt.Fprintf(w, "%-12s %-11s %-10s %-10s %-9s %-9s %-8s\n",
 		"scenario", "strategy", "steadyTPS", "commit%", "cross%", "retries", "queueMax")
 	for _, n := range names {
-		for _, p := range placers {
-			res, err := h.RunScenario(n, p, h.p.Protocol, shards, rate)
+		for _, s := range strategies {
+			row, err := h.scenarioRow(n, s, shards, rate)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "%-12s %-11s %-10.0f %-10.1f %-9.1f %-9d %-8d\n",
-				n, p, res.SteadyTPS,
-				100*float64(res.Committed)/float64(res.Total),
-				100*res.CrossFraction, res.Retries, res.Queues.PeakMax())
+				n, s, row.SteadyTPS,
+				100*float64(row.Committed)/float64(row.Total),
+				100*row.CrossFraction, row.Retries, row.PeakQueue)
 		}
 	}
 	return nil

@@ -1,12 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"optchain/internal/core"
-	"optchain/internal/dataset"
-	"optchain/internal/placement"
+	"optchain/experiment"
 	"optchain/internal/txgraph"
 )
 
@@ -14,7 +13,8 @@ import (
 // degree distributions, cumulative fractions, average degree over time, and
 // the node census.
 func Fig2(h *Harness, w io.Writer) error {
-	d, err := h.Dataset(h.p.TableN)
+	p := h.Params()
+	d, err := h.Dataset(p.TableN)
 	if err != nil {
 		return err
 	}
@@ -61,157 +61,104 @@ func Fig2(h *Harness, w io.Writer) error {
 	return nil
 }
 
-// newTableStrategy builds one freshly initialized strategy for an offline
-// table cell, so every (k, strategy) cell owns its own state and cells run
-// concurrently.
-func (h *Harness) newTableStrategy(name string, n, k int) (placement.Placer, error) {
-	switch name {
-	case "Metis":
-		part, err := h.Partition(n, k)
-		if err != nil {
-			return nil, err
-		}
-		return placement.NewMetisReplay(k, part), nil
-	case "Greedy":
-		return placement.NewGreedy(k, n, core.DefaultCapacityEps), nil
-	case "OmniLedger":
-		return placement.NewRandom(k, n), nil
-	case "T2S":
-		d, err := h.Dataset(n)
-		if err != nil {
-			return nil, err
-		}
-		t2s := core.NewT2SPlacer(k, n, core.DefaultAlpha, core.DefaultCapacityEps)
-		t2s.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
-		return t2s, nil
+// tableINames is the strategy column order of Table I.
+var tableINames = []string{"Metis", "Greedy", "OmniLedger", "T2S"}
+
+// TableISweep is the "from scratch" offline placement sweep behind Table I:
+// every strategy places the whole stream into empty shards.
+func TableISweep(p Params) experiment.Sweep {
+	return experiment.Sweep{
+		Name:        "table1",
+		Description: "offline % cross-TX from scratch per (shards x strategy) — Table I",
+		Kind:        experiment.KindPlacement,
+		Strategies:  tableINames,
+		Shards:      tableShards(p),
 	}
-	return nil, fmt.Errorf("bench: unknown table strategy %q", name)
 }
 
-// crossFraction streams the dataset through a placer, counting cross-TXs
-// from index `from` onward.
-func crossFraction(d *dataset.Dataset, p placement.Placer, from int) placement.CrossCounter {
-	cc := placement.CrossCounter{}
-	var buf []txgraph.Node
-	for i := 0; i < d.Len(); i++ {
-		buf = d.InputTxNodes(i, buf)
-		s := p.Place(txgraph.Node(i), buf)
-		if i >= from {
-			cc.Observe(p.Assignment(), buf, s)
-		}
+// placementCell is the canonical offline-table cell.
+func placementCell(strategy string, k, warm int) experiment.Cell {
+	return experiment.Cell{
+		Kind:     experiment.KindPlacement,
+		Strategy: strategy,
+		Shards:   k,
+		Warm:     warm,
 	}
-	return cc
 }
 
 // TableI reproduces "Percentage of cross-TXs when running from scratch":
 // every strategy places the whole stream into empty shards.
 func TableI(h *Harness, w io.Writer) error {
-	n := h.p.TableN
-	d, err := h.Dataset(n)
-	if err != nil {
+	p := h.Params()
+	if err := h.warm(TableISweep(p)); err != nil {
 		return err
 	}
+	n := p.TableN
 	fmt.Fprintf(w, "== Table I — %% cross-TX from scratch (n=%d, workload=%s) ==\n", n, h.workloadLabel())
 	fmt.Fprintf(w, "%-4s %-10s %-10s %-12s %-10s\n", "k", "Metis", "Greedy", "OmniLedger", "T2S")
-	names := []string{"Metis", "Greedy", "OmniLedger", "T2S"}
-	ks := h.tableShards()
-	// One independent placement replay per (k, strategy) cell, fanned out
-	// across the worker budget; each cell owns its placer, so results match
-	// the sequential sweep exactly.
-	vals := make([]float64, len(ks)*len(names))
-	err = h.parallelEach(len(vals), func(i int) error {
-		k, name := ks[i/len(names)], names[i%len(names)]
-		p, err := h.newTableStrategy(name, n, k)
-		if err != nil {
-			return err
+	for _, k := range tableShards(p) {
+		fmt.Fprintf(w, "%-4d", k)
+		for i, name := range tableINames {
+			row, err := h.Cell(context.Background(), placementCell(name, k, 0))
+			if err != nil {
+				return err
+			}
+			width := []int{10, 10, 12, 10}[i]
+			fmt.Fprintf(w, " %-*.2f", width, 100*row.CrossFraction)
 		}
-		cc := crossFraction(d, p, 0)
-		vals[i] = 100 * cc.Fraction()
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	for ki, k := range ks {
-		row := vals[ki*len(names) : (ki+1)*len(names)]
-		fmt.Fprintf(w, "%-4d %-10.2f %-10.2f %-12.2f %-10.2f\n",
-			k, row[0], row[1], row[2], row[3])
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w, "(paper, k=16: Metis 4.70, Greedy 28.14, OmniLedger 94.87, T2S 15.73)")
 	return nil
 }
 
-// warmPlacer replays an offline partition for the first `warm`
-// transactions, then hands control to the wrapped strategy — the Table II
-// setting ("the system already places a certain amount of transactions").
-type warmPlacer struct {
-	placement.Placer
-	part []int32
-	warm int
-}
+// tableIINames is the strategy column order of Table II (Metis seeds the
+// warm start, so it is not a competitor).
+var tableIINames = []string{"Greedy", "OmniLedger", "T2S"}
 
-// Place implements placement.Placer.
-func (w *warmPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
-	if int(u) >= w.warm {
-		return w.Placer.Place(u, inputs)
+// tableIIWarm returns the warm-start prefix: the paper partitions a 30M
+// prefix, then streams 1M transactions; we keep the same ~30:1 proportion
+// at reduced scale.
+func tableIIWarm(p Params) int { return p.TableN * 30 / 31 }
+
+// TableIISweep is the warm-start offline placement sweep behind Table II:
+// a Metis partition seeds the shards and each online strategy places the
+// remaining window.
+func TableIISweep(p Params) experiment.Sweep {
+	return experiment.Sweep{
+		Name:        "table2",
+		Description: "offline cross-TX count after a Metis warm start — Table II",
+		Kind:        experiment.KindPlacement,
+		Strategies:  tableIINames,
+		Shards:      tableShards(p),
+		Warm:        tableIIWarm(p),
 	}
-	s := int(w.part[u])
-	// T2S-based strategies must also thread the replayed decisions through
-	// their score index.
-	switch p := w.Placer.(type) {
-	case *core.T2SPlacer:
-		p.Scores().Prepare(u, inputs)
-		p.Scores().Commit(u, s)
-		p.Assignment().Place(u, s)
-	case *core.OptChainPlacer:
-		p.Scores().Prepare(u, inputs)
-		p.Scores().Commit(u, s)
-		p.Assignment().Place(u, s)
-	default:
-		p.Assignment().Place(u, s)
-	}
-	return s
 }
 
 // TableII reproduces "Number of cross-TXs when running from a certain stage
-// of the system": a Metis partition seeds the shards (the paper partitions
-// a 30M prefix, then streams 1M transactions; we keep the same ~30:1
-// proportion at reduced scale) and each online strategy places the
-// remaining window.
+// of the system": a Metis partition seeds the shards and each online
+// strategy places the remaining window.
 func TableII(h *Harness, w io.Writer) error {
-	n := h.p.TableN
-	warm := n * 30 / 31
-	window := n - warm
-	d, err := h.Dataset(n)
-	if err != nil {
+	p := h.Params()
+	if err := h.warm(TableIISweep(p)); err != nil {
 		return err
 	}
+	n := p.TableN
+	warm := tableIIWarm(p)
+	window := n - warm
 	fmt.Fprintf(w, "== Table II — # cross-TX in a %d-tx window after a %d-tx Metis warm start (workload=%s) ==\n", window, warm, h.workloadLabel())
 	fmt.Fprintf(w, "%-4s %-10s %-12s %-10s\n", "k", "Greedy", "OmniLedger", "T2S")
-	names := []string{"Greedy", "OmniLedger", "T2S"}
-	ks := h.tableShards()
-	vals := make([]int64, len(ks)*len(names))
-	err = h.parallelEach(len(vals), func(i int) error {
-		k, name := ks[i/len(names)], names[i%len(names)]
-		part, err := h.Partition(n, k)
-		if err != nil {
-			return err
+	for _, k := range tableShards(p) {
+		fmt.Fprintf(w, "%-4d", k)
+		for i, name := range tableIINames {
+			row, err := h.Cell(context.Background(), placementCell(name, k, warm))
+			if err != nil {
+				return err
+			}
+			width := []int{10, 12, 10}[i]
+			fmt.Fprintf(w, " %-*d", width, row.Cross)
 		}
-		p, err := h.newTableStrategy(name, n, k)
-		if err != nil {
-			return err
-		}
-		wp := &warmPlacer{Placer: p, part: part, warm: warm}
-		cc := crossFraction(d, wp, warm)
-		vals[i] = cc.Cross
-		return nil
-	})
-	if err != nil {
-		return err
-	}
-	for ki, k := range ks {
-		row := vals[ki*len(names) : (ki+1)*len(names)]
-		fmt.Fprintf(w, "%-4d %-10d %-12d %-10d\n", k, row[0], row[1], row[2])
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w, "(paper, k=16 of 1M txs: Greedy 441267, OmniLedger 960935, T2S 226171)")
 	return nil

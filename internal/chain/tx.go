@@ -6,7 +6,6 @@ package chain
 
 import (
 	"fmt"
-	"hash/maphash"
 )
 
 // TxID identifies a transaction. The simulator uses dense integer IDs
@@ -15,20 +14,16 @@ import (
 // SHA-256 txid that OmniLedger's random placement hashes.
 type TxID int64
 
-// hashSeed is fixed so that placement decisions are reproducible run-to-run.
-var hashSeed = maphash.MakeSeed()
-
-// Hash returns a uniformly distributed 64-bit digest of the ID.
+// Hash returns a uniformly distributed 64-bit digest of the ID — the
+// SplitMix64 finalizer with fixed constants. The digest must be a pure
+// function of the ID (no per-process seed): OmniLedger's hash placement
+// derives shard choices from it, and experiment results are promised to
+// reproduce byte-identically across runs and processes for the same seeds.
 func (id TxID) Hash() uint64 {
-	var h maphash.Hash
-	h.SetSeed(hashSeed)
-	var buf [8]byte
-	v := uint64(id)
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(v >> (8 * i))
-	}
-	_, _ = h.Write(buf[:])
-	return h.Sum64()
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Outpoint references one output of a prior transaction.

@@ -1,0 +1,121 @@
+// Command sweepcheck validates JSONL sweep output, in the same spirit as
+// internal/docscheck: `make sweep-smoke` (wired into `make ci`) pushes a
+// tiny streaming sweep through the jsonl reporter and this checker fails
+// the build if the stream is malformed — every line must be a JSON row
+// carrying the required identity and metric fields, cell IDs must be
+// unique, and the row count must match the expectation.
+//
+// Usage:
+//
+//	sweepcheck [-rows N] [-streamed] FILE.jsonl
+//
+// -rows N requires exactly N rows (0 skips the count check); -streamed
+// additionally requires every row to have streamed=true — the guarantee
+// the streaming grid variant makes (nothing materialized).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// row is the field subset sweepcheck validates; unknown fields are fine
+// (the schema may grow).
+type row struct {
+	ID        string   `json:"id"`
+	Sweep     string   `json:"sweep"`
+	Index     *int     `json:"index"`
+	Kind      string   `json:"kind"`
+	Strategy  string   `json:"strategy"`
+	Shards    int      `json:"shards"`
+	Workload  string   `json:"workload"`
+	Streamed  *bool    `json:"streamed"`
+	Committed int      `json:"committed"`
+	SteadyTPS *float64 `json:"steady_tps"`
+}
+
+func main() {
+	rows := flag.Int("rows", 0, "require exactly this many rows (0 = any)")
+	streamed := flag.Bool("streamed", false, "require every row to be streamed (no materialization)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sweepcheck [-rows N] [-streamed] FILE.jsonl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepcheck: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	bad := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweepcheck: %s: %s\n", path, fmt.Sprintf(format, args...))
+		bad++
+	}
+	seen := map[string]bool{}
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if len(text) == 0 {
+			continue
+		}
+		var r row
+		if err := json.Unmarshal([]byte(text), &r); err != nil {
+			fail("line %d: not a JSON row: %v", line, err)
+			continue
+		}
+		n++
+		switch {
+		case r.ID == "":
+			fail("line %d: missing id", line)
+		case seen[r.ID]:
+			fail("line %d: duplicate cell id %q", line, r.ID)
+		default:
+			seen[r.ID] = true
+		}
+		if r.Sweep == "" {
+			fail("line %d: missing sweep name", line)
+		}
+		if r.Index == nil {
+			fail("line %d: missing index", line)
+		}
+		if r.Kind == "" || r.Strategy == "" || r.Workload == "" {
+			fail("line %d: missing kind/strategy/workload", line)
+		}
+		if r.Shards < 1 {
+			fail("line %d: shards = %d", line, r.Shards)
+		}
+		if r.Streamed == nil {
+			fail("line %d: missing streamed marker", line)
+		} else if *streamed && !*r.Streamed {
+			fail("line %d: cell %q materialized in a streaming sweep", line, r.ID)
+		}
+		if r.Kind == "sim" {
+			if r.Committed <= 0 {
+				fail("line %d: sim cell %q committed nothing", line, r.ID)
+			}
+			if r.SteadyTPS == nil || *r.SteadyTPS <= 0 {
+				fail("line %d: sim cell %q has no steady throughput", line, r.ID)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("read: %v", err)
+	}
+	if *rows > 0 && n != *rows {
+		fail("row count %d, want %d", n, *rows)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "sweepcheck: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("sweepcheck: %s: %d row(s) clean\n", path, n)
+}

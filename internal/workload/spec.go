@@ -119,6 +119,57 @@ func cutTopEq(tok string) (key, val string, found bool) {
 	return tok, "", false
 }
 
+// SplitList splits a list of workload specs into its entries, sharing the
+// spec grammar's paren-aware tokenizer: entries are ','-separated, or
+// ';'-separated when the list contains a top-level ';' (the documented way
+// to list specs that themselves contain commas, e.g.
+// "mix:bitcoin=0.7,hotspot=0.3;adversarial"; a trailing ';' forces that
+// mode for a single spec). Separators nested inside parentheses belong to
+// the inner spec — "mix:(replay:a;b.tan)=1" is one entry — so composite
+// specs are never split mid-spec. Every entry is validated with Parse; a
+// failure names the offending fragment.
+func SplitList(list string) ([]string, error) {
+	frags, err := splitTop(list, ';')
+	if err != nil {
+		return nil, fmt.Errorf("%w: workload list %q: %v", ErrBadParam, list, err)
+	}
+	semi := len(frags) > 1
+	if !semi {
+		frags, _ = splitTop(list, ',') // balance already checked above
+		if len(frags) > 1 {
+			// Ambiguity guard: when the WHOLE list also parses as one valid
+			// spec ("mix:bitcoin=0.7,hotspot"), comma-splitting could
+			// silently run different workloads than the user meant — every
+			// fragment may parse too. Demand an explicit ';' either way.
+			if _, err := Parse(list); err == nil {
+				return nil, fmt.Errorf("%w: ambiguous workload list %q: it parses as ONE spec but contains top-level commas; use ';' separators between entries, or a trailing ';' for a single spec",
+					ErrBadParam, list)
+			}
+		}
+	}
+	var out []string
+	for _, f := range frags {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			// A trailing ';' is the documented way to force ';'-mode for a
+			// single comma-bearing spec; blanks are not entries.
+			continue
+		}
+		if _, err := Parse(f); err != nil {
+			hint := ""
+			if !semi && strings.Contains(list, ",") {
+				hint = "; separate entries with ';' when a spec contains top-level commas"
+			}
+			return nil, fmt.Errorf("workload list: fragment %q: %w%s", f, err, hint)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: workload list %q has no entries", ErrBadParam, list)
+	}
+	return out, nil
+}
+
 // Parse parses a workload spec string and validates its scenario name
 // against the registry: an unknown name fails with an error wrapping
 // ErrUnknownWorkload that names the offending token and lists every

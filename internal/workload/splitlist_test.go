@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"bitcoin", []string{"bitcoin"}},
+		{"bitcoin,hotspot", []string{"bitcoin", "hotspot"}},
+		{" bitcoin , hotspot ", []string{"bitcoin", "hotspot"}},
+		// ';' mode: specs carry their own commas.
+		{"mix:bitcoin=0.7,hotspot=0.3;adversarial", []string{"mix:bitcoin=0.7,hotspot=0.3", "adversarial"}},
+		// A trailing ';' forces ';' mode for a single comma-bearing spec.
+		{"mix:bitcoin=0.7,hotspot=0.3;", []string{"mix:bitcoin=0.7,hotspot=0.3"}},
+		// Separators inside parentheses belong to the inner spec: ';' keeps
+		// the parenthesized component spec containing ',' intact.
+		{"mix:(hotspot:exp=1.5,wallets=500)=1;drift", []string{"mix:(hotspot:exp=1.5,wallets=500)=1", "drift"}},
+		{"hotspot,burst", []string{"hotspot", "burst"}},
+	}
+	for _, c := range cases {
+		got, err := SplitList(c.in)
+		if err != nil {
+			t.Errorf("SplitList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitListParenGuardsSemicolon(t *testing.T) {
+	// A ';' inside parentheses is part of the inner spec (e.g. a replay
+	// trace path); only top-level ';' separates entries.
+	got, err := SplitList("mix:(hotspot:exp=1.5)=0.5,(drift:period=9000)=0.5;burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mix:(hotspot:exp=1.5)=0.5,(drift:period=9000)=0.5", "burst"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSplitListNamesOffendingFragment(t *testing.T) {
+	// ','-mode with a fragment that is not a spec: the error must name the
+	// fragment and hint at ';' separation.
+	_, err := SplitList("nope,hotspot=0.3")
+	if err == nil {
+		t.Fatal("bad fragment accepted")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("error does not name the offending fragment: %v", err)
+	}
+	if !strings.Contains(err.Error(), "';'") {
+		t.Fatalf("error does not hint at ';' separation: %v", err)
+	}
+
+	_, err = SplitList("bitcoin;nope;hotspot")
+	if !errors.Is(err, ErrUnknownWorkload) || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("unknown scenario fragment: %v", err)
+	}
+}
+
+func TestSplitListRejectsAmbiguousCommaSplit(t *testing.T) {
+	// "mix:bitcoin=0.7,hotspot" parses as ONE spec AND comma-splits into
+	// two fragments that each parse — silently running either reading
+	// would corrupt results, so the list must be rejected demanding ';'.
+	for _, in := range []string{
+		"mix:bitcoin=0.7,hotspot",
+		"mix:(hotspot:exp=1.5,wallets=500)=1,drift",
+	} {
+		_, err := SplitList(in)
+		if !errors.Is(err, ErrBadParam) || !strings.Contains(err.Error(), "ambiguous") {
+			t.Fatalf("SplitList(%q) err = %v, want ambiguity rejection", in, err)
+		}
+	}
+	// The same content is accepted once the intent is explicit.
+	if got, err := SplitList("mix:bitcoin=0.7,hotspot;"); err != nil || len(got) != 1 {
+		t.Fatalf("trailing-';' form: %v %v", got, err)
+	}
+	if got, err := SplitList("mix:bitcoin=0.7;hotspot"); err != nil || len(got) != 2 {
+		t.Fatalf("';'-separated form: %v %v", got, err)
+	}
+}
+
+func TestSplitListErrors(t *testing.T) {
+	for _, in := range []string{"", ";", ",", "mix:(bitcoin=1;"} {
+		if out, err := SplitList(in); err == nil {
+			t.Errorf("SplitList(%q) = %v, want error", in, out)
+		}
+	}
+}

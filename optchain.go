@@ -117,6 +117,17 @@ func ParseWorkloadSpec(spec string) (string, map[string]float64, error) {
 	return workload.ParseSpec(spec)
 }
 
+// SplitWorkloadList splits a list of workload specs ("bitcoin,hotspot" or
+// "mix:bitcoin=0.7,hotspot=0.3;adversarial") into its entries, sharing the
+// spec grammar's paren-aware tokenizer: entries are ','-separated, or
+// ';'-separated when the list contains a top-level ';'; separators nested
+// inside parentheses belong to the inner spec and never split it. Every
+// entry is validated; a failure names the offending fragment. This is the
+// splitter behind cmd/optchain-bench -workloads.
+func SplitWorkloadList(list string) ([]string, error) {
+	return workload.SplitList(list)
+}
+
 // NewWorkloadModulator builds an arrival modulator ("burst:boost=4",
 // "drift:period=20000,amp=0.5") — the shape replay's mod= argument
 // superimposes on recorded traces.
@@ -225,6 +236,28 @@ func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Gener
 // LoadDataset decodes a stream written by (*Dataset).Encode.
 func LoadDataset(r io.Reader) (*Dataset, error) { return dataset.Decode(r) }
 
+// TraceConvertConfig parameterizes real-trace conversion (see
+// ConvertTraceCSV / ConvertTraceJSON).
+type TraceConvertConfig = dataset.ConvertConfig
+
+// ConvertTraceCSV converts a txid-keyed CSV trace excerpt (published
+// Bitcoin trace extracts: `txid,inputs,outputs` with '|'-separated
+// txid:vout outpoints and output values) into a positionally-referenced
+// Dataset ready for (*Dataset).Encode → `replay:`. It returns the number
+// of out-of-excerpt inputs dropped under cfg.SkipForeign; without that
+// flag a foreign reference is an error naming the txid. The pipeline is
+// documented in SCENARIOS.md; cmd/tangen -from-csv drives it.
+func ConvertTraceCSV(r io.Reader, cfg TraceConvertConfig) (*Dataset, int64, error) {
+	return dataset.ConvertCSV(r, cfg)
+}
+
+// ConvertTraceJSON converts a JSON trace excerpt — an array of
+// {"txid","inputs","outputs"} objects or a JSONL stream of them — exactly
+// like ConvertTraceCSV. cmd/tangen -from-json drives it.
+func ConvertTraceJSON(r io.Reader, cfg TraceConvertConfig) (*Dataset, int64, error) {
+	return dataset.ConvertJSON(r, cfg)
+}
+
 // NewPlacer constructs a standalone placement strategy over k shards for
 // dataset d, resolved through the open registry. Unknown names return an
 // error wrapping ErrUnknownStrategy (this call used to panic).
@@ -332,7 +365,10 @@ func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 }
 
 // NewBenchHarness prepares the experiment harness that regenerates the
-// paper's tables and figures; see ExperimentNames and RunExperiment.
+// paper's tables and figures; see ExperimentNames and RunExperiment. The
+// harness wraps the public optchain/experiment Runner — programmatic
+// consumers that want sweeps-as-data (streamed typed rows, pluggable
+// reporters) should use that package directly.
 func NewBenchHarness(p BenchParams) *bench.Harness { return bench.NewHarness(p) }
 
 // ExperimentNames lists the available experiments (table1, fig3, …).
