@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt fmt-check bench-smoke bench-json examples scenario-smoke fuzz-smoke sweep-smoke docs-check ci
+.PHONY: all build test test-race vet fmt fmt-check lint bench-smoke bench-json examples scenario-smoke fuzz-smoke sweep-smoke docs-check ci
 
 all: build
 
@@ -12,11 +12,28 @@ build:
 test:
 	$(GO) test ./...
 
+# Race detector across the whole module — including the experiment layer's
+# Runner fan-out and cancellation paths. -failfast stops on the first racy
+# package; the timeout converts a goroutine deadlock into a stack dump
+# instead of a hung CI job.
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -failfast -timeout 10m ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific contract enforcement: the optchain-lint suite (determinism,
+# hotpath, lockcheck, apierrors — see PERFORMANCE.md "Static analysis &
+# contracts"). staticcheck and govulncheck run when installed (CI installs
+# pinned versions; locally they are optional extras, not requirements).
+lint:
+	$(GO) run ./cmd/optchain-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
 fmt:
 	gofmt -w .
@@ -76,4 +93,4 @@ docs-check:
 	fi
 	$(GO) run ./internal/docscheck README.md SCENARIOS.md PERFORMANCE.md
 
-ci: fmt-check vet build test bench-smoke sweep-smoke docs-check
+ci: fmt-check vet lint build test bench-smoke sweep-smoke docs-check

@@ -1,0 +1,46 @@
+// Command optchain-lint runs the repository's custom static-analysis suite
+// (internal/analyze): determinism, hotpath, lockcheck, and apierrors. It
+// exits non-zero when any contract is violated, so `make lint` and CI can
+// gate on it.
+//
+// Usage:
+//
+//	optchain-lint [packages]
+//
+// Patterns default to ./... and are resolved by `go list` relative to the
+// current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optchain/internal/analyze"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: optchain-lint [packages]\n\nAnalyzers:\n")
+		for _, a := range analyze.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analyze.Check(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optchain-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "optchain-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

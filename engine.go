@@ -35,6 +35,9 @@ var (
 	ErrBadOption = errors.New("optchain: invalid option")
 	// ErrRunning reports a second concurrent Run on the same Engine.
 	ErrRunning = errors.New("optchain: engine run already in progress")
+	// ErrUnknownExperiment reports an experiment name RunExperiment does not
+	// know.
+	ErrUnknownExperiment = errors.New("optchain: unknown experiment")
 )
 
 // MetricsSnapshot is a point-in-time view of an Engine's progress: the
@@ -107,13 +110,13 @@ type Engine struct {
 	shardCfg      ShardConfig
 
 	mu       sync.Mutex
-	placer   Placer
-	placed   int
-	outs     []int32
-	cross    placement.CrossCounter
-	inputBuf []txgraph.Node
-	snap     MetricsSnapshot
-	running  bool
+	placer   Placer                 // guarded by mu
+	placed   int                    // guarded by mu
+	outs     []int32                // guarded by mu
+	cross    placement.CrossCounter // guarded by mu
+	inputBuf []txgraph.Node         // guarded by mu
+	snap     MetricsSnapshot        // guarded by mu
+	running  bool                   // guarded by mu
 }
 
 // Option configures an Engine under construction. Options validate eagerly:
@@ -446,7 +449,9 @@ func (e *Engine) Protocol() string { return e.protocol }
 // Shards returns the engine's shard count.
 func (e *Engine) Shards() int { return e.shards }
 
-// ensurePlacerLocked lazily builds the streaming-mode placer. e.mu held.
+// ensurePlacerLocked lazily builds the streaming-mode placer.
+//
+//optchain:locked e.mu held by Place/PlaceBatch; the outCounts closure runs under the same lock when the placer is later invoked.
 func (e *Engine) ensurePlacerLocked() error {
 	if e.placer != nil {
 		return nil
@@ -510,6 +515,8 @@ func (e *Engine) Place(tx StreamTx) (int, error) {
 // failure (engine state keeps those placements, as with Place); the error
 // names the failing transaction by its absolute stream position, and
 // len(result) gives its offset within the batch.
+//
+//optchain:hotpath the per-stream placement loop: one iteration per transaction, no steady-state allocation beyond amortized slice growth.
 func (e *Engine) PlaceBatch(txs []StreamTx, shards []int) ([]int, error) {
 	if shards == nil {
 		shards = make([]int, 0, len(txs))
@@ -536,7 +543,9 @@ func (e *Engine) PlaceBatch(txs []StreamTx, shards []int) ([]int, error) {
 }
 
 // placeOneLocked validates, deduplicates, and places one transaction.
-// e.mu held; the placer is initialized.
+// The placer is initialized.
+//
+//optchain:locked e.mu held by Place/PlaceBatch.
 func (e *Engine) placeOneLocked(tx StreamTx) (int, error) {
 	u := e.placed
 	e.inputBuf = e.inputBuf[:0]
@@ -573,7 +582,9 @@ func (e *Engine) placeOneLocked(tx StreamTx) (int, error) {
 }
 
 // refreshStreamSnapshotLocked publishes the streaming-mode progress
-// counters. e.mu held.
+// counters.
+//
+//optchain:locked e.mu held by Place/PlaceBatch.
 func (e *Engine) refreshStreamSnapshotLocked() {
 	e.snap = MetricsSnapshot{
 		Issued:        e.placed,
@@ -585,6 +596,8 @@ func (e *Engine) refreshStreamSnapshotLocked() {
 // placeGuarded invokes the strategy, converting any panic (misbehaving
 // custom strategies, exhausted Metis partitions) into an error so no panic
 // escapes the exported API.
+//
+//optchain:locked e.mu held by placeOneLocked's callers.
 func (e *Engine) placeGuarded(u txgraph.Node) (s int, err error) {
 	defer func() {
 		if p := recover(); p != nil {

@@ -175,7 +175,8 @@ func (b *BaselineReporter) Row(r Row) error {
 // directly — see bench.WriteBaselineJSON).
 func (b *BaselineReporter) End() error {
 	if b.Stamp {
-		b.b.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		// Opt-in provenance stamp; excluded from golden comparisons.
+		b.b.GeneratedAt = time.Now().UTC().Format(time.RFC3339) //optchain:wallclock
 	}
 	enc := json.NewEncoder(b.w)
 	enc.SetIndent("", "  ")

@@ -71,6 +71,9 @@ var (
 	ErrBadReporterOption = errors.New("experiment: invalid reporter option")
 	// ErrUnknownSweep reports a sweep name with no registered builder.
 	ErrUnknownSweep = errors.New("experiment: unknown sweep")
+	// ErrBadRegistration reports an invalid registry call (empty name, nil
+	// factory or builder, duplicate name) for reporters and sweeps.
+	ErrBadRegistration = errors.New("experiment: invalid registration")
 )
 
 // Params scales sweep execution. Zero values take defaults. The same value

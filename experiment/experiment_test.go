@@ -154,7 +154,11 @@ func TestStreamCancellationMidSweep(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	if g := runtime.NumGoroutine(); g > before+1 {
-		t.Fatalf("goroutines leaked: %d -> %d", before, g)
+		// Dump every goroutine's stack so a leak names the stuck worker
+		// instead of just counting it.
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Fatalf("goroutines leaked: %d -> %d\n%s", before, g, buf)
 	}
 }
 

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -48,16 +49,16 @@ type repEntry struct {
 func RegisterReporter(name string, f ReporterFactory) error {
 	name = strings.TrimSpace(name)
 	if name == "" {
-		return fmt.Errorf("experiment: empty reporter name")
+		return fmt.Errorf("%w: empty reporter name", ErrBadRegistration)
 	}
 	if f == nil {
-		return fmt.Errorf("experiment: nil reporter factory for %q", name)
+		return fmt.Errorf("%w: nil reporter factory for %q", ErrBadRegistration, name)
 	}
 	key := strings.ToLower(name)
 	repMu.Lock()
 	defer repMu.Unlock()
 	if prev, ok := repEntries[key]; ok {
-		return fmt.Errorf("experiment: reporter %q already registered", prev.display)
+		return fmt.Errorf("%w: reporter %q already registered", ErrBadRegistration, prev.display)
 	}
 	repEntries[key] = repEntry{display: name, factory: f}
 	return nil
@@ -138,24 +139,24 @@ func NewReporter(spec string, w io.Writer) (Reporter, error) {
 }
 
 // checkReporterOpts rejects option keys outside the reporter's allowed set.
+// Unknown keys are collected and sorted so the error text is identical
+// regardless of map iteration order.
 func checkReporterOpts(reporter string, opts map[string]string, allowed ...string) error {
+	var unknown []string
 	for k := range opts {
-		ok := false
-		for _, a := range allowed {
-			if k == a {
-				ok = true
-				break
-			}
+		if !slices.Contains(allowed, k) {
+			unknown = append(unknown, k)
 		}
-		if !ok {
-			sort.Strings(allowed)
-			have := "it takes none"
-			if len(allowed) > 0 {
-				have = "it takes: " + strings.Join(allowed, ", ")
-			}
-			return fmt.Errorf("%w: reporter %q has no option %q (%s)",
-				ErrBadReporterOption, reporter, k, have)
+	}
+	sort.Strings(unknown)
+	if len(unknown) > 0 {
+		sort.Strings(allowed)
+		have := "it takes none"
+		if len(allowed) > 0 {
+			have = "it takes: " + strings.Join(allowed, ", ")
 		}
+		return fmt.Errorf("%w: reporter %q has no option %q (%s)",
+			ErrBadReporterOption, reporter, unknown[0], have)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"errors"
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -252,5 +253,31 @@ func TestReportEndsReporterWhenBeginFails(t *testing.T) {
 	}
 	if !rep.ended {
 		t.Fatal("End did not run after Begin failed")
+	}
+}
+
+// TestReporterOptsDeterministicError: rejecting a reporter spec with
+// several unknown options must produce the same error text on every call —
+// the old code named whichever unknown key map iteration visited first.
+func TestReporterOptsDeterministicError(t *testing.T) {
+	var want string
+	for i := 0; i < 50; i++ {
+		_, err := experiment.NewReporter("csv:zeta=1,alpha=2,mid=3", io.Discard)
+		if err == nil {
+			t.Fatal("unknown reporter options were accepted")
+		}
+		if !errors.Is(err, experiment.ErrBadReporterOption) {
+			t.Fatalf("err = %v, want ErrBadReporterOption", err)
+		}
+		if i == 0 {
+			want = err.Error()
+			continue
+		}
+		if got := err.Error(); got != want {
+			t.Fatalf("error text varies across calls:\n%q\n%q", want, got)
+		}
+	}
+	if !strings.Contains(want, `"alpha"`) {
+		t.Fatalf("error %q should name the alphabetically first unknown option", want)
 	}
 }

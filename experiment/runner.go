@@ -25,9 +25,9 @@ type Runner struct {
 	p Params
 
 	mu    sync.Mutex
-	data  map[dataKey]*datasetEntry
-	parts map[partKey]*partEntry
-	rows  map[string]*rowEntry // by cell ID
+	data  map[dataKey]*datasetEntry // guarded by mu
+	parts map[partKey]*partEntry    // guarded by mu
+	rows  map[string]*rowEntry      // by cell ID; guarded by mu
 
 	// graphs serializes the expensive Metis partition computations: a
 	// 200k-node graph build + multilevel partition per key would multiply
@@ -219,14 +219,15 @@ func (r *Runner) Cell(ctx context.Context, c Cell) (Row, error) {
 
 // executeCell runs one cell for real and stamps its identity.
 func (r *Runner) executeCell(ctx context.Context, c Cell, id string) (Row, error) {
-	start := time.Now()
+	start := time.Now() //optchain:wallclock telemetry: WallSeconds reports cost, never feeds a decision
 	row, err := r.runCell(ctx, c)
 	if err != nil {
 		return Row{}, err
 	}
 	row.ID = id
 	row.Cell = c
-	row.WallSeconds = time.Since(start).Seconds()
+	row.WallSeconds = time.Since(start).Seconds() //optchain:wallclock telemetry only
+
 	return row, nil
 }
 

@@ -31,16 +31,16 @@ type sweepEntry struct {
 func RegisterSweep(name, description string, build SweepBuilder) error {
 	name = strings.TrimSpace(name)
 	if name == "" {
-		return fmt.Errorf("experiment: empty sweep name")
+		return fmt.Errorf("%w: empty sweep name", ErrBadRegistration)
 	}
 	if build == nil {
-		return fmt.Errorf("experiment: nil sweep builder for %q", name)
+		return fmt.Errorf("%w: nil sweep builder for %q", ErrBadRegistration, name)
 	}
 	key := strings.ToLower(name)
 	swMu.Lock()
 	defer swMu.Unlock()
 	if prev, ok := swEntries[key]; ok {
-		return fmt.Errorf("experiment: sweep %q already registered", prev.display)
+		return fmt.Errorf("%w: sweep %q already registered", ErrBadRegistration, prev.display)
 	}
 	swEntries[key] = sweepEntry{display: name, description: description, build: build}
 	return nil
@@ -49,7 +49,7 @@ func RegisterSweep(name, description string, build SweepBuilder) error {
 // MustRegisterSweep registers a built-in; failure is a programming error.
 func MustRegisterSweep(name, description string, build SweepBuilder) {
 	if err := RegisterSweep(name, description, build); err != nil {
-		panic(err)
+		panic(err) //optchain:fatal duplicate built-in registration is a programmer error caught at init
 	}
 }
 

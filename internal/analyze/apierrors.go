@@ -1,0 +1,75 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// APIErrors enforces the exported-API error contract: public entry points
+// return typed, inspectable errors and never panic on user input.
+// Concretely, in the packages the lint policy routes here (the root optchain
+// package and optchain/experiment), every exported function or method must
+// not:
+//
+//   - call panic() — programming-error guards deep in internal packages may
+//     panic, the public surface may not. A deliberate invariant guard can be
+//     annotated //optchain:fatal with a justification;
+//   - build errors with fmt.Errorf lacking a %w verb — callers match errors
+//     with errors.Is against exported sentinels (ErrBadOption, ErrClosed,
+//     ...), so every constructed error must wrap one;
+//   - mint ad-hoc sentinels with errors.New inside a function body —
+//     sentinels live in package-level var blocks where they are part of the
+//     documented API.
+var APIErrors = &Analyzer{
+	Name: "apierrors",
+	Doc:  "exported functions must return sentinel-wrapped errors and must not panic",
+	Run:  runAPIErrors,
+}
+
+func runAPIErrors(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			name := funcName(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isBuiltin(pass.Info, call, "panic"):
+					if !pass.Ann.Marked(call.Pos(), "fatal") {
+						pass.Reportf(call.Pos(), "exported %s panics; public API must return an error (or annotate an invariant guard //optchain:fatal)", name)
+					}
+				case isPkgFunc(pass.Info, call, "fmt", "Errorf"):
+					checkErrorfWraps(pass, name, call)
+				case isPkgFunc(pass.Info, call, "errors", "New"):
+					pass.Reportf(call.Pos(), "exported %s builds an ad-hoc error with errors.New; declare a package-level sentinel and wrap it", name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkErrorfWraps flags fmt.Errorf calls whose format string provably lacks
+// a %w verb. A non-constant format cannot be verified and is flagged too:
+// the contract wants the wrapped sentinel visible at the call site.
+func checkErrorfWraps(pass *Pass, name string, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(call.Pos(), "exported %s calls fmt.Errorf with a non-constant format; use a constant format wrapping a sentinel with %%w", name)
+		return
+	}
+	if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+		pass.Reportf(call.Pos(), "exported %s builds an untyped error (fmt.Errorf without %%w); wrap a package sentinel so callers can errors.Is it", name)
+	}
+}

@@ -1,0 +1,465 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism flags nondeterministic sources in decision-affecting packages:
+// placement decisions, emitted experiment rows, and encoded outputs are
+// promised to reproduce byte-identically across runs and processes for the
+// same seeds, so nothing on those paths may draw on per-process or
+// wall-clock state.
+//
+// Checks:
+//
+//   - hash/maphash.MakeSeed — seeded per process by design; the historical
+//     TxID.Hash regression (PR 5) silently broke OmniLedger hash-placement
+//     reproducibility with exactly this call.
+//   - time.Now / time.Since — wall-clock reads; annotate telemetry-only uses
+//     (row wall-time, report timestamps) with //optchain:wallclock.
+//   - package-level math/rand and math/rand/v2 functions — the global RNG is
+//     shared, racy, and (for v1 without Seed) process-seeded. Decision code
+//     must thread a seeded *rand.Rand.
+//   - range over a map whose body does order-sensitive work (append, channel
+//     send, function calls, non-commutative writes) — iteration order leaks
+//     into output. Commutative accumulation (counters, sums, max/min,
+//     keyed map writes, delete) is recognized and allowed, as is the
+//     collect-keys-then-sort idiom when the sort immediately follows the
+//     loop. Anything else needs a fix or a justified //optchain:unordered.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag nondeterministic sources (per-process seeds, wall clock, global rand, map-order-dependent output) in decision-affecting packages",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	visit := func(stmt ast.Stmt, next ast.Stmt) {
+		if rng, ok := stmt.(*ast.RangeStmt); ok {
+			checkMapRange(pass, rng, next)
+		}
+		checkCallsIn(pass, stmt)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			walkStmtsWithNext(declBody(decl), visit)
+			// Package-level variable initializers can also call MakeSeed —
+			// the exact shape of the historical regression. Function literals
+			// are excluded here: their bodies are walked below.
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				ast.Inspect(gd, func(n ast.Node) bool {
+					if _, ok := n.(*ast.FuncLit); ok {
+						return false
+					}
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkDeterministicCall(pass, call)
+					}
+					return true
+				})
+			}
+		}
+		// Function literals (closures in any position, including package-
+		// level initializers): each body is walked exactly once here — the
+		// statement walker and checkCallsIn both stop at FuncLit boundaries.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				walkStmtsWithNext(fl.Body, visit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declBody returns a function declaration's body, or nil.
+func declBody(decl ast.Decl) *ast.BlockStmt {
+	if fn, ok := decl.(*ast.FuncDecl); ok {
+		return fn.Body
+	}
+	return nil
+}
+
+// checkCallsIn reports banned calls in the statement's own expressions
+// (nested statements are visited by the caller's statement walk; nested
+// function literals are walked here since they are expressions).
+func checkCallsIn(pass *Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		// The statement walker owns every nested statement (and visits each
+		// exactly once); this call only checks the root statement's own
+		// expressions. FuncLit bodies are walked separately too.
+		if n != nil && n != stmt {
+			if _, isStmt := n.(ast.Stmt); isStmt {
+				return false
+			}
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkDeterministicCall(pass, call)
+		}
+		return true
+	})
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, time.Time.Sub) are fine
+	}
+	switch path, name := fn.Pkg().Path(), fn.Name(); {
+	case path == "hash/maphash" && name == "MakeSeed":
+		pass.Reportf(call.Pos(), "maphash.MakeSeed is seeded per process: decisions derived from it cannot reproduce across runs (use a fixed mixing function, e.g. a SplitMix64 finalizer)")
+	case path == "time" && (name == "Now" || name == "Since"):
+		if !pass.Ann.Marked(call.Pos(), "wallclock") {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in a decision-affecting package; use the simulated clock, or annotate telemetry-only use with //optchain:wallclock", name)
+		}
+	case (path == "math/rand" || path == "math/rand/v2") && name != "New" && name != "NewSource" && name != "NewZipf" && name != "NewPCG" && name != "NewChaCha8":
+		pass.Reportf(call.Pos(), "global %s.%s draws from the shared process RNG; thread a seeded *rand.Rand instead", path, name)
+	}
+}
+
+// checkMapRange flags a range over a map whose body is order-sensitive.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, next ast.Stmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if pass.Ann.Marked(rng.Pos(), "unordered") {
+		return
+	}
+	if orderInsensitiveBlock(pass, rng.Body) {
+		return
+	}
+	if collectThenSorted(pass, rng, next) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration order flows into order-sensitive work over %s; sort the keys first (or annotate a provably order-insensitive loop with //optchain:unordered)", exprString(rng.X))
+}
+
+// orderInsensitiveBlock reports whether every statement in the block is a
+// commutative accumulation: counters, numeric +=/-=/min/max updates, keyed
+// map writes, deletes. Any call, append, send, return, or other write makes
+// the loop order-sensitive.
+func orderInsensitiveBlock(pass *Pass, body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if !orderInsensitiveStmt(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IncDecStmt:
+		return pureExpr(pass, s.X)
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN:
+			// += commutes for numbers but concatenates (order-sensitively)
+			// for strings.
+			if len(s.Lhs) != 1 {
+				return false
+			}
+			if b, ok := pass.Info.TypeOf(s.Lhs[0]).Underlying().(*types.Basic); !ok || b.Info()&types.IsString != 0 {
+				return false
+			}
+			return pureExprs(pass, s.Lhs) && pureExprs(pass, s.Rhs)
+		case token.SUB_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return pureExprs(pass, s.Lhs) && pureExprs(pass, s.Rhs)
+		case token.ASSIGN, token.DEFINE:
+			// A plain write is order-insensitive only when keyed by the loop
+			// variable (map[k] = v): each iteration touches its own slot.
+			for _, lhs := range s.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					return false
+				}
+				if _, isMap := pass.Info.TypeOf(ix.X).Underlying().(*types.Map); !isMap {
+					return false
+				}
+			}
+			return pureExprs(pass, s.Rhs)
+		}
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(pass.Info, call, "delete") {
+			return true
+		}
+		return false
+	case *ast.IfStmt:
+		// max/min/count-if patterns: the guard must be side-effect free and
+		// both branches order-insensitive. A conditional plain assignment
+		// (best = v inside a comparison guard) is the max/min idiom.
+		if s.Init != nil || !pureExpr(pass, s.Cond) {
+			return false
+		}
+		if !orderInsensitiveIfBody(pass, s.Body) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return orderInsensitiveIfBody(pass, e)
+		case *ast.IfStmt:
+			return orderInsensitiveStmt(pass, e)
+		}
+		return false
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.BlockStmt:
+		return orderInsensitiveBlock(pass, s)
+	}
+	return false
+}
+
+// orderInsensitiveIfBody is orderInsensitiveBlock plus the conditional-
+// assignment (max/min select) shape: under a comparison guard, a plain
+// assignment to simple variables is a reduction, not an ordered write.
+func orderInsensitiveIfBody(pass *Pass, body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if a, ok := s.(*ast.AssignStmt); ok && a.Tok == token.ASSIGN && pureExprs(pass, a.Lhs) && pureExprs(pass, a.Rhs) {
+			continue
+		}
+		if !orderInsensitiveStmt(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// pureExpr reports whether the expression is free of calls, sends, and
+// function literals — evaluation cannot observe or affect order.
+func pureExpr(pass *Pass, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Allow pure builtins (len, cap) and type conversions.
+			if isBuiltin(pass.Info, n, "len") || isBuiltin(pass.Info, n, "cap") {
+				return true
+			}
+			if tv, ok := pass.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true
+			}
+			pure = false
+			return false
+		case *ast.FuncLit:
+			pure = false
+			return false
+		}
+		return true
+	})
+	return pure
+}
+
+// filterExpr is pureExpr relaxed for collect-then-sort filter conditions:
+// calls to named functions and methods are allowed (membership tests,
+// string predicates), since the collected slice is sorted immediately after
+// the loop — only a side-effecting predicate could observe order, and that
+// is outside what a lint can prove. Function literals stay banned.
+func filterExpr(pass *Pass, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if calleeFunc(pass.Info, n) != nil || isBuiltin(pass.Info, n, "len") || isBuiltin(pass.Info, n, "cap") {
+				return true
+			}
+			if tv, found := pass.Info.Types[n.Fun]; found && tv.IsType() {
+				return true
+			}
+			ok = false
+			return false
+		case *ast.FuncLit:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func pureExprs(pass *Pass, es []ast.Expr) bool {
+	for _, e := range es {
+		if !pureExpr(pass, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectThenSorted recognizes the collect-keys-then-sort idiom: a body that
+// only appends into one slice (possibly under side-effect-free filters),
+// with the statement immediately after the range sorting that same slice.
+func collectThenSorted(pass *Pass, rng *ast.RangeStmt, next ast.Stmt) bool {
+	var target *ast.Ident
+	if !appendOnlyStmts(pass, rng.Body.List, &target) || target == nil || next == nil {
+		return false
+	}
+	es, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id := rootIdent(arg); id != nil && pass.Info.ObjectOf(id) == pass.Info.ObjectOf(target) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendOnlyStmts reports whether every statement appends to the one slice
+// *target (setting it on first sight), possibly guarded by pure conditions
+// (filtered collection) or skipped with continue. Anything else breaks the
+// idiom.
+func appendOnlyStmts(pass *Pass, stmts []ast.Stmt, target **ast.Ident) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 || (s.Tok != token.ASSIGN && s.Tok != token.DEFINE) {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltin(pass.Info, call, "append") {
+				return false
+			}
+			id := rootIdent(s.Lhs[0])
+			if id == nil {
+				return false
+			}
+			if *target != nil && pass.Info.ObjectOf(id) != pass.Info.ObjectOf(*target) {
+				return false
+			}
+			*target = id
+		case *ast.IfStmt:
+			if s.Init != nil || !filterExpr(pass, s.Cond) {
+				return false
+			}
+			if !appendOnlyStmts(pass, s.Body.List, target) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !appendOnlyStmts(pass, e.List, target) {
+					return false
+				}
+			case *ast.IfStmt:
+				if !appendOnlyStmts(pass, []ast.Stmt{e}, target) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// walkStmtsWithNext visits every statement in the block tree, passing each
+// statement's successor within its enclosing block (nil at block ends) —
+// enough context to recognize loop-then-sort shapes without a CFG.
+func walkStmtsWithNext(body *ast.BlockStmt, visit func(stmt, next ast.Stmt)) {
+	if body == nil {
+		return
+	}
+	var walkStmt func(s ast.Stmt, next ast.Stmt)
+	walkBlock := func(b *ast.BlockStmt) {
+		if b == nil {
+			return
+		}
+		for i, s := range b.List {
+			var next ast.Stmt
+			if i+1 < len(b.List) {
+				next = b.List[i+1]
+			}
+			walkStmt(s, next)
+		}
+	}
+	walkStmt = func(s ast.Stmt, next ast.Stmt) {
+		if s == nil {
+			return
+		}
+		visit(s, next)
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkBlock(s)
+		case *ast.IfStmt:
+			walkStmt(s.Init, nil)
+			walkBlock(s.Body)
+			walkStmt(s.Else, nil)
+		case *ast.ForStmt:
+			walkStmt(s.Init, nil)
+			walkStmt(s.Post, nil)
+			walkBlock(s.Body)
+		case *ast.RangeStmt:
+			walkBlock(s.Body)
+		case *ast.SwitchStmt:
+			walkStmt(s.Init, nil)
+			walkBlock(s.Body)
+		case *ast.TypeSwitchStmt:
+			walkStmt(s.Init, nil)
+			walkStmt(s.Assign, nil)
+			walkBlock(s.Body)
+		case *ast.SelectStmt:
+			walkBlock(s.Body)
+		case *ast.CaseClause:
+			for i, cs := range s.Body {
+				var n ast.Stmt
+				if i+1 < len(s.Body) {
+					n = s.Body[i+1]
+				}
+				walkStmt(cs, n)
+			}
+		case *ast.CommClause:
+			for i, cs := range s.Body {
+				var n ast.Stmt
+				if i+1 < len(s.Body) {
+					n = s.Body[i+1]
+				}
+				walkStmt(cs, n)
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, next)
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Function-literal bodies inside defer/go are expressions; the
+			// call checker descends into them. Their inner map ranges are
+			// rare enough to accept as a blind spot.
+		}
+	}
+	walkBlock(body)
+}

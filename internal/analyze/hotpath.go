@@ -1,0 +1,389 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath enforces the zero-allocation contract on functions annotated
+// //optchain:hotpath (the T2S Prepare/Commit pair, the placer argmax scans,
+// the DES schedule/fire path, and the PlaceBatch loop). The contract is
+// measured by AllocsPerRun budget tests; this analyzer catches the known
+// allocating constructs at review time instead of benchmark time:
+//
+//   - fmt calls (every verb boxes, every call allocates). Exception: a fmt
+//     call whose result feeds directly into panic() is a cold invariant-
+//     violation path and is allowed, including the boxing in its arguments.
+//   - string concatenation (non-constant + / += on strings)
+//   - interface boxing of non-pointer values (call arguments, assignments,
+//     and returns that convert a concrete non-pointer value to an interface)
+//   - closures capturing loop variables (per-iteration capture allocates
+//     every pass since Go 1.22 loop-var semantics)
+//   - append to a function-local slice declared without capacity inside a
+//     loop (pre-size with make(len, cap), or take a caller-reused buffer;
+//     long-lived struct-field buffers grow amortized and are allowed —
+//     Reserve-style pre-sizing makes them hard-zero-alloc)
+//
+// Deliberate cold-path allocations are annotated per line with
+// //optchain:alloc-ok plus a justification.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag known-allocating constructs in functions annotated //optchain:hotpath",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !FuncMarked(fn, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	h := &hotChecker{pass: pass, fn: fn}
+	h.collectLocals()
+	ast.Inspect(fn.Body, h.visit)
+}
+
+type hotChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+
+	// coldCalls marks fmt/format calls feeding panic(): their subtree
+	// (including argument boxing) is exempt.
+	coldPanic []ast.Node
+	// loopVars tracks the loop variables of every for/range enclosing the
+	// current node, for the closure-capture check.
+	loopStack []map[types.Object]bool
+	// localSlices maps function-local slice variables to whether their
+	// declaration carries explicit capacity.
+	presized map[types.Object]bool
+	locals   map[types.Object]bool
+}
+
+// collectLocals records every slice-typed local and whether its declaration
+// pre-sizes capacity: make with an explicit capacity argument counts, as
+// does assignment from a call (the callee owns the sizing policy) or from a
+// slicing expression of an existing buffer.
+func (h *hotChecker) collectLocals() {
+	h.presized = make(map[types.Object]bool)
+	h.locals = make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := h.pass.Info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		h.locals[obj] = true
+		h.presized[obj] = rhsPresizes(h.pass, rhs)
+	}
+	ast.Inspect(h.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if i < len(n.Rhs) {
+						rhs = n.Rhs[i]
+					}
+					record(lhs, rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				var rhs ast.Expr
+				if i < len(n.Values) {
+					rhs = n.Values[i]
+				}
+				record(name, rhs)
+			}
+		}
+		return true
+	})
+}
+
+// rhsPresizes reports whether a slice initializer guarantees capacity
+// headroom: make([]T, n, c), any non-make call (the callee sized it), or a
+// reslice of an existing buffer. nil, empty literals, and make([]T, n)
+// (which append immediately outgrows) do not.
+func rhsPresizes(pass *Pass, rhs ast.Expr) bool {
+	switch rhs := ast.Unparen(rhs).(type) {
+	case nil:
+		return false
+	case *ast.CompositeLit:
+		return false
+	case *ast.SliceExpr:
+		return true
+	case *ast.CallExpr:
+		if isBuiltin(pass.Info, rhs, "make") {
+			return len(rhs.Args) >= 3
+		}
+		return true // the callee owns the sizing policy (append result, helper)
+	case *ast.Ident:
+		return true // aliasing an existing slice; its declaration was checked
+	default:
+		return false
+	}
+}
+
+func (h *hotChecker) inColdPanic(n ast.Node) bool {
+	for _, c := range h.coldPanic {
+		if c.Pos() <= n.Pos() && n.End() <= c.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *hotChecker) allocOK(pos token.Pos) bool {
+	return h.pass.Ann.Marked(pos, "alloc-ok")
+}
+
+func (h *hotChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		vars := make(map[types.Object]bool)
+		if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+			for _, lhs := range init.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := h.pass.Info.Defs[id]; obj != nil {
+						vars[obj] = true
+					}
+				}
+			}
+		}
+		h.walkLoop(n.Body, vars)
+		if n.Init != nil {
+			ast.Inspect(n.Init, h.visit)
+		}
+		if n.Cond != nil {
+			ast.Inspect(n.Cond, h.visit)
+		}
+		if n.Post != nil {
+			ast.Inspect(n.Post, h.visit)
+		}
+		return false
+	case *ast.RangeStmt:
+		vars := make(map[types.Object]bool)
+		for _, e := range [2]ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := h.pass.Info.Defs[id]; obj != nil {
+					vars[obj] = true
+				}
+			}
+		}
+		h.walkLoop(n.Body, vars)
+		ast.Inspect(n.X, h.visit)
+		return false
+	case *ast.CallExpr:
+		h.checkCall(n)
+	case *ast.BinaryExpr:
+		h.checkConcat(n)
+	case *ast.AssignStmt:
+		h.checkAssign(n)
+	case *ast.ValueSpec:
+		// var v any = x boxes exactly like v := any(x).
+		for i, name := range n.Names {
+			if i < len(n.Values) {
+				h.checkBox(n.Values[i], h.pass.Info.TypeOf(name))
+			}
+		}
+	case *ast.ReturnStmt:
+		h.checkReturn(n)
+	case *ast.FuncLit:
+		h.checkClosure(n)
+	}
+	return true
+}
+
+// walkLoop pushes the loop's variables and visits the body (loops nest, so
+// the stack accumulates).
+func (h *hotChecker) walkLoop(body *ast.BlockStmt, vars map[types.Object]bool) {
+	h.loopStack = append(h.loopStack, vars)
+	ast.Inspect(body, h.visit)
+	h.loopStack = h.loopStack[:len(h.loopStack)-1]
+}
+
+func (h *hotChecker) inLoop() bool { return len(h.loopStack) > 0 }
+
+func (h *hotChecker) isLoopVar(obj types.Object) bool {
+	for _, vars := range h.loopStack {
+		if vars[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *hotChecker) checkCall(call *ast.CallExpr) {
+	info := h.pass.Info
+	// panic(fmt.Sprintf(...)) marks a cold invariant path: record the panic
+	// argument subtree as exempt before its children are visited.
+	if isBuiltin(info, call, "panic") {
+		for _, a := range call.Args {
+			h.coldPanic = append(h.coldPanic, a)
+		}
+		return
+	}
+	if h.allocOK(call.Pos()) || h.inColdPanic(call) {
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		h.pass.Reportf(call.Pos(), "%s: fmt.%s allocates on a //optchain:hotpath function (move formatting off the hot path, or annotate a cold branch with //optchain:alloc-ok)", funcName(h.fn), fn.Name())
+		return
+	}
+	if isBuiltin(info, call, "append") && h.inLoop() && len(call.Args) > 0 {
+		if id := rootIdent(call.Args[0]); id != nil {
+			obj := info.ObjectOf(id)
+			if obj != nil && h.locals[obj] && !h.presized[obj] {
+				h.pass.Reportf(call.Pos(), "%s: append to %s grows an unsized local slice inside a loop on a hot path; pre-size it (make with capacity / Reserve) or reuse a caller-owned buffer", funcName(h.fn), id.Name)
+			}
+		}
+	}
+	// Interface boxing through call arguments.
+	h.checkCallBoxing(call)
+}
+
+func (h *hotChecker) checkCallBoxing(call *ast.CallExpr) {
+	info := h.pass.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions don't box through params
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		h.checkBox(arg, pt)
+	}
+}
+
+// checkBox reports a concrete non-pointer value converted to an interface.
+func (h *hotChecker) checkBox(expr ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	tv, ok := h.pass.Info.Types[expr]
+	if !ok || tv.Value != nil { // constants may box allocation-free (small ints interned)
+		return
+	}
+	src := tv.Type
+	if src == nil {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Signature, *types.Map, *types.Chan:
+		return // pointer-shaped: boxes without allocating
+	case *types.Basic:
+		if src.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+			return
+		}
+	}
+	if h.allocOK(expr.Pos()) || h.inColdPanic(expr) {
+		return
+	}
+	h.pass.Reportf(expr.Pos(), "%s: %s boxes a non-pointer %s into %s on a hot path (each conversion allocates)", funcName(h.fn), exprString(expr), src, dst)
+}
+
+func (h *hotChecker) checkConcat(b *ast.BinaryExpr) {
+	if b.Op != token.ADD {
+		return
+	}
+	tv, ok := h.pass.Info.Types[b]
+	if !ok || tv.Value != nil { // constant-folded at compile time
+		return
+	}
+	if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+		if !h.allocOK(b.Pos()) && !h.inColdPanic(b) {
+			h.pass.Reportf(b.Pos(), "%s: string concatenation allocates on a hot path", funcName(h.fn))
+		}
+	}
+}
+
+func (h *hotChecker) checkAssign(a *ast.AssignStmt) {
+	if a.Tok == token.ADD_ASSIGN && len(a.Lhs) == 1 {
+		if bt, ok := h.pass.Info.TypeOf(a.Lhs[0]).Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+			if !h.allocOK(a.Pos()) {
+				h.pass.Reportf(a.Pos(), "%s: string += allocates on a hot path", funcName(h.fn))
+			}
+			return
+		}
+	}
+	if (a.Tok == token.ASSIGN || a.Tok == token.DEFINE) && len(a.Lhs) == len(a.Rhs) {
+		for i := range a.Lhs {
+			h.checkBox(a.Rhs[i], h.pass.Info.TypeOf(a.Lhs[i]))
+		}
+	}
+}
+
+func (h *hotChecker) checkReturn(r *ast.ReturnStmt) {
+	results := h.fn.Type.Results
+	if results == nil {
+		return
+	}
+	var kinds []types.Type
+	for _, f := range results.List {
+		t := h.pass.Info.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			kinds = append(kinds, t)
+		}
+	}
+	if len(r.Results) != len(kinds) {
+		return // bare return or single call expansion: nothing to box here
+	}
+	for i, e := range r.Results {
+		h.checkBox(e, kinds[i])
+	}
+}
+
+func (h *hotChecker) checkClosure(fl *ast.FuncLit) {
+	if !h.inLoop() || h.allocOK(fl.Pos()) {
+		return
+	}
+	var captured *ast.Ident
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := h.pass.Info.Uses[id]; obj != nil && h.isLoopVar(obj) {
+				captured = id
+			}
+		}
+		return true
+	})
+	if captured != nil {
+		h.pass.Reportf(fl.Pos(), "%s: closure captures loop variable %s on a hot path (per-iteration capture allocates every pass)", funcName(h.fn), captured.Name)
+	}
+}

@@ -1,0 +1,86 @@
+package analyze
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{APIErrors, Determinism, Hotpath, Lockcheck}
+}
+
+// decisionPackages are the packages whose code decides placement: everything
+// on the path from transaction stream to emitted rows must be reproducible,
+// so the determinism analyzer runs only here. Telemetry-adjacent code (cmd/
+// binaries printing wall-clock timestamps, internal/analyze itself) is
+// exempt by omission.
+var decisionPackages = []string{
+	"optchain",
+	"optchain/experiment",
+	"optchain/internal/chain",
+	"optchain/internal/core",
+	"optchain/internal/des",
+	"optchain/internal/placement",
+	"optchain/internal/workload",
+}
+
+// apiPackages are the exported surface: the root package and the experiment
+// harness. Only these are held to the typed-sentinel error contract —
+// internal packages may panic on invariant violations.
+var apiPackages = []string{
+	"optchain",
+	"optchain/experiment",
+}
+
+func inList(path string, list []string) bool {
+	for _, p := range list {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// For selects which analyzers apply to a package. Annotation-driven checks
+// (hotpath, lockcheck) run everywhere — they only fire on annotated code —
+// while the policy gates determinism to decision packages and apierrors to
+// the public surface.
+func For(pkgPath string) []*Analyzer {
+	var out []*Analyzer
+	for _, a := range All() {
+		switch a {
+		case Determinism:
+			if !inList(pkgPath, decisionPackages) {
+				continue
+			}
+		case APIErrors:
+			if !inList(pkgPath, apiPackages) {
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Check loads the packages matching patterns (resolved relative to dir) and
+// runs the policy-selected analyzers over each, returning all findings in
+// stable order. This is the single entry point behind both cmd/optchain-lint
+// and the self-lint test.
+func Check(dir string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		// cmd/ binaries and the analyzer package itself are tool code: they
+		// print, they read the clock, they are not in any contract's scope
+		// beyond the annotation-driven checks.
+		for _, a := range For(pkg.ImportPath) {
+			ds, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, ds...)
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,68 @@
+// Package corpus exercises the apierrors analyzer: exported functions must
+// not panic and must build errors by wrapping package-level sentinels with
+// %w — never bare fmt.Errorf or inline errors.New.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package's typed sentinel; callers match with errors.Is.
+var ErrBad = errors.New("corpus: bad input")
+
+func Untyped(x int) error {
+	if x < 0 {
+		return fmt.Errorf("negative %d", x) // want "builds an untyped error"
+	}
+	return nil
+}
+
+func Wrapped(x int) error {
+	if x < 0 {
+		return fmt.Errorf("%w: %d", ErrBad, x) // sentinel-wrapped: fine
+	}
+	return nil
+}
+
+func Sentinel(x int) error {
+	if x < 0 {
+		return ErrBad // returning the sentinel itself: fine
+	}
+	return nil
+}
+
+func Panics(x int) {
+	if x < 0 {
+		panic("negative") // want "Panics panics; public API"
+	}
+}
+
+func Guarded(x int) {
+	if x%2 == 1 {
+		panic("impossible: callers are generated even") //optchain:fatal invariant guard
+	}
+}
+
+func Inline() error {
+	return errors.New("ad hoc") // want "ad-hoc error with errors.New"
+}
+
+func NonConst(msg string) error {
+	return fmt.Errorf(msg) // want "non-constant format"
+}
+
+type Registry struct{}
+
+func (r *Registry) Register(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty name") // want "builds an untyped error"
+	}
+	return nil
+}
+
+func unexported(x int) {
+	if x < 0 {
+		panic("internal code may guard invariants with panics")
+	}
+}

@@ -1,0 +1,125 @@
+// Package corpus exercises the determinism analyzer: per-process seeds,
+// wall-clock reads, the global RNG, and map-iteration order leaking into
+// ordered output. The TxID fixture reproduces the repository's historical
+// PR-5 regression, where TxID.Hash drew a per-process maphash seed and
+// silently broke cross-process reproducibility of hash-based (OmniLedger)
+// placement.
+package corpus
+
+import (
+	"hash/maphash"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// TxID mirrors chain.TxID: Hash feeds shard = Hash(id) % K, so it must be
+// identical across processes.
+type TxID int64
+
+var seed = maphash.MakeSeed() // want "maphash.MakeSeed is seeded per process"
+
+// Hash is the regression shape: a per-process seed in the placement hash.
+func (id TxID) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(seed)
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(uint64(id) >> (8 * uint(i)))
+	}
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+func pickShard(k int) int {
+	return rand.Intn(k) // want "global math/rand.Intn draws from the shared process RNG"
+}
+
+func pickSeeded(r *rand.Rand, k int) int {
+	return r.Intn(k) // method on a threaded *rand.Rand: fine
+}
+
+func newRNG() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // constructors are fine
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(since time.Time) float64 {
+	return time.Since(since).Seconds() // want "time.Since reads the wall clock"
+}
+
+func stampTelemetry() int64 {
+	return time.Now().UnixNano() //optchain:wallclock run-duration telemetry only
+}
+
+func emit(m map[string]int, out []string) []string {
+	for k := range m { // want "map iteration order flows into order-sensitive work"
+		out = append(out, k)
+	}
+	return out
+}
+
+func emitSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: order cannot leak
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func emitFiltered(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // filtered collect-then-sort
+		if k != "skip" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // commutative accumulation
+		sum += v
+	}
+	return sum
+}
+
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m { // max reduction
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // keyed map writes: each iteration owns its slot
+		out[v] = k
+	}
+	return out
+}
+
+func drain(m map[string]int, ch chan string) {
+	//optchain:unordered corpus fixture: pretend the consumer sorts
+	for k := range m {
+		ch <- k
+	}
+}
+
+func closureLeak(m map[string]int, out []string) func() []string {
+	return func() []string {
+		for k := range m { // want "map iteration order flows into order-sensitive work"
+			out = append(out, k)
+		}
+		return out
+	}
+}

@@ -1,0 +1,113 @@
+// Package corpus exercises the hotpath analyzer: fmt calls, string
+// concatenation, interface boxing, loop-variable capture, and unsized-local
+// append inside //optchain:hotpath functions — plus the shapes that are
+// deliberately allowed (cold panics, pre-sized buffers, caller-owned
+// slices, annotated cold branches, unannotated functions).
+package corpus
+
+import "fmt"
+
+func sink(v any)    {}
+func run(fn func()) {}
+func helper() []int { return nil }
+
+//optchain:hotpath
+func format(x int) {
+	fmt.Println(x) // want "fmt.Println allocates"
+}
+
+//optchain:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//optchain:hotpath
+func concatAssign(xs []string) string {
+	out := ""
+	for _, x := range xs {
+		out += x // want "string .= allocates"
+	}
+	return out
+}
+
+//optchain:hotpath
+func box(x int) {
+	sink(x)         // want "boxes a non-pointer int"
+	sink(&x)        // pointers box without allocating
+	sink(nil)       // untyped nil never allocates
+	sink("literal") // constants may be interned
+}
+
+//optchain:hotpath
+func boxAssign(x int) any {
+	var v any = x // want "boxes a non-pointer int"
+	return v
+}
+
+//optchain:hotpath
+func boxReturn(x int) any {
+	return x // want "boxes a non-pointer int"
+}
+
+//optchain:hotpath
+func closures(xs []int) {
+	for _, x := range xs {
+		run(func() { _ = x }) // want "closure captures loop variable x"
+	}
+	run(func() { _ = xs }) // outside a loop: one allocation total, fine
+}
+
+//optchain:hotpath
+func collect(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append to out grows an unsized local slice"
+	}
+	return out
+}
+
+//optchain:hotpath
+func collectSized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x) // pre-sized: no growth in the loop
+	}
+	return out
+}
+
+//optchain:hotpath
+func collectInto(xs []int, out []int) []int {
+	for _, x := range xs {
+		out = append(out, x) // caller-owned buffer: amortized by reuse
+	}
+	return out
+}
+
+//optchain:hotpath
+func collectFromHelper(xs []int) []int {
+	out := helper()
+	for _, x := range xs {
+		out = append(out, x) // the callee owns the sizing policy
+	}
+	return out
+}
+
+//optchain:hotpath
+func guard(i int) int {
+	if i < 0 {
+		panic(fmt.Sprintf("negative %d", i)) // cold invariant path: exempt
+	}
+	return i
+}
+
+//optchain:hotpath
+func coldBranch(err error) {
+	if err != nil {
+		//optchain:alloc-ok cold error path, runs at most once per run
+		fmt.Println("failed:", err)
+	}
+}
+
+func notAnnotated(xs []int) string {
+	return fmt.Sprint(xs) // unannotated functions are out of scope
+}

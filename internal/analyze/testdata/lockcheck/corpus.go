@@ -1,0 +1,100 @@
+// Package corpus exercises the lockcheck analyzer: "// guarded by <mu>"
+// fields must be accessed only while the named mutex is held, with the
+// lock-state scan understanding defer, early-return unlock branches,
+// constructors of not-yet-shared values, goroutines, and the
+// //optchain:locked caller-holds-the-lock contract.
+package corpus
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	n    int            // guarded by mu
+	tags map[string]int // guarded by mu
+	name string         // not guarded: immutable after construction
+}
+
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) GoodExplicit() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "counter.Bad accesses c.n without holding mu"
+}
+
+func (c *counter) BadWrite(k string) {
+	c.tags[k]++ // want "counter.BadWrite accesses c.tags without holding mu"
+}
+
+func (c *counter) EarlyReturn(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n // the unlocking branch returned; this path still holds mu
+	c.mu.Unlock()
+	return n
+}
+
+func (c *counter) UnlockRelock() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	expensive()
+	c.mu.Lock()
+	n += c.n
+	c.mu.Unlock()
+	return n
+}
+
+func (c *counter) AfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want "counter.AfterUnlock accesses c.n without holding mu"
+}
+
+// addLocked is the documented caller-holds-the-lock contract.
+//
+//optchain:locked callers in this file hold c.mu
+func (c *counter) addLocked(d int) { c.n += d }
+
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(d)
+}
+
+func newCounter(name string) *counter {
+	c := &counter{name: name}
+	c.n = 1 // fresh value: not visible to any other goroutine yet
+	c.tags = make(map[string]int)
+	return c
+}
+
+func (c *counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want "counter.Spawn accesses c.n without holding mu"
+	}()
+}
+
+func (c *counter) Name() string { return c.name } // unguarded field: fine
+
+func expensive() {}
+
+type badGuard struct {
+	mu sync.Mutex
+	// The annotation below names a field that does not exist.
+	x int // want "names no field in this struct" // guarded by nosuch
+}

@@ -42,6 +42,8 @@ func NewT2SPlacer(k, n int, alpha, eps float64) *T2SPlacer {
 // Place implements placement.Placer. The scan fuses the capacity-bounded
 // argmax with the least-loaded fallback into one pass over the live shard
 // tallies, so a fully saturated stream costs no second traversal.
+//
+//optchain:hotpath one call per stream transaction.
 func (p *T2SPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
 	scores := p.idx.Prepare(u, inputs)
 	asn := p.idx.asn
@@ -146,6 +148,8 @@ func NewOptChain(cfg OptChainConfig) *OptChainPlacer {
 // as one pass over the live shard tallies, seeded with shard 0 so the loop
 // body carries no best==-1 branch and never re-reads counts for the
 // incumbent.
+//
+//optchain:hotpath one call per stream transaction.
 func (p *OptChainPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
 	scores := p.idx.Prepare(u, inputs) // lines 2-3
 	asn := p.idx.asn

@@ -177,6 +177,8 @@ func (t *T2SIndex) growSlab(need int) {
 // advances the out-degree of each input to include u, matching the online
 // random-walk interpretation. Prepare must be followed by exactly one
 // Commit for the same node.
+//
+//optchain:hotpath the T2S score maintenance inner loop (§IV-B).
 func (t *T2SIndex) Prepare(u txgraph.Node, inputs []txgraph.Node) []float64 {
 	if t.hasPending {
 		panic(fmt.Sprintf("core: Prepare(%d) before Commit(%d)", u, t.pendingNode))
@@ -242,6 +244,8 @@ func (t *T2SIndex) Prepare(u txgraph.Node, inputs []txgraph.Node) []float64 {
 // the α restart mass at s, truncates, and appends p'(u) to the slab arena.
 // The caller is responsible for also recording the decision in the
 // Assignment (the placers in this package do both).
+//
+//optchain:hotpath one call per stream transaction; slab growth is amortized.
 func (t *T2SIndex) Commit(u txgraph.Node, shard int) {
 	if !t.hasPending || t.pendingNode != u {
 		panic(fmt.Sprintf("core: Commit(%d) without matching Prepare", u))

@@ -115,6 +115,8 @@ func (s *Simulator) Pending() int { return len(s.heap) }
 // Schedule enqueues fn to run after delay. A negative delay is treated as
 // zero (the event fires at the current time, after events already queued for
 // that time). It returns a Handle that can cancel the event.
+//
+//optchain:hotpath called for every simulated message hop.
 func (s *Simulator) Schedule(delay time.Duration, name string, fn func(*Simulator)) Handle {
 	if delay < 0 {
 		delay = 0
@@ -124,6 +126,8 @@ func (s *Simulator) Schedule(delay time.Duration, name string, fn func(*Simulato
 
 // ScheduleAt enqueues fn at an absolute virtual time. Times in the past are
 // clamped to the current time.
+//
+//optchain:hotpath pool-slot reuse keeps the enqueue allocation-free once the pool and heap reach steady-state size.
 func (s *Simulator) ScheduleAt(at time.Duration, name string, fn func(*Simulator)) Handle {
 	if at < s.now {
 		at = s.now
@@ -165,6 +169,8 @@ func nodeLess(a, b heapNode) bool {
 }
 
 // push sifts a node up a 4-ary heap using a hole (no pairwise swaps).
+//
+//optchain:hotpath
 func (s *Simulator) push(n heapNode) {
 	s.heap = append(s.heap, heapNode{})
 	i := len(s.heap) - 1
@@ -182,6 +188,8 @@ func (s *Simulator) push(n heapNode) {
 // popMin removes and returns the minimum node. The 4-ary layout halves the
 // tree depth of a binary heap; the wider sibling scan stays within one
 // cache line of heapNodes.
+//
+//optchain:hotpath
 func (s *Simulator) popMin() heapNode {
 	h := s.heap
 	min := h[0]
@@ -228,6 +236,8 @@ func (s *Simulator) Run() error {
 // RunUntil executes events with timestamps <= deadline. Events scheduled
 // beyond the deadline remain queued; the clock is left at the last executed
 // event's time (it does not jump to the deadline).
+//
+//optchain:hotpath the event dispatch loop; error paths are cold.
 func (s *Simulator) RunUntil(deadline time.Duration) error {
 	s.stopped = false
 	for len(s.heap) > 0 && !s.stopped {
@@ -242,6 +252,7 @@ func (s *Simulator) RunUntil(deadline time.Duration) error {
 		}
 		if next.at < s.now {
 			// Heap invariant violated; indicates kernel corruption.
+			//optchain:alloc-ok cold path: formatting the corruption report
 			return fmt.Errorf("des: event %q at %v is before clock %v", p.name, next.at, s.now)
 		}
 		fn := p.fn
@@ -251,6 +262,7 @@ func (s *Simulator) RunUntil(deadline time.Duration) error {
 		s.now = next.at
 		s.executed++
 		if s.MaxEvents != 0 && s.executed > s.MaxEvents {
+			//optchain:alloc-ok cold path: the budget error ends the run
 			return fmt.Errorf("%w (%d events)", ErrEventBudget, s.MaxEvents)
 		}
 		if s.Interrupt != nil {
@@ -273,6 +285,8 @@ func (s *Simulator) RunUntil(deadline time.Duration) error {
 
 // Step executes exactly one live event and returns true, or returns false if
 // the queue is empty.
+//
+//optchain:hotpath
 func (s *Simulator) Step() bool {
 	for len(s.heap) > 0 {
 		next := s.popMin()

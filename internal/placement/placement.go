@@ -57,6 +57,8 @@ func (a *Assignment) Len() int { return len(a.shards) }
 
 // Place records transaction u in shard s. Transactions must be placed in
 // order (u equal to Len()); this catches protocol misuse early.
+//
+//optchain:hotpath one call per stream transaction; growth is amortized.
 func (a *Assignment) Place(u txgraph.Node, s int) {
 	if int(u) != len(a.shards) {
 		panic(fmt.Sprintf("placement: out-of-order placement of %d (have %d)", u, len(a.shards)))
@@ -186,6 +188,8 @@ func NewRandom(k, n int) *Random {
 }
 
 // Place implements Placer.
+//
+//optchain:hotpath one call per stream transaction.
 func (r *Random) Place(u txgraph.Node, inputs []txgraph.Node) int {
 	s := int(chain.TxID(int64(u)+1).Hash() % uint64(r.a.k))
 	r.a.Place(u, s)
@@ -223,6 +227,8 @@ func NewGreedy(k, n int, eps float64) *Greedy {
 
 // Place implements Placer. One fused pass tracks the capacity-eligible
 // argmax and the least-loaded fallback together.
+//
+//optchain:hotpath the OmniLedger-greedy argmax scan.
 func (g *Greedy) Place(u txgraph.Node, inputs []txgraph.Node) int {
 	for j := range g.coverage {
 		g.coverage[j] = 0

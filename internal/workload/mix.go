@@ -36,6 +36,14 @@ import (
 // Knobs:
 //
 //	stagger   per-component seed staggering factor (default 1; 0 aligns)
+//	window    translation history kept per component, in transactions
+//	          (default 1<<20). The local<->global position maps are the
+//	          only mix state that would otherwise grow with the stream;
+//	          bounding them keeps memory O(components x window) at any
+//	          stream length. A component spending an output older than
+//	          the window ends the stream with ErrWindowExceeded (via
+//	          Failer); placement feedback for positions older than the
+//	          window is dropped.
 //
 // Without components (bare "mix"), the default composition is the
 // documented multi-region baseline: bitcoin=0.6, hotspot=0.25,
@@ -46,15 +54,18 @@ import (
 // Failer: a component failing mid-stream (a replay component hitting a
 // corrupt trace) surfaces after the stream ends.
 type mixSource struct {
-	rng   *rand.Rand
-	n, i  int
-	comps []*mixComp
-	alive []*mixComp
-	total float64 // weight sum over alive components
+	rng    *rand.Rand
+	n, i   int
+	window int
+	comps  []*mixComp
+	alive  []*mixComp
+	total  float64 // weight sum over alive components
+	err    error   // sticky window-overflow failure, surfaced via Failer
 
 	// track is set when some component consumes Observer feedback; only
 	// then is the global->component translation below worth recording.
 	track   bool
+	gbase   int     // global stream position of compOf[0]/localOf[0]
 	compOf  []int32 // global stream position -> index into comps
 	localOf []int32 // global stream position -> component-local position
 	scratch Tx
@@ -67,14 +78,44 @@ type mixComp struct {
 	src    Source
 	obs    Observer
 
-	// toGlobal maps the component's local stream positions to global ones;
-	// its length is the number of transactions pulled from this component.
+	// toGlobal maps the component's local stream positions to global ones.
+	// Only the most recent window of positions is kept (base is the local
+	// position of toGlobal[0]); older entries are evicted in amortized O(1)
+	// compactions so mix state never grows with the stream length.
+	base     int
 	toGlobal []int32
+}
+
+// global translates a component-local position, reporting false when the
+// position has been evicted from the window.
+func (c *mixComp) global(local int) (int32, bool) {
+	if local < c.base || local >= c.base+len(c.toGlobal) {
+		return 0, false
+	}
+	return c.toGlobal[local-c.base], true
+}
+
+// push appends the next local position's global index, evicting the oldest
+// half-window in one copy once 2x window entries accumulate (the same
+// amortization as the outpoint rings).
+func (c *mixComp) push(global int32, window int) {
+	if len(c.toGlobal) >= 2*window {
+		n := copy(c.toGlobal, c.toGlobal[len(c.toGlobal)-window:])
+		c.base += len(c.toGlobal) - n
+		c.toGlobal = c.toGlobal[:n]
+	}
+	c.toGlobal = append(c.toGlobal, global)
 }
 
 // mixSeedStride separates the derived per-component seeds far enough that
 // component streams never share RNG prefixes.
 const mixSeedStride = 1_000_000_007
+
+// mixWindowDefault bounds the position-translation history kept per
+// component (and globally when routing feedback): far larger than any
+// generator's spend working set, small enough that a mix never grows with
+// the stream. Overridden by the window knob.
+const mixWindowDefault = 1 << 20
 
 func init() {
 	mustRegisterComposite("mix", newMix, false)
@@ -87,7 +128,7 @@ func mixComponents(p Params) ([]string, []float64, error) {
 	var specs []string
 	var weights []float64
 	for _, a := range p.Args {
-		if strings.EqualFold(a.Key, "stagger") && a.IsNum {
+		if (strings.EqualFold(a.Key, "stagger") || strings.EqualFold(a.Key, "window")) && a.IsNum {
 			continue
 		}
 		if a.Key == "" {
@@ -102,7 +143,7 @@ func mixComponents(p Params) ([]string, []float64, error) {
 	if len(specs) == 0 {
 		keys := make([]string, 0, len(p.Knobs))
 		for k := range p.Knobs {
-			if !strings.EqualFold(k, "stagger") {
+			if !strings.EqualFold(k, "stagger") && !strings.EqualFold(k, "window") {
 				keys = append(keys, k)
 			}
 		}
@@ -135,9 +176,14 @@ func newMix(p Params) (Source, error) {
 	if stagger > 0 && seedStep == 0 {
 		return nil, fmt.Errorf("%w: mix stagger %v is too small to separate component seeds", ErrBadParam, stagger)
 	}
+	window := p.Knob("window", mixWindowDefault)
+	if window < 1 || window > 1<<30 || window != math.Trunc(window) {
+		return nil, fmt.Errorf("%w: mix needs an integer 1 <= window <= 2^30, got %v", ErrBadParam, window)
+	}
 	m := &mixSource{
-		rng: rand.New(rand.NewSource(p.Seed)),
-		n:   p.N,
+		rng:    rand.New(rand.NewSource(p.Seed)),
+		n:      p.N,
+		window: int(window),
 	}
 	for c := range specs {
 		w := weights[c]
@@ -211,7 +257,7 @@ func (m *mixSource) kill(dead *mixComp) {
 }
 
 func (m *mixSource) Next(tx *Tx) bool {
-	if m.i >= m.n {
+	if m.i >= m.n || m.err != nil {
 		return false
 	}
 	for len(m.alive) > 0 {
@@ -222,15 +268,28 @@ func (m *mixSource) Next(tx *Tx) bool {
 		}
 		tx.Inputs = tx.Inputs[:0]
 		for _, in := range m.scratch.Inputs {
-			tx.Inputs = append(tx.Inputs, Input{Tx: int(c.toGlobal[in.Tx]), Index: in.Index})
+			g, ok := c.global(in.Tx)
+			if !ok {
+				m.err = fmt.Errorf("%w: mix component %q spends its transaction %d, more than window=%d positions back",
+					ErrWindowExceeded, c.spec, in.Tx, m.window)
+				return false
+			}
+			tx.Inputs = append(tx.Inputs, Input{Tx: int(g), Index: in.Index})
 		}
 		tx.Outputs = m.scratch.Outputs
 		tx.Value = m.scratch.Value
 		tx.Gap = m.scratch.Gap
-		c.toGlobal = append(c.toGlobal, int32(m.i))
+		c.push(int32(m.i), m.window)
 		if m.track {
+			if len(m.compOf) >= 2*m.window {
+				n := copy(m.compOf, m.compOf[len(m.compOf)-m.window:])
+				copy(m.localOf, m.localOf[len(m.localOf)-m.window:])
+				m.gbase += len(m.compOf) - n
+				m.compOf = m.compOf[:n]
+				m.localOf = m.localOf[:n]
+			}
 			m.compOf = append(m.compOf, int32(c.idx))
-			m.localOf = append(m.localOf, int32(len(c.toGlobal)-1))
+			m.localOf = append(m.localOf, int32(c.base+len(c.toGlobal)-1))
 		}
 		m.i++
 		return true
@@ -240,19 +299,25 @@ func (m *mixSource) Next(tx *Tx) bool {
 
 // Observe implements Observer: the decision for global transaction i is
 // translated to the emitting component's local position and forwarded when
-// that component is feedback-aware.
+// that component is feedback-aware. Feedback for positions evicted from the
+// translation window is dropped — strategies report decisions immediately
+// after placing, so live feedback is always far inside the window.
 func (m *mixSource) Observe(i, s int) {
-	if i < 0 || i >= len(m.compOf) {
+	if i < m.gbase || i >= m.gbase+len(m.compOf) {
 		return
 	}
-	c := m.comps[m.compOf[i]]
+	c := m.comps[m.compOf[i-m.gbase]]
 	if c.obs != nil {
-		c.obs.Observe(int(m.localOf[i]), s)
+		c.obs.Observe(int(m.localOf[i-m.gbase]), s)
 	}
 }
 
-// Err implements Failer: the first component failure, if any.
+// Err implements Failer: a window overflow first, then the first component
+// failure, if any.
 func (m *mixSource) Err() error {
+	if m.err != nil {
+		return m.err
+	}
 	for _, c := range m.comps {
 		if err := sourceErr(c.src); err != nil {
 			return fmt.Errorf("mix component %q: %w", c.spec, err)

@@ -209,3 +209,93 @@ func TestMixFractionalStaggerSeparatesSeeds(t *testing.T) {
 		t.Fatal("stagger=0.5 gave adjacent components identical streams")
 	}
 }
+
+// TestMixCompWindowTranslation: the per-component ring window must
+// translate every in-window local position exactly, refuse evicted ones,
+// and never hold more than 2x window entries — compaction is invisible to
+// correct lookups.
+func TestMixCompWindowTranslation(t *testing.T) {
+	c := &mixComp{}
+	const window = 8
+	for local := 0; local < 100; local++ {
+		c.push(int32(local*10), window)
+		if len(c.toGlobal) > 2*window {
+			t.Fatalf("after %d pushes the window holds %d entries", local+1, len(c.toGlobal))
+		}
+		for l := c.base; l <= local; l++ {
+			g, ok := c.global(l)
+			if !ok || g != int32(l*10) {
+				t.Fatalf("global(%d) = %d,%v, want %d,true", l, g, ok, l*10)
+			}
+		}
+		if _, ok := c.global(c.base - 1); c.base > 0 && ok {
+			t.Fatal("evicted position still resolves")
+		}
+	}
+	if c.base == 0 {
+		t.Fatal("window never compacted; the test exercises nothing")
+	}
+}
+
+// TestMixWindowKnobPreservesStream: an explicit window that nothing evicts
+// from must be byte-identical to the default — the knob changes memory
+// bounds, never decisions.
+func TestMixWindowKnobPreservesStream(t *testing.T) {
+	const n = 3000
+	p := Params{N: n, Seed: 11, Shards: 8}
+	def := encodeStream(t, "mix:bitcoin=0.6,hotspot=0.4", p, n)
+	windowed := encodeStream(t, "mix:bitcoin=0.6,hotspot=0.4,window=4000", p, n)
+	if !bytes.Equal(def, windowed) {
+		t.Fatal("the window knob changed the mix stream")
+	}
+}
+
+// TestMixWindowOverflow: a window smaller than a component's spend distance
+// must fail the stream with ErrWindowExceeded instead of mistranslating
+// input references.
+func TestMixWindowOverflow(t *testing.T) {
+	src, err := New("mix", Params{N: 3000, Seed: 11, Shards: 8,
+		Knobs: map[string]float64{"bitcoin": 1, "window": 1}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, err = Materialize(src, 3000)
+	if err == nil {
+		t.Fatal("window=1 materialized a full bitcoin mix without overflowing")
+	}
+	if !errors.Is(err, ErrWindowExceeded) {
+		t.Fatalf("overflow error = %v, want ErrWindowExceeded", err)
+	}
+}
+
+// TestMixWindowValidation: the window knob must be a positive integer.
+func TestMixWindowValidation(t *testing.T) {
+	for _, w := range []float64{0, -1, 0.5, 1 << 31} {
+		_, err := New("mix", Params{N: 10, Seed: 1, Shards: 4,
+			Knobs: map[string]float64{"bitcoin": 1, "window": w}})
+		if !errors.Is(err, ErrBadParam) {
+			t.Errorf("window=%v: err = %v, want ErrBadParam", w, err)
+		}
+	}
+}
+
+// TestMixObserveOutsideWindow: feedback for positions already evicted from
+// the translation window (or never emitted) is dropped, not crashed on.
+func TestMixObserveOutsideWindow(t *testing.T) {
+	const n = 600
+	src := build(t, "mix:adversarial=1,window=64", Params{N: n, Seed: 3, Shards: 8})
+	m := src.(*mixSource)
+	var tx Tx
+	for i := 0; i < n && src.Next(&tx); i++ {
+		m.Observe(i, i%8) // live feedback: always inside the window
+	}
+	if err := sourceErr(src); err != nil {
+		t.Fatalf("stream failed: %v", err)
+	}
+	if m.gbase == 0 {
+		t.Fatal("window never compacted; the test exercises nothing")
+	}
+	m.Observe(0, 1)     // evicted long ago
+	m.Observe(-1, 1)    // never valid
+	m.Observe(1<<30, 1) // far future
+}

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -50,6 +51,10 @@ var (
 	ErrUnknownWorkload = errors.New("unknown workload scenario")
 	// ErrBadParam reports an invalid Params value or an unknown knob.
 	ErrBadParam = errors.New("workload: invalid parameter")
+	// ErrWindowExceeded reports a composite source whose bounded translation
+	// window could not cover a back-reference in the stream (a mix component
+	// spending an output older than its window). Raise the window knob.
+	ErrWindowExceeded = errors.New("workload: translation window exceeded")
 	// ErrDuplicateName is returned when registering an already-taken name.
 	ErrDuplicateName = errors.New("workload: name already registered")
 	// ErrEmptyName is returned when registering with an empty name.
@@ -176,21 +181,21 @@ func (p Params) Knob(name string, def float64) float64 {
 	return def
 }
 
-// checkKnobs rejects knob names outside the scenario's allowed set.
+// checkKnobs rejects knob names outside the scenario's allowed set. Unknown
+// names are collected and sorted so the error is identical regardless of map
+// iteration order — error text reaches reports and test goldens.
 func checkKnobs(scenario string, knobs map[string]float64, allowed ...string) error {
+	var unknown []string
 	for k := range knobs {
-		ok := false
-		for _, a := range allowed {
-			if k == a {
-				ok = true
-				break
-			}
+		if !slices.Contains(allowed, k) {
+			unknown = append(unknown, k)
 		}
-		if !ok {
-			sort.Strings(allowed)
-			return fmt.Errorf("%w: scenario %q has no knob %q (have %s)",
-				ErrBadParam, scenario, k, strings.Join(allowed, ", "))
-		}
+	}
+	sort.Strings(unknown)
+	if len(unknown) > 0 {
+		sort.Strings(allowed)
+		return fmt.Errorf("%w: scenario %q has no knob %q (have %s)",
+			ErrBadParam, scenario, unknown[0], strings.Join(allowed, ", "))
 	}
 	return nil
 }

@@ -353,3 +353,28 @@ func TestMaterializeCaps(t *testing.T) {
 		t.Fatalf("Len = %d, want 100", d.Len())
 	}
 }
+
+// TestCheckKnobsDeterministicError: rejecting a Params with several unknown
+// knobs must produce the same error text on every call — the old code named
+// whichever unknown key map iteration happened to visit first, leaking map
+// order into error messages (which reach reports and golden files).
+func TestCheckKnobsDeterministicError(t *testing.T) {
+	knobs := map[string]float64{"zeta": 1, "alpha": 2, "mid": 3}
+	var want string
+	for i := 0; i < 50; i++ {
+		err := checkKnobs("hotspot", knobs, "exp")
+		if err == nil {
+			t.Fatal("unknown knobs were accepted")
+		}
+		if i == 0 {
+			want = err.Error()
+			continue
+		}
+		if got := err.Error(); got != want {
+			t.Fatalf("error text varies across calls:\n%q\n%q", want, got)
+		}
+	}
+	if !strings.Contains(want, `"alpha"`) {
+		t.Fatalf("error %q should name the alphabetically first unknown knob", want)
+	}
+}

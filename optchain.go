@@ -378,7 +378,7 @@ func ExperimentNames() []string { return bench.Names() }
 func RunExperiment(h *bench.Harness, name string, w io.Writer) error {
 	fn, ok := bench.Experiments[name]
 	if !ok {
-		return fmt.Errorf("optchain: unknown experiment %q (have %v)", name, bench.Names())
+		return fmt.Errorf("%w: %q (have %v)", ErrUnknownExperiment, name, bench.Names())
 	}
 	return fn(h, w)
 }
