@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt fmt-check lint bench-smoke bench-json examples scenario-smoke fuzz-smoke sweep-smoke docs-check ci
+.PHONY: all build test test-race vet fmt fmt-check lint bench-smoke bench-json bench-scaling examples scenario-smoke fuzz-smoke sweep-smoke docs-check ci
 
 all: build
 
@@ -53,6 +53,13 @@ bench-smoke:
 # uploads the file as an artifact; see PERFORMANCE.md.
 bench-json:
 	$(GO) run ./cmd/optchain-bench -quick -baseline-json BENCH_baseline.json
+
+# Concurrent-placement scaling curve: the parallel-quality sweep reports
+# decision drift per epoch worker count; the throughput side of the curve
+# (ns/tx, speedup vs one worker) is the Parallel section bench-json writes
+# into BENCH_baseline.json.
+bench-scaling:
+	$(GO) run ./cmd/optchain-bench -quick -sweep parallel-quality -reporter text
 
 # Build (not run) every example and cmd binary.
 examples:

@@ -124,8 +124,11 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 // free-form justification.
 var markerRe = regexp.MustCompile(`optchain:([a-z-]+)`)
 
-// guardedRe extracts the mutex name from a "guarded by <mu>" field comment.
-var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+// guardedRe extracts the mutex path from a "guarded by <mu>" field comment.
+// The path may be dotted ("guarded by parent.mu"): a field of this struct
+// followed by field selections, for state guarded by an owning struct's
+// mutex (the engine/worker shape parallel placement uses).
+var guardedRe = regexp.MustCompile(`guarded by (\w+(?:\.\w+)*)`)
 
 // Annotations indexes the marker comments of a package by file line, so
 // analyzers can ask "is this node's line (or the line above it) annotated?"

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Lockcheck enforces mutex discipline on struct fields annotated
@@ -56,7 +57,12 @@ func runLockcheck(pass *Pass) error {
 }
 
 // collectGuards finds every "// guarded by <mu>" field in the package and
-// resolves both the field and its mutex to type objects.
+// resolves both the field and its mutex to type objects. The mutex may be a
+// dotted path ("guarded by parent.mu"): the first segment must name a field
+// of the annotated struct, each further segment a field of the previous
+// segment's (possibly pointed-to) struct type — so chunk-local state guarded
+// by an owning struct's mutex resolves to that struct's mutex object, the
+// same object <x>.parent.mu.Lock() resolves to.
 func collectGuards(pass *Pass) map[types.Object]guardInfo {
 	guards := make(map[types.Object]guardInfo)
 	for _, f := range pass.Files {
@@ -79,9 +85,22 @@ func collectGuards(pass *Pass) map[types.Object]guardInfo {
 				if mu == "" {
 					continue
 				}
-				mutex, ok := byName[mu]
+				segs := strings.Split(mu, ".")
+				mutex, ok := byName[segs[0]]
 				if !ok {
 					pass.Reportf(fd.Pos(), "guarded by %q names no field in this struct", mu)
+					continue
+				}
+				for _, seg := range segs[1:] {
+					next := structFieldOf(mutex.Type(), seg)
+					if next == nil {
+						pass.Reportf(fd.Pos(), "guarded by %q: %s has no struct field %q", mu, mutex.Name(), seg)
+						mutex = nil
+						break
+					}
+					mutex = next
+				}
+				if mutex == nil {
 					continue
 				}
 				for _, name := range fd.Names {
@@ -94,6 +113,24 @@ func collectGuards(pass *Pass) map[types.Object]guardInfo {
 		})
 	}
 	return guards
+}
+
+// structFieldOf resolves name to a field object of t's struct type,
+// dereferencing one level of pointer (the usual back-reference shape).
+func structFieldOf(t types.Type, name string) types.Object {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
 }
 
 // heldSet tracks which mutex objects are held at a program point.

@@ -98,3 +98,75 @@ type badGuard struct {
 	// The annotation below names a field that does not exist.
 	x int // want "names no field in this struct" // guarded by nosuch
 }
+
+// Cross-struct guards: a worker's chunk-local state is guarded by its
+// owning pool's mutex, written as a dotted path through the back-reference.
+type pool struct {
+	mu      sync.Mutex
+	workers []*worker // guarded by mu
+}
+
+type worker struct {
+	pool *pool
+	buf  []int // guarded by pool.mu
+	id   int   // not guarded: immutable after construction
+}
+
+func (w *worker) GoodCross() int {
+	w.pool.mu.Lock()
+	defer w.pool.mu.Unlock()
+	return len(w.buf)
+}
+
+func (w *worker) GoodCrossExplicit() {
+	w.pool.mu.Lock()
+	w.buf = w.buf[:0]
+	w.pool.mu.Unlock()
+}
+
+func (w *worker) BadCross() int {
+	return len(w.buf) // want "worker.BadCross accesses w.buf without holding mu"
+}
+
+func (w *worker) BadCrossAfterUnlock() {
+	w.pool.mu.Lock()
+	w.pool.mu.Unlock()
+	w.buf = nil // want "worker.BadCrossAfterUnlock accesses w.buf without holding mu"
+}
+
+// The guard is name-based, so locking the parent through its own receiver
+// covers child accesses in the same scope.
+func drain(p *pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		w.buf = w.buf[:0]
+	}
+}
+
+// resetLocked documents the caller-holds-the-parent-lock contract.
+//
+//optchain:locked callers hold w.pool.mu
+func (w *worker) resetLocked() { w.buf = w.buf[:0] }
+
+func newWorker(p *pool) *worker {
+	w := &worker{pool: p, id: 7}
+	w.buf = make([]int, 0, 8) // fresh value: not shared yet
+	return w
+}
+
+// Unresolvable guard paths are themselves diagnosed.
+type badSegment struct {
+	pool *pool
+	n    int // want "pool has no struct field" // guarded by pool.nosuch
+}
+
+type badNonStruct struct {
+	id int
+	n  int // want "id has no struct field" // guarded by id.mu
+}
+
+type badRoot struct {
+	mu sync.Mutex
+	n  int // want "names no field in this struct" // guarded by nosuch.mu
+}

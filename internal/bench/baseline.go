@@ -203,7 +203,12 @@ func collectBaselineInto(h *Harness, rep *experiment.BaselineReporter) error {
 	if err != nil {
 		return err
 	}
-	rep.SetMicro(micro)
+	parRows, parItem, err := collectParallel(h)
+	if err != nil {
+		return err
+	}
+	rep.SetMicro(append(micro, parItem))
+	rep.SetParallel(parRows)
 	simSweep := BaselineSimSweep(h.Params())
 	if err := rep.Begin(simSweep, h.Params()); err != nil {
 		return err

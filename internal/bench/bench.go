@@ -258,6 +258,7 @@ func init() {
 		{"table1", TableISweep},
 		{"table2", TableIISweep},
 		{"alpha", AlphaSweep},
+		{"parallel-quality", ParallelQualitySweep},
 		{"weight", WeightSweep},
 		{"backend", BackendSweep},
 		{"l2s", L2SSweep},

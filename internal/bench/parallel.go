@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"optchain/experiment"
+	"optchain/internal/core"
+	"optchain/internal/placement"
+	"optchain/internal/txgraph"
+)
+
+// parallelEpochTxs is the epoch size of the scaling benchmark — the
+// engine's default streaming chunk, so the measured drift matches what
+// PlaceStream exhibits out of the box.
+const parallelEpochTxs = 1024
+
+// ParallelQualitySweep sweeps the epoch worker count on the offline
+// cross-TX objective: the decision-quality cost of concurrent placement,
+// measured against the serial replay (Parallelism 0) of the same stream.
+func ParallelQualitySweep(p Params) experiment.Sweep {
+	par := []int{0, 1, 2, 4, 8}
+	if p.Quick {
+		par = []int{0, 1, 4}
+	}
+	return experiment.Sweep{
+		Name:         "parallel-quality",
+		Description:  "epoch worker count vs offline cross-TX % — concurrent placement decision drift",
+		Kind:         experiment.KindPlacement,
+		Strategies:   []string{"T2S", "Greedy", "OmniLedger"},
+		Shards:       []int{16},
+		Parallelisms: par,
+	}
+}
+
+// parallelWorkerGrid is the worker-count axis of the baseline scaling
+// section: powers of two through 8, plus the host's GOMAXPROCS when it
+// falls outside that set — the curve always contains the width the engine
+// resolves WithParallelism(0) to.
+func parallelWorkerGrid() []int {
+	grid := []int{1, 2, 4, 8}
+	gmp := runtime.GOMAXPROCS(0)
+	for _, w := range grid {
+		if w == gmp {
+			return grid
+		}
+	}
+	grid = append(grid, gmp)
+	sort.Ints(grid)
+	return grid
+}
+
+// mkOptChainSharder builds the baseline OptChain placer over d at K=16 —
+// the same configuration as the optchain_place micro row, so the serial
+// and parallel numbers divide cleanly.
+func mkOptChainSharder(d datasetLike, tel core.StaticTelemetry) placement.Sharder {
+	p := core.NewOptChain(core.OptChainConfig{K: 16, N: d.Len(), Latency: core.FastL2S{Tel: tel}})
+	p.Scores().SetOutCounts(func(v txgraph.Node) int { return d.NumOutputs(int(v)) })
+	return p
+}
+
+// baselineParallelBench times the epoch replay of d at the given worker
+// count, per transaction. Placer and fan construction sit outside the
+// timed region; the steady-state loop reuses worker arenas, so allocs/op
+// stays at the goroutine-spawn noise floor.
+func baselineParallelBench(d datasetLike, tel core.StaticTelemetry, workers int) BaselineItem {
+	n := d.Len()
+	inputs := func(u int, buf []txgraph.Node) []txgraph.Node { return d.InputTxNodes(u, buf) }
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := mkOptChainSharder(d, tel)
+			fan := placement.NewFan(workers)
+			b.StartTimer()
+			fan.PlaceAll(s, n, parallelEpochTxs, inputs)
+		}
+	})
+	ops := float64(r.N) * float64(n)
+	ns := float64(r.T.Nanoseconds()) / ops
+	item := BaselineItem{
+		Name:        "parallel_place",
+		Unit:        "tx",
+		NsPerOp:     ns,
+		AllocsPerOp: float64(r.MemAllocs) / ops,
+		BytesPerOp:  float64(r.MemBytes) / ops,
+	}
+	if ns > 0 {
+		item.OpsPerSec = 1e9 / ns
+	}
+	return item
+}
+
+// parallelQuality replays d once at the given worker count (serial when
+// workers < 2) and reports the resulting cross-shard fraction plus the
+// epoch drift accounting. The replay is deterministic per worker count, so
+// one untimed pass suffices — quality is measured separately from timing.
+func parallelQuality(d datasetLike, tel core.StaticTelemetry, workers int) (placement.CrossCounter, placement.EpochStats) {
+	s := mkOptChainSharder(d, tel)
+	n := d.Len()
+	var es placement.EpochStats
+	var buf []txgraph.Node
+	if workers < 2 {
+		for j := 0; j < n; j++ {
+			buf = d.InputTxNodes(j, buf)
+			s.Place(txgraph.Node(j), buf)
+		}
+	} else {
+		fan := placement.NewFan(workers)
+		es = fan.PlaceAll(s, n, parallelEpochTxs, func(u int, b []txgraph.Node) []txgraph.Node {
+			return d.InputTxNodes(u, b)
+		})
+	}
+	cc := placement.CrossCounter{}
+	asn := s.Assignment()
+	for j := 0; j < n; j++ {
+		buf = d.InputTxNodes(j, buf)
+		cc.Observe(asn, buf, asn.ShardOf(txgraph.Node(j)))
+	}
+	return cc, es
+}
+
+// collectParallel measures the concurrent-placement scaling section: one
+// row per worker count (throughput, speedup vs one worker, decision
+// quality vs the serial replay), plus the parallel_place micro row at the
+// host's GOMAXPROCS width.
+func collectParallel(h *Harness) ([]experiment.BaselineParallel, BaselineItem, error) {
+	n := h.Params().N
+	if n > baselineMicroN {
+		n = baselineMicroN
+	}
+	d, err := h.Dataset(n)
+	if err != nil {
+		return nil, BaselineItem{}, err
+	}
+	tel := core.StaticTelemetry{Comm: make([]float64, 16), Verify: make([]float64, 16)}
+	for i := range tel.Comm {
+		tel.Comm[i], tel.Verify[i] = 10, 0.5
+	}
+
+	serialCC, _ := parallelQuality(d, tel, 1)
+	serialFrac := serialCC.Fraction()
+
+	gmp := runtime.GOMAXPROCS(0)
+	var micro BaselineItem
+	rows := make([]experiment.BaselineParallel, 0, 5)
+	for _, w := range parallelWorkerGrid() {
+		item := baselineParallelBench(d, tel, w)
+		cc, es := parallelQuality(d, tel, w)
+		rows = append(rows, experiment.BaselineParallel{
+			Workers:            w,
+			NsPerTx:            item.NsPerOp,
+			TxsPerSec:          item.OpsPerSec,
+			AllocsPerOp:        item.AllocsPerOp,
+			CrossFraction:      cc.Fraction(),
+			QualityDelta:       cc.Fraction() - serialFrac,
+			CrossChunkFraction: es.CrossChunkFraction(),
+		})
+		if w == gmp {
+			micro = item
+		}
+	}
+	if base := rows[0].TxsPerSec; base > 0 {
+		for i := range rows {
+			rows[i].Speedup = rows[i].TxsPerSec / base
+		}
+	}
+	return rows, micro, nil
+}

@@ -64,7 +64,12 @@ func TestT2SIndexMatchesDenseReference(t *testing.T) {
 		got := idx.Prepare(txgraph.Node(i), buf)
 		want, commit := ref.place(buf, asn.Counts())
 		for j := 0; j < k; j++ {
-			if math.Abs(got[j]-want[j]) > 1e-12*(1+math.Abs(want[j])) {
+			// The index carries score mass in Q32.32 fixed point (quantum
+			// 2^-32 ≈ 2.3e-10, see fixed.go); the dense float64 reference
+			// does not, so agreement is bounded by accumulated quantization,
+			// not machine epsilon. The (1−α)/|Nout| damping keeps the
+			// accumulated error orders of magnitude below this tolerance.
+			if math.Abs(got[j]-want[j]) > 1e-6*(1+math.Abs(want[j])) {
 				t.Fatalf("tx %d shard %d: incremental %g, reference %g", i, j, got[j], want[j])
 			}
 		}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"optchain/internal/placement"
+	"optchain/internal/txgraph"
+)
+
+// epochInputs is a synthetic chained stream: u spends u-1 and u/2, mixing
+// dense chunk-local and long-range pre-epoch references.
+func epochInputs(u int, buf []txgraph.Node) []txgraph.Node {
+	if u == 0 {
+		return buf
+	}
+	buf = append(buf, txgraph.Node(u-1))
+	if h := u / 2; h != u-1 {
+		buf = append(buf, txgraph.Node(h))
+	}
+	return buf
+}
+
+// epochTel builds shard-varying telemetry so the L2S term participates in
+// every OptChain decision.
+func epochTel(k int) StaticTelemetry {
+	comm := make([]float64, k)
+	verify := make([]float64, k)
+	for j := 0; j < k; j++ {
+		comm[j] = 4 + float64(j)
+		verify[j] = 9 - 0.5*float64(j)
+	}
+	return StaticTelemetry{Comm: comm, Verify: verify}
+}
+
+func serialCoreDecisions(p placement.Placer, n int) []int {
+	out := make([]int, n)
+	var buf []txgraph.Node
+	for u := 0; u < n; u++ {
+		buf = epochInputs(u, buf[:0])
+		out[u] = p.Place(txgraph.Node(u), buf)
+	}
+	return out
+}
+
+// With one worker the cross-chunk window is empty, so epoch placement must
+// be bit-identical to serial Place for both T2S and full OptChain — same
+// decisions AND identical post-epoch score state (checked through Vector).
+func TestEpochOneWorkerBitIdenticalToSerial(t *testing.T) {
+	const n, k = 700, 8
+	type mk struct {
+		name string
+		make func() placement.Sharder
+		idx  func(placement.Sharder) *T2SIndex
+	}
+	cases := []mk{
+		{"T2S", func() placement.Sharder { return NewT2SPlacer(k, n, 0.5, 0.1) },
+			func(s placement.Sharder) *T2SIndex { return s.(*T2SPlacer).Scores() }},
+		{"OptChain", func() placement.Sharder {
+			return NewOptChain(OptChainConfig{K: k, N: n, Latency: FastL2S{Tel: epochTel(k)}})
+		}, func(s placement.Sharder) *T2SIndex { return s.(*OptChainPlacer).Scores() }},
+	}
+	for _, c := range cases {
+		serial := c.make()
+		want := serialCoreDecisions(serial.(placement.Placer), n)
+
+		par := c.make()
+		fan := placement.NewFan(1)
+		stats := fan.PlaceAll(par, n, 97, epochInputs) // uneven epochs cross boundaries
+		if stats.CrossChunkRefs != 0 {
+			t.Fatalf("%s: one worker reported %d cross-chunk refs", c.name, stats.CrossChunkRefs)
+		}
+		asn := par.Assignment()
+		for u := 0; u < n; u++ {
+			if got := asn.ShardOf(txgraph.Node(u)); got != want[u] {
+				t.Fatalf("%s: decision %d differs: epoch=%d serial=%d", c.name, u, got, want[u])
+			}
+		}
+		// The joined score state must match the serial index exactly: same
+		// sparse vectors, same out-degrees (the inputs of a hypothetical next
+		// transaction would then score identically).
+		si, pi := c.idx(serial), c.idx(par)
+		for u := 0; u < n; u++ {
+			v := txgraph.Node(u)
+			if si.outDeg[u] != pi.outDeg[u] {
+				t.Fatalf("%s: outDeg[%d] differs: serial=%d epoch=%d", c.name, u, si.outDeg[u], pi.outDeg[u])
+			}
+			ss, sv := si.vec(v)
+			ps, pv := pi.vec(v)
+			if len(ss) != len(ps) {
+				t.Fatalf("%s: vector %d support differs: %d vs %d", c.name, u, len(ss), len(ps))
+			}
+			for i := range ss {
+				if ss[i] != ps[i] || sv[i] != pv[i] {
+					t.Fatalf("%s: vector %d entry %d differs: (%d,%d) vs (%d,%d)",
+						c.name, u, i, ss[i], sv[i], ps[i], pv[i])
+				}
+			}
+		}
+	}
+}
+
+// Multi-worker epochs are deterministic: identical inputs and worker count
+// reproduce identical decisions and identical drift accounting, run to run.
+func TestEpochParallelDeterministic(t *testing.T) {
+	const n, k, workers = 900, 8, 4
+	run := func() ([]int, placement.EpochStats) {
+		p := NewOptChain(OptChainConfig{K: k, N: n, Latency: FastL2S{Tel: epochTel(k)}})
+		stats := placement.NewFan(workers).PlaceAll(p, n, 225, epochInputs)
+		out := make([]int, n)
+		asn := p.Assignment()
+		for u := range out {
+			out[u] = asn.ShardOf(txgraph.Node(u))
+		}
+		return out, stats
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ between identical runs: %+v vs %+v", s1, s2)
+	}
+	for u := range d1 {
+		if d1[u] != d2[u] {
+			t.Fatalf("decision %d differs between identical runs: %d vs %d", u, d1[u], d2[u])
+		}
+	}
+	// The chained stream guarantees cross-chunk references at 4 workers;
+	// they must be counted, not silently dropped.
+	if s1.CrossChunkRefs == 0 {
+		t.Fatal("no cross-chunk refs counted on a chained stream across 4 workers")
+	}
+	if s1.CrossChunkRefs > s1.InputRefs {
+		t.Fatalf("cross-chunk refs %d exceed total refs %d", s1.CrossChunkRefs, s1.InputRefs)
+	}
+}
+
+// An epoch must leave the index ready for serial Place calls and vice versa:
+// mixed serial/epoch streams keep the Assignment and degree bookkeeping
+// consistent.
+func TestEpochInterleavesWithSerialPlace(t *testing.T) {
+	const n, k = 300, 4
+	p := NewT2SPlacer(k, n, 0.5, 0.1)
+	fan := placement.NewFan(2)
+	var buf []txgraph.Node
+
+	serialSpan := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			buf = epochInputs(u, buf[:0])
+			p.Place(txgraph.Node(u), buf)
+		}
+	}
+	serialSpan(0, 50)
+	fan.PlaceAll(p, 100, 50, epochInputs)
+	serialSpan(150, 200)
+	fan.PlaceEpoch(p, 100, epochInputs)
+
+	asn := p.Assignment()
+	if asn.Len() != n {
+		t.Fatalf("placed %d, want %d", asn.Len(), n)
+	}
+	var total int64
+	for j := 0; j < k; j++ {
+		total += asn.Count(j)
+	}
+	if total != n {
+		t.Fatalf("shard counts sum to %d, want %d", total, n)
+	}
+	// Every transaction with spenders has a positive recorded out-degree.
+	idx := p.Scores()
+	for u := 0; u+1 < n; u++ {
+		if idx.outDeg[u] <= 0 {
+			t.Fatalf("outDeg[%d] = %d after mixed stream", u, idx.outDeg[u])
+		}
+	}
+}

@@ -25,8 +25,9 @@ const (
 // bound as Greedy. Ties (including all coinbase transactions, whose score
 // vector is empty) go to the least-loaded eligible shard.
 type T2SPlacer struct {
-	idx *T2SIndex
-	cap int64
+	idx     *T2SIndex
+	cap     int64
+	workers []*t2sPlacerWorker // epoch worker cache (epoch.go)
 }
 
 // NewT2SPlacer creates a T2S-based placer over k shards for an expected
@@ -39,15 +40,14 @@ func NewT2SPlacer(k, n int, alpha, eps float64) *T2SPlacer {
 	}
 }
 
-// Place implements placement.Placer. The scan fuses the capacity-bounded
-// argmax with the least-loaded fallback into one pass over the live shard
-// tallies, so a fully saturated stream costs no second traversal.
+// selectShard is the capacity-bounded argmax fused with the least-loaded
+// fallback in one pass over the shard tallies, so a fully saturated stream
+// costs no second traversal. Shared by the serial path (live tallies) and
+// the epoch workers (chunk-local tallies) so both make identical decisions
+// from identical state.
 //
 //optchain:hotpath one call per stream transaction.
-func (p *T2SPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
-	scores := p.idx.Prepare(u, inputs)
-	asn := p.idx.asn
-	counts := asn.CountsView()
+func (p *T2SPlacer) selectShard(scores []float64, counts []int64) int {
 	best := -1
 	var bestCount int64
 	var bestVal float64
@@ -68,6 +68,16 @@ func (p *T2SPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
 	if best == -1 {
 		best = least
 	}
+	return best
+}
+
+// Place implements placement.Placer.
+//
+//optchain:hotpath one call per stream transaction.
+func (p *T2SPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	scores := p.idx.Prepare(u, inputs)
+	asn := p.idx.asn
+	best := p.selectShard(scores, asn.CountsView())
 	p.idx.Commit(u, best)
 	asn.Place(u, best)
 	return best
@@ -88,9 +98,12 @@ func (p *T2SPlacer) Scores() *T2SIndex { return p.idx }
 type OptChainPlacer struct {
 	idx    *T2SIndex
 	lat    LatencyModel
+	latB   BatchLatency // non-nil when lat supports batched evaluation
 	weight float64
 
 	shardBuf []int
+	latBuf   []float64         // reusable E(j) buffer, one slot per shard
+	workers  []*optChainWorker // epoch worker cache (epoch.go)
 }
 
 // OptChainConfig parameterizes NewOptChain. Zero fields take the paper's
@@ -137,34 +150,52 @@ func NewOptChain(cfg OptChainConfig) *OptChainPlacer {
 	asn := placement.NewAssignment(cfg.K, cfg.N)
 	idx := NewT2SIndex(cfg.Alpha, cfg.Truncate, asn, cfg.N)
 	idx.SetNormalize(cfg.NormalizeScores)
+	latB, _ := cfg.Latency.(BatchLatency)
 	return &OptChainPlacer{
 		idx:    idx,
 		lat:    cfg.Latency,
+		latB:   latB,
 		weight: cfg.Weight,
+		latBuf: make([]float64, cfg.K),
 	}
 }
 
-// Place implements placement.Placer: Alg. 1 of the paper. The argmax runs
-// as one pass over the live shard tallies, seeded with shard 0 so the loop
-// body carries no best==-1 branch and never re-reads counts for the
-// incumbent.
+// selectShard evaluates Alg. 1 lines 4-9: fill lat with E(j) for every
+// candidate — in one batched call when the model supports it, hoisting the
+// j-independent lock round out of the candidate loop — then run the fitness
+// argmax as one pass over the shard tallies, seeded with shard 0 so the
+// loop body carries no best==-1 branch and never re-reads counts for the
+// incumbent. Shared by the serial path and the epoch workers.
+//
+//optchain:hotpath one call per stream transaction.
+func (p *OptChainPlacer) selectShard(scores []float64, counts []int64, inputShards []int, lat []float64) int {
+	if p.latB != nil {
+		p.latB.ProofLatencies(lat, inputShards)
+	} else {
+		for j := range lat {
+			lat[j] = p.lat.ProofLatency(j, inputShards)
+		}
+	}
+	best := 0
+	bestFit := scores[0] - p.weight*lat[0]
+	bestCount := counts[0]
+	for j := 1; j < len(counts); j++ {
+		fit := scores[j] - p.weight*lat[j]
+		if fit > bestFit || (fit == bestFit && counts[j] < bestCount) {
+			best, bestFit, bestCount = j, fit, counts[j]
+		}
+	}
+	return best
+}
+
+// Place implements placement.Placer: Alg. 1 of the paper.
 //
 //optchain:hotpath one call per stream transaction.
 func (p *OptChainPlacer) Place(u txgraph.Node, inputs []txgraph.Node) int {
 	scores := p.idx.Prepare(u, inputs) // lines 2-3
 	asn := p.idx.asn
-	counts := asn.CountsView()
 	p.shardBuf = asn.InputShards(inputs, p.shardBuf)
-
-	best := 0
-	bestFit := scores[0] - p.weight*p.lat.ProofLatency(0, p.shardBuf)
-	bestCount := counts[0]
-	for j := 1; j < len(counts); j++ {
-		fit := scores[j] - p.weight*p.lat.ProofLatency(j, p.shardBuf) // lines 4-9
-		if fit > bestFit || (fit == bestFit && counts[j] < bestCount) {
-			best, bestFit, bestCount = j, fit, counts[j]
-		}
-	}
+	best := p.selectShard(scores, asn.CountsView(), p.shardBuf, p.latBuf) // lines 4-9
 	p.idx.Commit(u, best)
 	asn.Place(u, best) // line 10
 	return best

@@ -41,9 +41,9 @@ func TestCommitInsertsAlphaSorted(t *testing.T) {
 	idx.Prepare(1, []int32{0})
 	idx.Commit(1, 2)
 	asn.Place(1, 2)
-	vec := idx.vec(1)
-	if len(vec) != 2 || vec[0].shard != 2 || vec[1].shard != 5 {
-		t.Fatalf("vector entries out of order: %+v", vec)
+	shards, _ := idx.vec(1)
+	if len(shards) != 2 || shards[0] != 2 || shards[1] != 5 {
+		t.Fatalf("vector entries out of order: %v", shards)
 	}
 	// Child committed to the shard it already scores: entry count stays,
 	// mass adds.
@@ -76,16 +76,17 @@ func TestCommitTruncatesInSlab(t *testing.T) {
 	}
 	// After repeated same-shard commits the shard-0 mass dominates; any
 	// entry below 1% of it would have been dropped.
-	vec := idx.vec(9)
-	var max float64
-	for _, e := range vec {
-		if e.val > max {
-			max = e.val
+	_, vals := idx.vec(9)
+	var max uint64
+	for _, v := range vals {
+		if v > max {
+			max = v
 		}
 	}
-	for _, e := range vec {
-		if e.val < max*1e-2 {
-			t.Fatalf("entry below truncation threshold survived: %+v", vec)
+	threshold := qMul(max, qFromFloat(1e-2))
+	for _, v := range vals {
+		if v < threshold {
+			t.Fatalf("entry below truncation threshold survived: %v", vals)
 		}
 	}
 }
@@ -110,16 +111,16 @@ func TestPropertyT2SVectorWellFormed(t *testing.T) {
 			s := int(p) % k
 			idx.Commit(u, s)
 			asn.Place(u, s)
-			vec := idx.vec(u)
+			shards, vals := idx.vec(u)
 			prev := int32(-1)
-			for _, e := range vec {
-				if e.val < 0 {
+			for i, s := range shards {
+				if vals[i] == 0 {
+					return false // zero-mass entries must be dropped
+				}
+				if s <= prev {
 					return false
 				}
-				if e.shard <= prev {
-					return false
-				}
-				prev = e.shard
+				prev = s
 			}
 		}
 		return true

@@ -1,0 +1,383 @@
+package placement
+
+import (
+	"fmt"
+	"sync"
+
+	"optchain/internal/chain"
+	"optchain/internal/txgraph"
+)
+
+// Parallel placement epochs.
+//
+// A placement epoch freezes the shared placer state, splits the next n
+// stream positions into one contiguous chunk per worker, lets every worker
+// place its chunk against the frozen snapshot plus its own chunk-local
+// state, and then merges (joins) the chunks back — in chunk order, on the
+// calling goroutine — so the post-epoch state is identical for every run
+// with the same inputs and worker count. Determinism is structural: workers
+// never exchange data mid-epoch, and the join is serial.
+//
+// The price of intra-epoch isolation is that a worker cannot see decisions
+// made concurrently by earlier chunks of the same epoch: an input reference
+// into [base, start) — a cross-chunk reference — contributes no score mass
+// and is excluded from latency lock rounds. Workers count these so callers
+// can report the drift source instead of assuming it away; with one worker
+// the window [base, start) is empty and placement is bit-identical to the
+// serial path.
+
+// Sharder is a Placer whose state can be partitioned for parallel placement
+// epochs. Fork and Join are called from a single goroutine; only the
+// returned workers run concurrently, and each worker is used by exactly one
+// goroutine per epoch.
+type Sharder interface {
+	Placer
+	// Fork returns the i-th worker for an epoch over stream positions
+	// [start, end), where base is the number of transactions committed to
+	// the shared state when the epoch began. Implementations cache workers
+	// per index so repeated epochs reuse their chunk-local arenas.
+	Fork(i, base, start, end int) EpochWorker
+	// Join merges the epoch's workers back into the shared state. ws must
+	// be exactly the workers Fork returned for this epoch, in chunk order.
+	// After Join the Assignment covers every epoch transaction and the
+	// placer accepts serial Place calls or another epoch.
+	Join(ws []EpochWorker)
+}
+
+// EpochWorker places one contiguous chunk of an epoch. Place must be called
+// for every position of the worker's chunk, in order.
+type EpochWorker interface {
+	// Place decides the shard for u from the frozen pre-epoch state plus
+	// this worker's own chunk-local placements. The decision is recorded
+	// locally; it reaches the shared Assignment at Join.
+	Place(u txgraph.Node, inputs []txgraph.Node) int
+	// Refs reports the input references seen (total) and how many of them
+	// pointed into the epoch but outside this worker's chunk (crossChunk) —
+	// the references whose score/latency contribution was skipped.
+	Refs() (total, crossChunk int64)
+}
+
+// EpochStats aggregates one or more epochs' drift accounting.
+type EpochStats struct {
+	// Placed counts transactions placed through epochs.
+	Placed int64
+	// InputRefs counts all input references seen by epoch workers.
+	InputRefs int64
+	// CrossChunkRefs counts references into a concurrent chunk of the same
+	// epoch — skipped contributions, the quantified decision-drift source.
+	// Always 0 with one worker.
+	CrossChunkRefs int64
+}
+
+// Add accumulates other into s.
+func (s *EpochStats) Add(other EpochStats) {
+	s.Placed += other.Placed
+	s.InputRefs += other.InputRefs
+	s.CrossChunkRefs += other.CrossChunkRefs
+}
+
+// CrossChunkFraction returns CrossChunkRefs/InputRefs (0 when no refs).
+func (s EpochStats) CrossChunkFraction() float64 {
+	if s.InputRefs == 0 {
+		return 0
+	}
+	return float64(s.CrossChunkRefs) / float64(s.InputRefs)
+}
+
+// InputsFunc supplies the deduplicated input transactions of stream
+// position u, appended into buf. It is called concurrently from epoch
+// workers (each with its own buf) and must be safe for concurrent calls
+// with distinct u over read-only data.
+type InputsFunc func(u int, buf []txgraph.Node) []txgraph.Node
+
+// ChunkBounds appends the workers+1 chunk boundaries covering stream
+// positions [base, base+n) to bounds: near-equal contiguous chunks, the
+// first n%workers chunks one longer. Purely a function of its arguments,
+// so a fixed (state, batch, workers) triple always reproduces the same
+// partition — the determinism anchor for parallel placement.
+func ChunkBounds(base, n, workers int, bounds []int) []int {
+	if workers < 1 {
+		workers = 1
+	}
+	bounds = bounds[:0]
+	size, rem := n/workers, n%workers
+	pos := base
+	bounds = append(bounds, pos)
+	for i := 0; i < workers; i++ {
+		pos += size
+		if i < rem {
+			pos++
+		}
+		bounds = append(bounds, pos)
+	}
+	return bounds
+}
+
+// fanTask is the per-worker unit handed to a spawned goroutine. It is a
+// plain struct passed by pointer so the `go` statement needs no closure
+// (and therefore no per-epoch heap allocation for captures).
+type fanTask struct {
+	w        EpochWorker
+	start    int
+	end      int
+	inputs   InputsFunc
+	buf      []txgraph.Node
+	wg       *sync.WaitGroup
+	panicked any // recovered worker panic, re-raised on the caller goroutine
+}
+
+// runChunk drives one worker through its chunk in stream order. A panic in
+// the worker (a misbehaving custom strategy) is captured and re-raised by
+// PlaceEpoch on the calling goroutine — before the join, so the shared
+// placer state never sees a partial epoch.
+//
+//optchain:hotpath the parallel placement worker loop.
+func runChunk(t *fanTask) {
+	defer func() {
+		t.panicked = recover()
+		t.wg.Done()
+	}()
+	for u := t.start; u < t.end; u++ {
+		t.buf = t.inputs(u, t.buf[:0])
+		t.w.Place(txgraph.Node(u), t.buf)
+	}
+}
+
+// Fan fans placement epochs out across a fixed number of workers, reusing
+// its task and worker bookkeeping so steady-state epochs allocate nothing
+// beyond the runtime's goroutine recycling.
+type Fan struct {
+	workers int
+	bounds  []int
+	ws      []EpochWorker
+	tasks   []fanTask
+	wg      sync.WaitGroup
+}
+
+// NewFan creates a fan-out driver over the given worker count (≥ 1).
+func NewFan(workers int) *Fan {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Fan{
+		workers: workers,
+		bounds:  make([]int, 0, workers+1),
+		ws:      make([]EpochWorker, 0, workers),
+		tasks:   make([]fanTask, workers),
+	}
+}
+
+// Workers returns the configured worker count.
+func (f *Fan) Workers() int { return f.workers }
+
+// PlaceEpoch runs one epoch placing the next n transactions of s, reading
+// inputs through fn. It blocks until the epoch is joined and returns the
+// epoch's drift accounting. Chunks shrink to the transaction count when
+// n < workers, so short tails never produce empty forks.
+func (f *Fan) PlaceEpoch(s Sharder, n int, fn InputsFunc) EpochStats {
+	if n <= 0 {
+		return EpochStats{}
+	}
+	base := s.Assignment().Len()
+	w := f.workers
+	if w > n {
+		w = n
+	}
+	f.bounds = ChunkBounds(base, n, w, f.bounds)
+	f.ws = f.ws[:0]
+	for i := 0; i < w; i++ {
+		ew := s.Fork(i, base, f.bounds[i], f.bounds[i+1])
+		f.ws = append(f.ws, ew)
+		t := &f.tasks[i]
+		t.w, t.start, t.end, t.inputs, t.wg = ew, f.bounds[i], f.bounds[i+1], fn, &f.wg
+		t.panicked = nil
+	}
+	if w == 1 {
+		// Single worker: same fork/join machinery, no goroutine hop.
+		f.wg.Add(1)
+		runChunk(&f.tasks[0])
+	} else {
+		f.wg.Add(w)
+		for i := 0; i < w; i++ {
+			go runChunk(&f.tasks[i])
+		}
+		f.wg.Wait()
+	}
+	for i := 0; i < w; i++ {
+		if p := f.tasks[i].panicked; p != nil {
+			panic(p)
+		}
+	}
+	s.Join(f.ws)
+	stats := EpochStats{Placed: int64(n)}
+	for _, ew := range f.ws {
+		total, cross := ew.Refs()
+		stats.InputRefs += total
+		stats.CrossChunkRefs += cross
+	}
+	return stats
+}
+
+// PlaceAll replays n transactions through s in epochs of the given size —
+// the offline counterpart of the engine's batched streaming path, used by
+// benchmarks and experiment sweeps.
+func (f *Fan) PlaceAll(s Sharder, n, epoch int, fn InputsFunc) EpochStats {
+	if epoch < 1 {
+		epoch = n
+	}
+	var stats EpochStats
+	for done := 0; done < n; {
+		step := epoch
+		if n-done < step {
+			step = n - done
+		}
+		stats.Add(f.PlaceEpoch(s, step, fn))
+		done += step
+	}
+	return stats
+}
+
+// greedyWorker is Greedy's chunk-local epoch view: a private copy of the
+// shard tallies plus the chunk's own decisions. Cross-chunk input coverage
+// is skipped (and counted) — Greedy's drift source under parallelism.
+type greedyWorker struct {
+	g                *Greedy
+	base, start, end int
+	counts           []int64
+	coverage         []int
+	dec              []int32
+	refs, crossRefs  int64
+}
+
+// Place implements EpochWorker with the same fused eligible-argmax /
+// least-loaded fallback scan as the serial Greedy.Place.
+//
+//optchain:hotpath the parallel greedy chunk scan.
+func (w *greedyWorker) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	for j := range w.coverage {
+		w.coverage[j] = 0
+	}
+	for _, v := range inputs {
+		w.refs++
+		iv := int(v)
+		switch {
+		case iv >= w.start:
+			w.coverage[w.dec[iv-w.start]]++
+		case iv >= w.base:
+			w.crossRefs++ // concurrent chunk: coverage unknown, skipped
+		default:
+			w.coverage[w.g.a.shards[v]]++
+		}
+	}
+	best := -1
+	bestCov := 0
+	var bestCount int64
+	least := 0
+	leastCount := w.counts[0]
+	for j, c := range w.counts {
+		if c < leastCount {
+			least, leastCount = j, c
+		}
+		if c >= w.g.cap {
+			continue
+		}
+		if best == -1 || w.coverage[j] > bestCov ||
+			(w.coverage[j] == bestCov && c < bestCount) {
+			best, bestCov, bestCount = j, w.coverage[j], c
+		}
+	}
+	if best == -1 {
+		best = least
+	}
+	w.dec = append(w.dec, int32(best))
+	w.counts[best]++
+	return best
+}
+
+// Refs implements EpochWorker.
+func (w *greedyWorker) Refs() (int64, int64) { return w.refs, w.crossRefs }
+
+// Fork implements Sharder.
+func (g *Greedy) Fork(i, base, start, end int) EpochWorker {
+	for len(g.workers) <= i {
+		g.workers = append(g.workers, &greedyWorker{
+			g:        g,
+			counts:   make([]int64, g.a.k),
+			coverage: make([]int, g.a.k),
+		})
+	}
+	w := g.workers[i]
+	w.base, w.start, w.end = base, start, end
+	w.counts = append(w.counts[:0], g.a.counts...)
+	w.dec = w.dec[:0]
+	w.refs, w.crossRefs = 0, 0
+	return w
+}
+
+// Join implements Sharder.
+func (g *Greedy) Join(ws []EpochWorker) {
+	u := txgraph.Node(g.a.Len())
+	for _, ew := range ws {
+		w, ok := ew.(*greedyWorker)
+		if !ok {
+			panic(fmt.Sprintf("placement: Greedy.Join given %T", ew))
+		}
+		for _, s := range w.dec {
+			g.a.Place(u, int(s))
+			u++
+		}
+	}
+}
+
+// randomWorker is Random's epoch view. The hash placement is a pure
+// function of the stream position, so there is no frozen state and no
+// drift: Refs reports zero cross-chunk references by construction.
+type randomWorker struct {
+	r          *Random
+	start, end int
+	dec        []int32
+}
+
+// Place implements EpochWorker.
+//
+//optchain:hotpath the parallel hash-placement chunk loop.
+func (w *randomWorker) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	s := int(chain.TxID(int64(u)+1).Hash() % uint64(w.r.a.k))
+	w.dec = append(w.dec, int32(s))
+	return s
+}
+
+// Refs implements EpochWorker.
+func (w *randomWorker) Refs() (int64, int64) { return 0, 0 }
+
+// Fork implements Sharder.
+func (r *Random) Fork(i, base, start, end int) EpochWorker {
+	for len(r.workers) <= i {
+		r.workers = append(r.workers, &randomWorker{r: r})
+	}
+	w := r.workers[i]
+	w.start, w.end = start, end
+	w.dec = w.dec[:0]
+	return w
+}
+
+// Join implements Sharder.
+func (r *Random) Join(ws []EpochWorker) {
+	u := txgraph.Node(r.a.Len())
+	for _, ew := range ws {
+		w, ok := ew.(*randomWorker)
+		if !ok {
+			panic(fmt.Sprintf("placement: Random.Join given %T", ew))
+		}
+		for _, s := range w.dec {
+			r.a.Place(u, int(s))
+			u++
+		}
+	}
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Sharder = (*Greedy)(nil)
+	_ Sharder = (*Random)(nil)
+)

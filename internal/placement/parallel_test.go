@@ -1,0 +1,242 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"optchain/internal/txgraph"
+)
+
+func TestChunkBoundsCoverAndBalance(t *testing.T) {
+	cases := []struct {
+		base, n, workers int
+		want             []int
+	}{
+		{0, 10, 1, []int{0, 10}},
+		{0, 10, 2, []int{0, 5, 10}},
+		{0, 10, 3, []int{0, 4, 7, 10}},
+		{5, 7, 4, []int{5, 7, 9, 11, 12}},
+		{3, 4, 4, []int{3, 4, 5, 6, 7}},
+		{0, 1, 1, []int{0, 1}},
+		{0, 5, 0, []int{0, 5}}, // workers < 1 clamps to 1
+	}
+	var buf []int
+	for _, c := range cases {
+		buf = ChunkBounds(c.base, c.n, c.workers, buf)
+		if len(buf) != len(c.want) {
+			t.Fatalf("ChunkBounds(%d,%d,%d) = %v, want %v", c.base, c.n, c.workers, buf, c.want)
+		}
+		for i := range buf {
+			if buf[i] != c.want[i] {
+				t.Fatalf("ChunkBounds(%d,%d,%d) = %v, want %v", c.base, c.n, c.workers, buf, c.want)
+			}
+		}
+		// Invariants regardless of the expected literal: contiguous cover,
+		// chunk lengths within 1 of each other.
+		if buf[0] != c.base || buf[len(buf)-1] != c.base+c.n {
+			t.Fatalf("bounds %v do not cover [%d, %d)", buf, c.base, c.base+c.n)
+		}
+		minLen, maxLen := c.n, 0
+		for i := 0; i+1 < len(buf); i++ {
+			l := buf[i+1] - buf[i]
+			if l < minLen {
+				minLen = l
+			}
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen-minLen > 1 {
+			t.Fatalf("bounds %v unbalanced: chunk lengths span [%d, %d]", buf, minLen, maxLen)
+		}
+	}
+}
+
+// chainInputs builds an InputsFunc over a synthetic stream where transaction
+// u spends outputs of u-1 and u/2 (dense local and long-range references).
+func chainInputs(u int, buf []txgraph.Node) []txgraph.Node {
+	if u == 0 {
+		return buf
+	}
+	buf = append(buf, txgraph.Node(u-1))
+	if h := u / 2; h != u-1 {
+		buf = append(buf, txgraph.Node(h))
+	}
+	return buf
+}
+
+// serialDecisions drives a placer through n transactions with plain Place
+// calls and returns every decision.
+func serialDecisions(p Placer, n int) []int {
+	out := make([]int, n)
+	var buf []txgraph.Node
+	for u := 0; u < n; u++ {
+		buf = chainInputs(u, buf[:0])
+		out[u] = p.Place(txgraph.Node(u), buf)
+	}
+	return out
+}
+
+// One worker leaves the cross-chunk window empty, so epoch placement must be
+// bit-identical to the serial path for every Sharder.
+func TestPlaceEpochOneWorkerMatchesSerial(t *testing.T) {
+	const n, k = 600, 8
+	sharders := map[string]func() Sharder{
+		"Greedy": func() Sharder { return NewGreedy(k, n, 0.1) },
+		"Random": func() Sharder { return NewRandom(k, n) },
+	}
+	for name, mk := range sharders {
+		want := serialDecisions(mk().(Placer), n)
+		s := mk()
+		fan := NewFan(1)
+		stats := fan.PlaceAll(s, n, 128, chainInputs)
+		if stats.Placed != n {
+			t.Fatalf("%s: placed %d, want %d", name, stats.Placed, n)
+		}
+		if stats.CrossChunkRefs != 0 {
+			t.Fatalf("%s: one worker reported %d cross-chunk refs", name, stats.CrossChunkRefs)
+		}
+		a := s.Assignment()
+		if a.Len() != n {
+			t.Fatalf("%s: assignment holds %d, want %d", name, a.Len(), n)
+		}
+		for u := 0; u < n; u++ {
+			if got := a.ShardOf(txgraph.Node(u)); got != want[u] {
+				t.Fatalf("%s: decision %d differs: epoch=%d serial=%d", name, u, got, want[u])
+			}
+		}
+	}
+}
+
+// Multi-worker epochs must be deterministic: identical inputs and worker
+// count reproduce identical assignments, and the drift accounting is sane.
+func TestPlaceEpochParallelDeterministic(t *testing.T) {
+	const n, k, workers = 800, 8, 4
+	run := func() ([]int, EpochStats) {
+		g := NewGreedy(k, n, 0.1)
+		stats := NewFan(workers).PlaceAll(g, n, 200, chainInputs)
+		out := make([]int, n)
+		for u := range out {
+			out[u] = g.a.ShardOf(txgraph.Node(u))
+		}
+		return out, stats
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ between identical runs: %+v vs %+v", s1, s2)
+	}
+	for u := range d1 {
+		if d1[u] != d2[u] {
+			t.Fatalf("decision %d differs between identical runs: %d vs %d", u, d1[u], d2[u])
+		}
+	}
+	if s1.Placed != n {
+		t.Fatalf("placed %d, want %d", s1.Placed, n)
+	}
+	if s1.InputRefs == 0 {
+		t.Fatal("no input refs counted on a chained stream")
+	}
+	if s1.CrossChunkRefs == 0 {
+		t.Fatal("chained stream across 4 workers must produce cross-chunk refs")
+	}
+	if s1.CrossChunkRefs > s1.InputRefs {
+		t.Fatalf("cross-chunk refs %d exceed total refs %d", s1.CrossChunkRefs, s1.InputRefs)
+	}
+	if f := s1.CrossChunkFraction(); f <= 0 || f > 1 {
+		t.Fatalf("cross-chunk fraction %v out of (0, 1]", f)
+	}
+}
+
+// Random placement is a pure function of the stream position, so any worker
+// count yields the serial decisions exactly.
+func TestRandomParallelMatchesSerialAnyWorkers(t *testing.T) {
+	const n, k = 500, 8
+	want := serialDecisions(NewRandom(k, n), n)
+	for _, workers := range []int{2, 3, 7} {
+		r := NewRandom(k, n)
+		NewFan(workers).PlaceAll(r, n, 100, chainInputs)
+		for u := 0; u < n; u++ {
+			if got := r.a.ShardOf(txgraph.Node(u)); got != want[u] {
+				t.Fatalf("workers=%d: decision %d differs: %d vs %d", workers, u, got, want[u])
+			}
+		}
+	}
+}
+
+// Epochs shorter than the worker count shrink the fan instead of forking
+// empty chunks; a zero-length epoch is a no-op.
+func TestPlaceEpochShortTail(t *testing.T) {
+	const k = 4
+	g := NewGreedy(k, 10, 0.1)
+	fan := NewFan(8)
+	if stats := fan.PlaceEpoch(g, 0, chainInputs); stats != (EpochStats{}) {
+		t.Fatalf("empty epoch returned %+v", stats)
+	}
+	stats := fan.PlaceEpoch(g, 3, chainInputs)
+	if stats.Placed != 3 || g.a.Len() != 3 {
+		t.Fatalf("short epoch: stats=%+v len=%d", stats, g.a.Len())
+	}
+	// The next epoch continues from the committed prefix.
+	fan.PlaceEpoch(g, 5, chainInputs)
+	if g.a.Len() != 8 {
+		t.Fatalf("second epoch: len=%d, want 8", g.a.Len())
+	}
+}
+
+// panicSharder wraps Greedy with workers that panic at a chosen position.
+type panicSharder struct {
+	*Greedy
+	at int
+}
+
+type panicWorker struct {
+	EpochWorker
+	at int
+}
+
+func (w panicWorker) Place(u txgraph.Node, inputs []txgraph.Node) int {
+	if int(u) == w.at {
+		panic(fmt.Sprintf("boom at %d", u))
+	}
+	return w.EpochWorker.Place(u, inputs)
+}
+
+func (p *panicSharder) Fork(i, base, start, end int) EpochWorker {
+	return panicWorker{p.Greedy.Fork(i, base, start, end), p.at}
+}
+
+// A worker panic propagates to the PlaceEpoch caller before the join, so the
+// shared assignment stays at the pre-epoch prefix.
+func TestPlaceEpochPropagatesWorkerPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g := NewGreedy(4, 100, 0.1)
+		NewFan(workers).PlaceEpoch(g, 10, chainInputs) // committed prefix
+		ps := &panicSharder{Greedy: g, at: 15}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: worker panic did not propagate", workers)
+				}
+			}()
+			NewFan(workers).PlaceEpoch(ps, 20, chainInputs)
+		}()
+		if g.a.Len() != 10 {
+			t.Fatalf("workers=%d: panicked epoch leaked %d placements past the prefix",
+				workers, g.a.Len()-10)
+		}
+		// The placer remains usable after the aborted epoch.
+		NewFan(workers).PlaceEpoch(g, 5, chainInputs)
+		if g.a.Len() != 15 {
+			t.Fatalf("workers=%d: post-panic epoch: len=%d, want 15", workers, g.a.Len())
+		}
+	}
+}
+
+// Join must reject workers from a different Sharder type loudly.
+func TestJoinRejectsForeignWorkers(t *testing.T) {
+	g := NewGreedy(4, 10, 0.1)
+	r := NewRandom(4, 10)
+	rw := r.Fork(0, 0, 0, 1)
+	mustPanic(t, func() { g.Join([]EpochWorker{rw}) })
+}
