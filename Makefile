@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt fmt-check lint bench-smoke bench-json bench-scaling examples scenario-smoke fuzz-smoke sweep-smoke docs-check ci
+.PHONY: all build test test-race vet fmt fmt-check lint lint-json bench-smoke bench-json bench-scaling examples scenario-smoke fuzz-smoke sweep-smoke docs-check ci
 
 all: build
 
@@ -13,9 +13,11 @@ test:
 	$(GO) test ./...
 
 # Race detector across the whole module — including the experiment layer's
-# Runner fan-out and cancellation paths. -failfast stops on the first racy
-# package; the timeout converts a goroutine deadlock into a stack dump
-# instead of a hung CI job.
+# Runner fan-out and cancellation paths, and the analyzer corpus + self-lint
+# suites in internal/analyze (nothing there is -short-gated, so the corpora
+# run under -race here too). -failfast stops on the first racy package; the
+# timeout converts a goroutine deadlock into a stack dump instead of a hung
+# CI job.
 test-race:
 	$(GO) test -race -failfast -timeout 10m ./...
 
@@ -23,9 +25,10 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific contract enforcement: the optchain-lint suite (determinism,
-# hotpath, lockcheck, apierrors — see PERFORMANCE.md "Static analysis &
-# contracts"). staticcheck and govulncheck run when installed (CI installs
-# pinned versions; locally they are optional extras, not requirements).
+# hotpath, lockcheck, apierrors, forkpurity, spawncheck, ctxcheck,
+# atomiccheck — see PERFORMANCE.md "Static analysis & contracts").
+# staticcheck and govulncheck run when installed (CI installs pinned
+# versions; locally they are optional extras, not requirements).
 lint:
 	$(GO) run ./cmd/optchain-lint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -34,6 +37,13 @@ lint:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		echo "govulncheck ./..."; govulncheck ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
+# Machine-readable lint report (schema optchain-lint/v1): same findings as
+# `make lint`, rendered as stable JSON in lint-findings.json. CI archives
+# the file as an artifact and fails on a non-empty findings array. Exits
+# non-zero when there are findings, like lint.
+lint-json:
+	$(GO) run ./cmd/optchain-lint -json -out lint-findings.json ./...
 
 fmt:
 	gofmt -w .

@@ -7,6 +7,7 @@
 package optchain_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -32,7 +33,7 @@ func runExperiment(b *testing.B, name string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
-		if err := bench.Experiments[name](h, io.Discard); err != nil {
+		if err := bench.Experiments[name](context.Background(), h, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -58,11 +58,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"time"
 
 	"optchain"
 	"optchain/experiment"
+	"optchain/internal/bench"
 	"optchain/internal/profiling"
 )
 
@@ -183,6 +185,11 @@ func run() int {
 
 	h := optchain.NewBenchHarness(params)
 
+	// One interrupt context for every mode: Ctrl-C cancels the experiment,
+	// sweep, or baseline run between cells instead of killing mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
@@ -201,7 +208,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
 			return 1
 		}
-		err = optchain.WriteBenchBaseline(h, f)
+		err = optchain.WriteBenchBaseline(ctx, h, f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -214,7 +221,7 @@ func run() int {
 	}
 
 	if *sweep != "" {
-		if err := runSweep(h, *sweep, *reporter, *out); err != nil {
+		if err := runSweep(ctx, h, *sweep, *reporter, *out); err != nil {
 			fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
 			return 1
 		}
@@ -227,9 +234,9 @@ func run() int {
 		name = "all"
 	}
 	if name == "all" {
-		err = optchain.RunAllExperiments(h, os.Stdout)
+		err = optchain.RunAllExperiments(ctx, h, os.Stdout)
 	} else {
-		err = optchain.RunExperiment(h, name, os.Stdout)
+		err = optchain.RunExperiment(ctx, h, name, os.Stdout)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
@@ -240,15 +247,20 @@ func run() int {
 }
 
 // runSweep streams one registered sweep through the selected reporter.
-// Ctrl-C cancels the sweep; rows completed before the interrupt are
-// flushed to the reporter before the error is reported.
-func runSweep(h interface {
+// Cancelling ctx (Ctrl-C) stops the sweep; rows completed before the
+// interrupt are flushed to the reporter before the error is reported.
+func runSweep(ctx context.Context, h interface {
 	Report(ctx context.Context, s experiment.Sweep, rep experiment.Reporter) error
 	Params() experiment.Params
 }, name, reporterSpec, outPath string) (err error) {
 	s, err := experiment.BuildSweep(name, h.Params())
 	if err != nil {
 		return err
+	}
+	// A parallelism sweep on a one-core host can only show a flat speedup
+	// curve; say so up front instead of letting the numbers mislead.
+	if len(s.Parallelisms) > 0 && runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintf(os.Stderr, "optchain-bench: warning: %s\n", bench.SingleCoreNote)
 	}
 	if reporterSpec == "" {
 		reporterSpec = "text"
@@ -277,7 +289,5 @@ func runSweep(h interface {
 	if err != nil {
 		return err
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	return h.Report(ctx, s, rep)
 }

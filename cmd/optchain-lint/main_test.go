@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optchain/internal/analyze"
+)
+
+// TestJSONByteStable: the -json document must be byte-identical across runs
+// on an unchanged tree — CI archives it and diffs against the previous
+// artifact, so any nondeterminism (map order, absolute paths, timestamps)
+// would show up as spurious churn.
+func TestJSONByteStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("package load in -short mode")
+	}
+	render := func() []byte {
+		var out, errBuf bytes.Buffer
+		code := run(&out, &errBuf, []string{"-json", "../../internal/des"})
+		if code == 2 {
+			t.Fatalf("lint errored: %s", errBuf.String())
+		}
+		return out.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two -json runs differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(a, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, a)
+	}
+	if rep.Schema != "optchain-lint/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Findings == nil {
+		t.Fatal("findings must be [] even when clean, never null")
+	}
+}
+
+// TestWriteJSONPaths: finding paths are repo-relative with forward slashes,
+// so the same tree produces the same report on any host or OS.
+func TestWriteJSONPaths(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []analyze.Diagnostic{
+		{
+			Analyzer: "spawncheck",
+			Pos: token.Position{
+				Filename: filepath.Join(cwd, "sub", "dir", "f.go"),
+				Line:     7,
+				Column:   3,
+			},
+			Message: "spawns an unjoined goroutine",
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings = %+v", rep.Findings)
+	}
+	f := rep.Findings[0]
+	if f.File != "sub/dir/f.go" {
+		t.Fatalf("file = %q, want repo-relative slash path", f.File)
+	}
+	if f.Analyzer != "spawncheck" || f.Line != 7 || f.Col != 3 {
+		t.Fatalf("finding = %+v", f)
+	}
+	if strings.Contains(buf.String(), cwd) {
+		t.Fatalf("report leaks the absolute tree location:\n%s", buf.String())
+	}
+}

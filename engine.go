@@ -937,7 +937,8 @@ const defaultRunTxs = 20_000
 // observable mid-run through WithProgress and MetricsSnapshot.
 func (e *Engine) Run(ctx context.Context) (*SimResult, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		// Documented nil-ctx convenience: run to completion, uncancellable.
+		ctx = context.Background() //optchain:background
 	}
 	e.mu.Lock()
 	if e.running {

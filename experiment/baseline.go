@@ -49,6 +49,11 @@ type Baseline struct {
 	// GOMAXPROCS above records how many cores the host could actually give
 	// the fan-out.
 	Parallel []BaselineParallel `json:"parallel"`
+	// ParallelNote qualifies the Parallel section when the host cannot
+	// demonstrate scaling — set to an explicit warning when GOMAXPROCS is 1
+	// (the speedup column then measures fan-out overhead, not parallelism).
+	// Empty on multi-core hosts; optional within schema v5.
+	ParallelNote string `json:"parallel_note,omitempty"`
 }
 
 // BaselineParallel is one worker count of the parallel placement scaling
@@ -165,6 +170,10 @@ func (b *BaselineReporter) SetMicro(items []BaselineItem) { b.b.Micro = items }
 // SetParallel attaches the concurrent-placement scaling section (collected
 // by internal/bench alongside the micro rows).
 func (b *BaselineReporter) SetParallel(items []BaselineParallel) { b.b.Parallel = items }
+
+// SetParallelNote attaches a host qualification to the Parallel section
+// (e.g. the single-core warning; see Baseline.ParallelNote).
+func (b *BaselineReporter) SetParallelNote(note string) { b.b.ParallelNote = note }
 
 // Baseline returns the record accumulated so far — for callers that want
 // the data without writing it (End writes).

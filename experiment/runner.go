@@ -370,7 +370,8 @@ func (r *Runner) runSimCell(ctx context.Context, c Cell) (Row, error) {
 func (r *Runner) Stream(ctx context.Context, s Sweep) iter.Seq2[Row, error] {
 	return func(yield func(Row, error) bool) {
 		if ctx == nil {
-			ctx = context.Background()
+			// Documented nil-ctx convenience: run the sweep uncancellable.
+			ctx = context.Background() //optchain:background
 		}
 		cells, err := s.expand(r.p)
 		if err != nil {
@@ -381,6 +382,7 @@ func (r *Runner) Stream(ctx context.Context, s Sweep) iter.Seq2[Row, error] {
 		n := len(cells)
 		rows := make([]Row, n)
 		errs := make([]error, n)
+		panics := make([]any, n)
 		done := make([]chan struct{}, n)
 		for i := range done {
 			done[i] = make(chan struct{})
@@ -412,7 +414,18 @@ func (r *Runner) Stream(ctx context.Context, s Sweep) iter.Seq2[Row, error] {
 					if err := cctx.Err(); err != nil {
 						errs[i] = err
 					} else {
-						rows[i], errs[i] = r.Cell(cctx, cells[i])
+						// A panicking cell must not kill the process from a
+						// worker goroutine: capture it and re-raise on the
+						// consuming goroutine once this cell's done channel
+						// closes (close is the happens-before edge).
+						func() {
+							defer func() {
+								if p := recover(); p != nil {
+									panics[i] = p
+								}
+							}()
+							rows[i], errs[i] = r.Cell(cctx, cells[i])
+						}()
 					}
 					close(done[i])
 				}
@@ -432,6 +445,11 @@ func (r *Runner) Stream(ctx context.Context, s Sweep) iter.Seq2[Row, error] {
 					yield(Row{}, ctx.Err())
 					return
 				}
+			}
+			if panics[i] != nil {
+				// Re-raise a captured worker panic on the consuming
+				// goroutine — forwarding, not a new failure mode.
+				panic(panics[i]) //optchain:fatal
 			}
 			if errs[i] != nil {
 				yield(Row{}, fmt.Errorf("sweep %q cell %d (%s): %w", s.Name, i, cells[i].id(r.p), errs[i]))

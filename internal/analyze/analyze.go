@@ -1,8 +1,12 @@
-// Package analyze is the repository's static-analysis layer: four custom
+// Package analyze is the repository's static-analysis layer: eight custom
 // analyzers that machine-check the contracts the rest of the codebase only
 // documents — bit-reproducible placement (determinism), allocation-free hot
-// paths (hotpath), mutex discipline on shared engine state (lockcheck), and
-// the typed-error surface of the exported API (apierrors).
+// paths (hotpath), mutex discipline on shared engine state (lockcheck), the
+// typed-error surface of the exported API (apierrors), and the
+// concurrency-contract pack: copy-don't-alias worker construction
+// (forkpurity), joined-and-recovered goroutines (spawncheck), caller-context
+// propagation (ctxcheck), and all-or-nothing sync/atomic field access
+// (atomiccheck).
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, diagnostics, an analysistest-style corpus runner) but is
@@ -21,6 +25,11 @@
 //	                        amortized growth)
 //	//optchain:fatal        deliberate panic in exported API: an invariant
 //	                        guard for programmer error, never user input
+//	//optchain:fork         constructor builds per-worker state and must obey
+//	                        forkpurity's copy-don't-alias contract
+//	//optchain:detached     this goroutine is deliberately fire-and-forget
+//	//optchain:background   this context.Background() is a documented root,
+//	                        not a severed caller context
 //	// guarded by <mu>      struct field only touched while <mu> is held
 //
 // Each marker must carry a justification in the rest of the comment; the
@@ -118,6 +127,23 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	}
 	sortDiagnostics(out)
 	return out, nil
+}
+
+// Verbs lists every recognized //optchain:<verb> annotation, in stable
+// order — the grammar the package doc and PERFORMANCE.md document. The docs
+// test keeps PERFORMANCE.md honest against this list.
+func Verbs() []string {
+	return []string{
+		"alloc-ok",
+		"background",
+		"detached",
+		"fatal",
+		"fork",
+		"hotpath",
+		"locked",
+		"unordered",
+		"wallclock",
+	}
 }
 
 // markerRe extracts //optchain:<verb> markers. The verb may be followed by a

@@ -1,0 +1,101 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomiccheck enforces atomic-access consistency: a struct field that is
+// accessed through the sync/atomic package-level functions anywhere
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.flag), ...) must be
+// accessed that way everywhere. A mixed plain read or write of such a field
+// is a data race the race detector only catches when the schedule cooperates;
+// the analyzer catches it structurally. Accesses through values the function
+// itself just constructed are exempt (the lockcheck fresh-value rule: a
+// not-yet-shared struct has no concurrent readers). Typed atomics
+// (atomic.Int64 and friends) are immune by construction and preferred — the
+// finding message points migrations there.
+var Atomiccheck = &Analyzer{
+	Name: "atomiccheck",
+	Doc:  "verify struct fields touched via sync/atomic are accessed atomically everywhere (no mixed plain access)",
+	Run:  runAtomiccheck,
+}
+
+func runAtomiccheck(pass *Pass) error {
+	fields, atomicUses := collectAtomicFields(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fresh := freshLocals(pass, fn.Body)
+			name := funcName(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pass.Info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal || !fields[s.Obj()] {
+					return true
+				}
+				if atomicUses[sel] {
+					return true
+				}
+				if base := rootIdent(sel.X); base != nil {
+					if obj := pass.Info.ObjectOf(base); obj != nil && fresh[obj] {
+						return true // constructing a not-yet-shared value
+					}
+				}
+				pass.Reportf(sel.Sel.Pos(), "%s accesses %s.%s non-atomically, but the field is accessed via sync/atomic elsewhere; use atomic operations everywhere (or migrate the field to a typed atomic.Int64/Uint32/...)",
+					name, exprString(sel.X), s.Obj().Name())
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectAtomicFields finds every struct field whose address is passed to a
+// sync/atomic package-level function, returning the field objects and the
+// exact selector nodes of those sanctioned atomic uses.
+func collectAtomicFields(pass *Pass) (map[types.Object]bool, map[*ast.SelectorExpr]bool) {
+	fields := make(map[types.Object]bool)
+	uses := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-atomic methods are safe by construction
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+					fields[s.Obj()] = true
+					uses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields, uses
+}

@@ -1,0 +1,94 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxcheck enforces context propagation in library packages: a blocking or
+// cancellable API takes the caller's context.Context and threads it, never
+// minting its own root. Two findings:
+//
+//  1. context.Background() or context.TODO() in a library package — a new
+//     root context severs the caller's cancellation, so Ctrl-C stops
+//     nothing below that line. Documented fallbacks (a nil-ctx convenience
+//     path such as Engine.Run's) carry //optchain:background with a
+//     justification on the call line.
+//  2. An exported function that accepts a named context.Context parameter
+//     but never uses it — an API that promises cancellation and ignores
+//     it. Renaming the parameter to _ makes the non-promise explicit.
+//
+// Package main is exempt: binaries own the process and legitimately create
+// root contexts (signal.NotifyContext at the top of run()).
+var Ctxcheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "verify library code threads the caller's context.Context instead of minting roots; //optchain:background documents fallbacks",
+	Run:  runCtxcheck,
+}
+
+func runCtxcheck(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, name := range [2]string{"Background", "TODO"} {
+				if isPkgFunc(pass.Info, call, "context", name) && !pass.Ann.Marked(call.Pos(), "background") {
+					pass.Reportf(call.Pos(), "context.%s() in a library package severs the caller's cancellation; thread the caller's ctx, or annotate //optchain:background at a documented fallback", name)
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			checkCtxThreaded(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkCtxThreaded flags exported functions that bind a context.Context
+// parameter to a name and then never read it.
+func checkCtxThreaded(pass *Pass, fn *ast.FuncDecl) {
+	for _, p := range fn.Type.Params.List {
+		if !isContextType(pass.Info.TypeOf(p.Type)) {
+			continue
+		}
+		for _, name := range p.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(name.Pos(), "%s accepts %s context.Context but never uses it; thread it into the blocking work or rename the parameter to _", funcName(fn), name.Name)
+			}
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

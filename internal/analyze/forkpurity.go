@@ -1,0 +1,376 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Forkpurity enforces the fork-isolation contract of the epoch-parallel
+// placement core: implementations of placement.Sharder.Fork (any method
+// named Fork) and constructors annotated //optchain:fork must hand every
+// worker its own mutable state. A slice or map reachable from the receiver
+// (or, for annotated constructors, from a shared parameter) must not be
+// aliased into worker state: it must be deep-copied — append onto a
+// worker-owned or nil buffer, slices.Clone, maps.Clone, copy — or freshly
+// allocated with make or a composite literal.
+//
+// Reading shared state is fine (element loads, len/cap, ranging to copy),
+// and so is the worker's back-pointer to the receiver itself: that is the
+// frozen pre-epoch snapshot workers read, never write, during the epoch.
+// What the analyzer flags is a shared backing array or map escaping into
+// chunk-local state — an assignment, composite-literal field, return value,
+// channel send, or unrecognized call argument — where one worker's writes
+// would corrupt a concurrent sibling's view. The taint set closes over
+// pointer- and struct-typed locals derived from the receiver (w :=
+// g.workers[i] makes w's fields receiver state too), so the cached-worker
+// shape the real Sharders use is analyzed, not bypassed.
+var Forkpurity = &Analyzer{
+	Name: "forkpurity",
+	Doc:  "verify Fork methods and //optchain:fork constructors copy, never alias, shared slices and maps into worker state",
+	Run:  runForkpurity,
+}
+
+func runForkpurity(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			marked := FuncMarked(fn, "fork")
+			if !marked && (fn.Recv == nil || fn.Name.Name != "Fork") {
+				continue
+			}
+			c := &forkChecker{pass: pass, name: funcName(fn), sources: newObjSet()}
+			if fn.Recv != nil && len(fn.Recv.List) > 0 {
+				for _, name := range fn.Recv.List[0].Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						c.sources[obj] = true
+					}
+				}
+			}
+			if marked {
+				// Annotated constructors share nothing they were handed:
+				// pointer-shaped parameters are shared inputs too.
+				for _, p := range fn.Type.Params.List {
+					for _, name := range p.Names {
+						if obj := pass.Info.Defs[name]; obj != nil && sharedKind(obj.Type()) {
+							c.sources[obj] = true
+						}
+					}
+				}
+			}
+			c.taint(fn.Body)
+			c.scanStmts(fn.Body.List)
+		}
+	}
+	return nil
+}
+
+// sharedKind reports whether a value of type t can carry shared mutable
+// state by reference: slices, maps, pointers, and struct values (whose
+// reference-shaped fields alias even through a copy).
+func sharedKind(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Struct:
+		return true
+	}
+	return false
+}
+
+type forkChecker struct {
+	pass *Pass
+	name string
+	// sources are the objects whose reachable slices/maps are shared: the
+	// receiver, annotated-constructor parameters, and the taint closure of
+	// pointer/struct locals derived from them.
+	sources objSet
+}
+
+// taint closes sources over locals bound to pointer- or struct-typed views
+// of a source (w := g.workers[i]; a := g.a). Slice/map-typed derivations are
+// deliberately not tainted — binding one to a fresh local is already the
+// aliasing this analyzer reports.
+func (c *forkChecker) taint(body *ast.BlockStmt) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok || len(a.Lhs) != len(a.Rhs) {
+				return true
+			}
+			for i, lhs := range a.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.Info.Defs[id]
+				if obj == nil {
+					obj = c.pass.Info.Uses[id]
+				}
+				if obj == nil || c.sources[obj] {
+					continue
+				}
+				rhs := a.Rhs[i]
+				if !c.sourceRooted(rhs) || isFreshExpr(c.pass, rhs) {
+					continue
+				}
+				switch c.pass.Info.TypeOf(rhs).Underlying().(type) {
+				case *types.Pointer, *types.Struct:
+					c.sources[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// forkRoot walks selector/index/slice chains (g.a.counts[i][:n]) down to the
+// base identifier, or nil.
+func forkRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *forkChecker) sourceRooted(e ast.Expr) bool {
+	root := forkRoot(e)
+	if root == nil {
+		return false
+	}
+	obj := c.pass.Info.ObjectOf(root)
+	return obj != nil && c.sources[obj]
+}
+
+// isSharedRef reports whether e denotes a slice or map whose backing store
+// belongs to a source — the expressions that must not escape uncopied.
+func (c *forkChecker) isSharedRef(e ast.Expr) bool {
+	t := c.pass.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return c.sourceRooted(e)
+	}
+	return false
+}
+
+func (c *forkChecker) report(e ast.Expr) {
+	c.pass.Reportf(e.Pos(), "%s aliases %s into forked worker state without copying; clone it (append onto a fresh/nil buffer, slices.Clone, maps.Clone, copy) or allocate fresh with make",
+		c.name, exprString(e))
+}
+
+func (c *forkChecker) scanStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		c.scanStmt(s)
+	}
+}
+
+func (c *forkChecker) scanStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		// A shared slice/map on the right escapes unless every destination
+		// is itself source-owned (the receiver updating its own caches:
+		// g.workers = append(g.workers, ...)).
+		lhsOwned := len(s.Lhs) > 0
+		for _, l := range s.Lhs {
+			if !c.sourceRooted(l) {
+				lhsOwned = false
+				break
+			}
+		}
+		for _, l := range s.Lhs {
+			c.scanExpr(l, false)
+		}
+		for _, r := range s.Rhs {
+			c.scanExpr(r, !lhsOwned)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, true)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.scanExpr(r, true)
+		}
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, false)
+		c.scanExpr(s.Value, true)
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, false)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, false)
+	case *ast.IfStmt:
+		c.scanStmt(s.Init)
+		c.scanExpr(s.Cond, false)
+		c.scanStmts(s.Body.List)
+		c.scanStmt(s.Else)
+	case *ast.ForStmt:
+		c.scanStmt(s.Init)
+		c.scanExpr(s.Cond, false)
+		c.scanStmt(s.Post)
+		c.scanStmts(s.Body.List)
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, false) // ranging reads elements; copies happen per element
+		c.scanStmts(s.Body.List)
+	case *ast.BlockStmt:
+		c.scanStmts(s.List)
+	case *ast.LabeledStmt:
+		c.scanStmt(s.Stmt)
+	case *ast.SwitchStmt:
+		c.scanStmt(s.Init)
+		c.scanExpr(s.Tag, false)
+		c.scanClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.scanStmt(s.Init)
+		c.scanStmt(s.Assign)
+		c.scanClauses(s.Body)
+	case *ast.SelectStmt:
+		c.scanClauses(s.Body)
+	case *ast.GoStmt:
+		// Arguments handed to a spawned goroutine escape by definition.
+		c.scanExpr(s.Call.Fun, false)
+		for _, a := range s.Call.Args {
+			c.scanExpr(a, true)
+		}
+	case *ast.DeferStmt:
+		c.scanExpr(s.Call, false)
+	}
+}
+
+func (c *forkChecker) scanClauses(body *ast.BlockStmt) {
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.scanExpr(e, false)
+			}
+			c.scanStmts(cl.Body)
+		case *ast.CommClause:
+			c.scanStmt(cl.Comm)
+			c.scanStmts(cl.Body)
+		}
+	}
+}
+
+// scanExpr walks e; escape marks contexts where a shared slice/map would be
+// retained by worker state (assignment to non-source destinations, returns,
+// composite-literal fields, sends, unrecognized call arguments).
+func (c *forkChecker) scanExpr(e ast.Expr, escape bool) {
+	if e == nil {
+		return
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr:
+		if escape && c.isSharedRef(x) {
+			c.report(x)
+		}
+	case *ast.IndexExpr:
+		// An element load is a read; the element itself may still be a
+		// shared reference ([][]int rows).
+		if escape && c.isSharedRef(x) {
+			c.report(x)
+			return
+		}
+		c.scanExpr(x.X, false)
+		c.scanExpr(x.Index, false)
+	case *ast.SliceExpr:
+		if escape && c.isSharedRef(x) {
+			c.report(x)
+			return
+		}
+		c.scanExpr(x.X, false)
+		c.scanExpr(x.Low, false)
+		c.scanExpr(x.High, false)
+		c.scanExpr(x.Max, false)
+	case *ast.CallExpr:
+		c.scanCall(x, escape)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				c.scanExpr(kv.Key, false)
+				v = kv.Value
+			}
+			c.scanExpr(v, true)
+		}
+	case *ast.UnaryExpr:
+		c.scanExpr(x.X, escape) // &g.buf escapes exactly as g.buf does
+	case *ast.BinaryExpr:
+		c.scanExpr(x.X, false) // slices/maps only compare against nil
+		c.scanExpr(x.Y, false)
+	case *ast.TypeAssertExpr:
+		c.scanExpr(x.X, escape)
+	case *ast.FuncLit:
+		c.scanStmts(x.Body.List) // closures capture the same sources
+	}
+}
+
+// scanCall applies the copy-function whitelist. append/copy/clone read their
+// shared arguments to produce a fresh store; anything unrecognized may
+// retain them.
+func (c *forkChecker) scanCall(call *ast.CallExpr, escape bool) {
+	info := c.pass.Info
+	switch {
+	case isBuiltin(info, call, "append"):
+		// append(dst, src...) copies src, but extends dst's backing array —
+		// a shared dst is only safe when the result lands back in
+		// source-owned state (escape=false here means exactly that).
+		if len(call.Args) > 0 {
+			if c.isSharedRef(call.Args[0]) {
+				if escape {
+					c.report(call.Args[0])
+				}
+			} else {
+				c.scanExpr(call.Args[0], escape)
+			}
+			for _, a := range call.Args[1:] {
+				if !c.isSharedRef(a) {
+					c.scanExpr(a, false)
+				}
+			}
+		}
+	case isBuiltin(info, call, "copy"), isBuiltin(info, call, "len"),
+		isBuiltin(info, call, "cap"), isBuiltin(info, call, "delete"),
+		isBuiltin(info, call, "clear"),
+		isPkgFunc(info, call, "slices", "Clone"),
+		isPkgFunc(info, call, "slices", "Concat"),
+		isPkgFunc(info, call, "maps", "Clone"):
+		for _, a := range call.Args {
+			if !c.isSharedRef(a) {
+				c.scanExpr(a, false)
+			}
+		}
+	case isBuiltin(info, call, "make"), isBuiltin(info, call, "new"):
+		for _, a := range call.Args {
+			c.scanExpr(a, false) // type + size expressions
+		}
+	default:
+		c.scanExpr(call.Fun, false)
+		for _, a := range call.Args {
+			c.scanExpr(a, true)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package analyze
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 )
@@ -49,8 +48,8 @@ func runLockcheck(pass *Pass) error {
 				continue // contract: caller holds the mutex (covers nested literals)
 			}
 			c := &lockChecker{pass: pass, guards: guards, name: funcName(fn)}
-			c.collectFresh(fn.Body)
-			c.scanBlock(fn.Body, newHeldSet())
+			c.fresh = freshLocals(pass, fn.Body)
+			c.scanBlock(fn.Body, newObjSet())
 		}
 	}
 	return nil
@@ -133,66 +132,15 @@ func structFieldOf(t types.Type, name string) types.Object {
 	return nil
 }
 
-// heldSet tracks which mutex objects are held at a program point.
-type heldSet map[types.Object]bool
-
-func newHeldSet() heldSet { return make(heldSet) }
-
-func (h heldSet) clone() heldSet {
-	c := make(heldSet, len(h))
-	for k, v := range h {
-		c[k] = v
-	}
-	return c
-}
-
 type lockChecker struct {
 	pass   *Pass
 	guards map[types.Object]guardInfo
 	name   string
 	// fresh holds locals initialized from composite literals or new() in
-	// this function: values not yet visible to other goroutines, so their
-	// guarded fields may be touched lock-free (constructors).
+	// this function (see freshLocals in cfg.go): values not yet visible to
+	// other goroutines, so their guarded fields may be touched lock-free
+	// (constructors).
 	fresh map[types.Object]bool
-}
-
-// collectFresh records locals assigned from &T{...}, T{...}, or new(T).
-func (c *lockChecker) collectFresh(body *ast.BlockStmt) {
-	c.fresh = make(map[types.Object]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		a, ok := n.(*ast.AssignStmt)
-		if !ok || a.Tok != token.DEFINE {
-			return true
-		}
-		for i, lhs := range a.Lhs {
-			if i >= len(a.Rhs) {
-				break
-			}
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			if isFreshExpr(c.pass, a.Rhs[i]) {
-				if obj := c.pass.Info.Defs[id]; obj != nil {
-					c.fresh[obj] = true
-				}
-			}
-		}
-		return true
-	})
-}
-
-func isFreshExpr(pass *Pass, e ast.Expr) bool {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.CompositeLit:
-		return true
-	case *ast.UnaryExpr:
-		_, lit := ast.Unparen(e.X).(*ast.CompositeLit)
-		return lit
-	case *ast.CallExpr:
-		return isBuiltin(pass.Info, e, "new")
-	}
-	return false
 }
 
 // mutexOpObj resolves <expr>.<mu>.Lock/Unlock-style calls to the mutex field
@@ -222,14 +170,14 @@ func (c *lockChecker) mutexOp(call *ast.CallExpr) (types.Object, string) {
 // scanBlock walks statements in order, threading the held-set. Returns true
 // when the block terminates (return/panic/goto): its lock-state changes then
 // never reach the code after the enclosing branch.
-func (c *lockChecker) scanBlock(b *ast.BlockStmt, held heldSet) bool {
+func (c *lockChecker) scanBlock(b *ast.BlockStmt, held objSet) bool {
 	if b == nil {
 		return false
 	}
 	return c.scanStmts(b.List, held)
 }
 
-func (c *lockChecker) scanStmts(stmts []ast.Stmt, held heldSet) bool {
+func (c *lockChecker) scanStmts(stmts []ast.Stmt, held objSet) bool {
 	for _, s := range stmts {
 		if c.scanStmt(s, held) {
 			return true
@@ -240,7 +188,7 @@ func (c *lockChecker) scanStmts(stmts []ast.Stmt, held heldSet) bool {
 
 // scanStmt checks one statement's accesses against held, applies its lock
 // effects, and reports whether it terminates the enclosing block.
-func (c *lockChecker) scanStmt(s ast.Stmt, held heldSet) bool {
+func (c *lockChecker) scanStmt(s ast.Stmt, held objSet) bool {
 	switch s := s.(type) {
 	case nil:
 		return false
@@ -352,7 +300,7 @@ func (c *lockChecker) scanStmt(s ast.Stmt, held heldSet) bool {
 		return c.scanStmt(s.Stmt, held)
 	case *ast.GoStmt:
 		// The spawned goroutine does not inherit the spawner's lock.
-		c.checkAccessesWith(s.Call, newHeldSet())
+		c.checkAccessesWith(s.Call, newObjSet())
 		return false
 	default:
 		c.checkAccesses(s, held)
@@ -360,32 +308,11 @@ func (c *lockChecker) scanStmt(s ast.Stmt, held heldSet) bool {
 	}
 }
 
-func replace(dst, src heldSet) {
-	for k := range dst {
-		delete(dst, k)
-	}
-	for k, v := range src {
-		dst[k] = v
-	}
-}
-
-// intersect sets dst to the mutexes held in both branches.
-func intersect(dst, a, b heldSet) {
-	for k := range dst {
-		delete(dst, k)
-	}
-	for k, v := range a {
-		if v && b[k] {
-			dst[k] = true
-		}
-	}
-}
-
-func (c *lockChecker) checkAccesses(n ast.Node, held heldSet) {
+func (c *lockChecker) checkAccesses(n ast.Node, held objSet) {
 	c.checkAccessesWith(n, held)
 }
 
-func (c *lockChecker) checkAccessesExpr(e ast.Expr, held heldSet) {
+func (c *lockChecker) checkAccessesExpr(e ast.Expr, held objSet) {
 	if e != nil {
 		c.checkAccessesWith(e, held)
 	}
@@ -395,12 +322,12 @@ func (c *lockChecker) checkAccessesExpr(e ast.Expr, held heldSet) {
 // not covered by the held set. Function literals are scanned as their own
 // scopes (they may run later, on another goroutine) unless annotated
 // //optchain:locked — then they inherit the documented caller contract.
-func (c *lockChecker) checkAccessesWith(n ast.Node, held heldSet) {
+func (c *lockChecker) checkAccessesWith(n ast.Node, held objSet) {
 	ast.Inspect(n, func(x ast.Node) bool {
 		switch x := x.(type) {
 		case *ast.FuncLit:
 			if !c.pass.Ann.Marked(x.Pos(), "locked") {
-				c.scanBlock(x.Body, newHeldSet())
+				c.scanBlock(x.Body, newObjSet())
 			}
 			return false
 		case *ast.SelectorExpr:

@@ -51,6 +51,16 @@ func TestPolicyRouting(t *testing.T) {
 		{"optchain/internal/analyze", "lockcheck", true},
 		{"optchain/cmd/optchain-bench", "determinism", false},
 		{"optchain/cmd/optchain-bench", "apierrors", false},
+		// The concurrency-contract pack routes everywhere; spawncheck and
+		// ctxcheck additionally no-op inside package main at run time.
+		{"optchain", "forkpurity", true},
+		{"optchain", "spawncheck", true},
+		{"optchain", "ctxcheck", true},
+		{"optchain", "atomiccheck", true},
+		{"optchain/internal/placement", "forkpurity", true},
+		{"optchain/internal/bench", "ctxcheck", true},
+		{"optchain/cmd/optchain-bench", "spawncheck", true},
+		{"optchain/internal/analyze", "atomiccheck", true},
 	}
 	for _, c := range cases {
 		if got := has(c.pkg, c.analyzer); got != c.want {

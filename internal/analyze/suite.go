@@ -2,7 +2,16 @@ package analyze
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{APIErrors, Determinism, Hotpath, Lockcheck}
+	return []*Analyzer{
+		APIErrors,
+		Atomiccheck,
+		Ctxcheck,
+		Determinism,
+		Forkpurity,
+		Hotpath,
+		Lockcheck,
+		Spawncheck,
+	}
 }
 
 // decisionPackages are the packages whose code decides placement: everything
@@ -37,10 +46,12 @@ func inList(path string, list []string) bool {
 	return false
 }
 
-// For selects which analyzers apply to a package. Annotation-driven checks
-// (hotpath, lockcheck) run everywhere — they only fire on annotated code —
-// while the policy gates determinism to decision packages and apierrors to
-// the public surface.
+// For selects which analyzers apply to a package. Annotation- and
+// structure-driven checks (hotpath, lockcheck, and the concurrency-contract
+// pack: forkpurity, spawncheck, ctxcheck, atomiccheck) run everywhere — they
+// fire only on annotated or structurally implicated code, and spawncheck and
+// ctxcheck exempt package main themselves — while the policy gates
+// determinism to decision packages and apierrors to the public surface.
 func For(pkgPath string) []*Analyzer {
 	var out []*Analyzer
 	for _, a := range All() {

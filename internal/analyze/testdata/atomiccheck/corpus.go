@@ -1,0 +1,54 @@
+// Package corpus exercises the atomiccheck analyzer: a struct field touched
+// through sync/atomic anywhere must be accessed atomically everywhere.
+package corpus
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	hits  int64
+	plain int64
+}
+
+// Inc is the sanctioned atomic path for n and hits.
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Load reads atomically — clean.
+func (c *counter) Load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// Read mixes a plain load into an atomic field.
+func (c *counter) Read() int64 {
+	return c.n // want "accesses c.n non-atomically"
+}
+
+// Reset mixes a plain store.
+func (c *counter) Reset() {
+	c.hits = 0 // want "accesses c.hits non-atomically"
+}
+
+// Bump touches a field never used atomically — out of scope.
+func (c *counter) Bump() {
+	c.plain++
+}
+
+// newCounter touches fields of a value it just built: the fresh-value
+// exemption (nothing else can see it yet).
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	c.hits = 0
+	return c
+}
+
+// gauge uses a typed atomic: safe by construction, never collected.
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) bump()       { g.v.Add(1) }
+func (g *gauge) read() int64 { return g.v.Load() }

@@ -1,0 +1,56 @@
+// Package corpus exercises the ctxcheck analyzer: library code threads the
+// caller's context.Context instead of minting roots, and exported APIs that
+// accept a context actually use it.
+package corpus
+
+import (
+	"context"
+	"time"
+)
+
+type store struct{}
+
+// Collect threads its context — clean.
+func Collect(ctx context.Context, s *store) error {
+	return wait(ctx)
+}
+
+// Run mints a root context in library code.
+func Run(s *store) error {
+	ctx := context.Background() // want "context.Background"
+	return wait(ctx)
+}
+
+// Sketch still carries TODO plumbing.
+func Sketch(s *store) error {
+	return wait(context.TODO()) // want "context.TODO"
+}
+
+// RunDefault documents its nil-ctx convenience fallback.
+func RunDefault(ctx context.Context, s *store) error {
+	if ctx == nil {
+		ctx = context.Background() //optchain:background corpus: documented nil-ctx fallback
+	}
+	return wait(ctx)
+}
+
+// Ignore promises cancellation and ignores it.
+func Ignore(ctx context.Context, s *store) error { // want "never uses it"
+	return nil
+}
+
+// Opt makes the non-promise explicit — clean.
+func Opt(_ context.Context, s *store) error { return nil }
+
+// helper is unexported: the exported surface is the contract boundary, so an
+// unused context here is the package's own business.
+func helper(ctx context.Context) {}
+
+func wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(time.Millisecond):
+		return nil
+	}
+}

@@ -1,0 +1,89 @@
+// Package corpus exercises the forkpurity analyzer: Fork methods and
+// //optchain:fork constructors must copy, never alias, shared slices and
+// maps into worker state.
+package corpus
+
+import (
+	"maps"
+	"slices"
+)
+
+// shared is the placer whose state epochs fork.
+type shared struct {
+	counts  []int64
+	scores  map[int]float64
+	k       int
+	workers []*worker
+}
+
+type worker struct {
+	s      *shared
+	counts []int64
+	scores map[int]float64
+	cover  []int
+	dec    []int32
+}
+
+// Fork aliasing the receiver's slice and map is the core finding.
+func (s *shared) Fork(i int) *worker {
+	w := &worker{
+		s:      s,        // back-pointer to the frozen snapshot: allowed
+		counts: s.counts, // want "aliases s.counts"
+	}
+	w.scores = s.scores // want "aliases s.scores"
+	return w
+}
+
+// cloned is the clean shape: every mutable structure is copied or fresh.
+type cloned struct {
+	counts  []int64
+	scores  map[int]float64
+	workers []*worker
+}
+
+// Fork copies — appending onto a worker-owned buffer, cloning, making fresh —
+// and caching workers on the receiver is the receiver updating its own state.
+func (c *cloned) Fork(i int) *worker {
+	for len(c.workers) <= i {
+		c.workers = append(c.workers, &worker{
+			counts: append([]int64(nil), c.counts...),
+			scores: maps.Clone(c.scores),
+			cover:  make([]int, len(c.counts)),
+		})
+	}
+	w := c.workers[i]
+	w.counts = append(w.counts[:0], c.counts...)
+	w.scores = maps.Clone(c.scores)
+	w.dec = w.dec[:0]
+	return w
+}
+
+// slab's Fork returns the receiver's buffer directly: every worker gets the
+// same bytes.
+type slab struct {
+	buf []byte
+}
+
+func (s *slab) Fork(i int) []byte {
+	if i == 0 {
+		return slices.Clone(s.buf)
+	}
+	return s.buf // want "aliases s.buf"
+}
+
+// newTables is an annotated constructor: its parameters are shared inputs
+// and must be copied like a receiver's fields.
+//
+//optchain:fork worker tables built here must be private copies.
+func newTables(base []int64, scores map[int]float64) *worker {
+	w := &worker{}
+	w.counts = slices.Clone(base)
+	w.scores = scores // want "aliases scores"
+	return w
+}
+
+// newView is not annotated and not named Fork: aliasing here is a caller
+// contract, out of this analyzer's scope.
+func newView(base []int64) *worker {
+	return &worker{counts: base}
+}

@@ -25,9 +25,9 @@ func L2SSweep(p Params) experiment.Sweep {
 // vs the capacity-bounded T2S-only strategy under load. The expectation —
 // T2S alone minimizes cross-TX slightly better but lets queues skew; the
 // temporal fitness trades a little cross-TX for balance.
-func AblationL2S(h *Harness, w io.Writer) error {
+func AblationL2S(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(L2SSweep(p)); err != nil {
+	if err := h.warm(ctx, L2SSweep(p)); err != nil {
 		return err
 	}
 	k, r := maxGrid(p)
@@ -40,7 +40,7 @@ func AblationL2S(h *Harness, w io.Writer) error {
 		{"OptChain (T2S+L2S)", "OptChain"},
 		{"T2S only (capacity)", "T2S"},
 	} {
-		row, err := h.row(v.strategy, k, r)
+		row, err := h.row(ctx, v.strategy, k, r)
 		if err != nil {
 			return err
 		}
@@ -68,9 +68,9 @@ func AlphaSweep(p Params) experiment.Sweep {
 
 // AblationAlpha sweeps the PageRank damping factor (DESIGN A2; the paper
 // fixes α=0.5) on the offline cross-TX objective.
-func AblationAlpha(h *Harness, w io.Writer) error {
+func AblationAlpha(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	rows, err := h.Collect(context.Background(), AlphaSweep(p))
+	rows, err := h.Collect(ctx, AlphaSweep(p))
 	if err != nil {
 		return err
 	}
@@ -101,9 +101,9 @@ func WeightSweep(p Params) experiment.Sweep {
 
 // AblationWeight sweeps the Temporal Fitness L2S coefficient (DESIGN A3;
 // the paper fixes 0.01), exposing the cross-TX vs balance trade-off.
-func AblationWeight(h *Harness, w io.Writer) error {
+func AblationWeight(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	rows, err := h.Collect(context.Background(), WeightSweep(p))
+	rows, err := h.Collect(ctx, WeightSweep(p))
 	if err != nil {
 		return err
 	}
@@ -151,9 +151,9 @@ func BackendSweep(p Params) experiment.Sweep {
 
 // AblationBackend tests the paper's closing prediction (DESIGN A4): the
 // placement benefit transfers from OmniLedger to RapidChain yanking.
-func AblationBackend(h *Harness, w io.Writer) error {
+func AblationBackend(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	rows, err := h.Collect(context.Background(), BackendSweep(p))
+	rows, err := h.Collect(ctx, BackendSweep(p))
 	if err != nil {
 		return err
 	}

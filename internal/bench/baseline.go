@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	"optchain/experiment"
@@ -198,7 +199,7 @@ func BaselineScenarioSweep(p Params) experiment.Sweep {
 // Uncached: cells run one at a time so per-cell wall-clock rates are not
 // distorted by contention, and every cell executes for real even when the
 // grid sweeps already cached an identical one.
-func collectBaselineInto(h *Harness, rep *experiment.BaselineReporter) error {
+func collectBaselineInto(ctx context.Context, h *Harness, rep *experiment.BaselineReporter) error {
 	micro, err := collectMicro(h)
 	if err != nil {
 		return err
@@ -209,12 +210,15 @@ func collectBaselineInto(h *Harness, rep *experiment.BaselineReporter) error {
 	}
 	rep.SetMicro(append(micro, parItem))
 	rep.SetParallel(parRows)
+	if runtime.GOMAXPROCS(0) == 1 {
+		rep.SetParallelNote(SingleCoreNote)
+	}
 	simSweep := BaselineSimSweep(h.Params())
 	if err := rep.Begin(simSweep, h.Params()); err != nil {
 		return err
 	}
 	for _, sweep := range []experiment.Sweep{simSweep, BaselineScenarioSweep(h.Params())} {
-		for row, err := range h.Stream(context.Background(), sweep) {
+		for row, err := range h.Stream(ctx, sweep) {
 			if err != nil {
 				return err
 			}
@@ -229,9 +233,9 @@ func collectBaselineInto(h *Harness, rep *experiment.BaselineReporter) error {
 // CollectBaseline measures the hot-path micro-benchmarks and one quick
 // end-to-end simulation per strategy × protocol plus the per-scenario
 // section, returning the accumulated record without writing it.
-func CollectBaseline(h *Harness) (*Baseline, error) {
+func CollectBaseline(ctx context.Context, h *Harness) (*Baseline, error) {
 	rep := experiment.NewBaselineReporter(io.Discard)
-	if err := collectBaselineInto(h, rep); err != nil {
+	if err := collectBaselineInto(ctx, h, rep); err != nil {
 		return nil, err
 	}
 	return rep.Baseline(), nil
@@ -240,9 +244,9 @@ func CollectBaseline(h *Harness) (*Baseline, error) {
 // WriteBaselineJSON measures (see CollectBaseline) and writes the indented
 // JSON report, stamped with the current UTC time, through the experiment
 // package's baseline reporter.
-func WriteBaselineJSON(h *Harness, w io.Writer) error {
+func WriteBaselineJSON(ctx context.Context, h *Harness, w io.Writer) error {
 	rep := experiment.NewBaselineReporter(w)
-	if err := collectBaselineInto(h, rep); err != nil {
+	if err := collectBaselineInto(ctx, h, rep); err != nil {
 		return err
 	}
 	return rep.End()

@@ -91,13 +91,13 @@ func simCell(p Params, strategy string, k int, rate float64) experiment.Cell {
 }
 
 // row executes (or reads from cache) one canonical grid cell.
-func (h *Harness) row(strategy string, k int, rate float64) (experiment.Row, error) {
-	return h.Cell(context.Background(), simCell(h.Params(), strategy, k, rate))
+func (h *Harness) row(ctx context.Context, strategy string, k int, rate float64) (experiment.Row, error) {
+	return h.Cell(ctx, simCell(h.Params(), strategy, k, rate))
 }
 
 // scenarioRow executes (or reads from cache) one streamed scenario cell.
-func (h *Harness) scenarioRow(spec, strategy string, shards int, rate float64) (experiment.Row, error) {
-	return h.Cell(context.Background(), experiment.Cell{
+func (h *Harness) scenarioRow(ctx context.Context, spec, strategy string, shards int, rate float64) (experiment.Row, error) {
+	return h.Cell(ctx, experiment.Cell{
 		Kind:     experiment.KindSim,
 		Strategy: strategy,
 		Shards:   shards,
@@ -109,8 +109,8 @@ func (h *Harness) scenarioRow(spec, strategy string, shards int, rate float64) (
 
 // warm pre-executes a sweep across the worker budget so the sequential
 // render loop below it reads every cell from cache.
-func (h *Harness) warm(s experiment.Sweep) error {
-	_, err := h.Collect(context.Background(), s)
+func (h *Harness) warm(ctx context.Context, s experiment.Sweep) error {
+	_, err := h.Collect(ctx, s)
 	return err
 }
 
@@ -271,8 +271,10 @@ func init() {
 	}
 }
 
-// Experiments maps CLI names to paper-layout renderers.
-var Experiments = map[string]func(h *Harness, w io.Writer) error{
+// Experiments maps CLI names to paper-layout renderers. Every renderer
+// threads the caller's context into its cells, so cancelling it (Ctrl-C in
+// cmd/optchain-bench) stops mid-grid instead of finishing the sweep.
+var Experiments = map[string]func(ctx context.Context, h *Harness, w io.Writer) error{
 	"fig2":             Fig2,
 	"table1":           TableI,
 	"table2":           TableII,
@@ -303,7 +305,7 @@ func Names() []string {
 }
 
 // RunAll executes every experiment in canonical order.
-func RunAll(h *Harness, w io.Writer) error {
+func RunAll(ctx context.Context, h *Harness, w io.Writer) error {
 	order := []string{
 		"fig2", "table1", "table2",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
@@ -311,7 +313,7 @@ func RunAll(h *Harness, w io.Writer) error {
 		"ablation-l2s", "ablation-alpha", "ablation-weight", "ablation-backend",
 	}
 	for _, name := range order {
-		if err := Experiments[name](h, w); err != nil {
+		if err := Experiments[name](ctx, h, w); err != nil {
 			return fmt.Errorf("bench: %s: %w", name, err)
 		}
 		fmt.Fprintln(w)

@@ -46,7 +46,7 @@ func TestSweepsRegistered(t *testing.T) {
 func TestScenariosQuick(t *testing.T) {
 	h := NewHarness(Params{Quick: true, N: 2000, Seed: 1, Workloads: []string{"hotspot", "adversarial"}})
 	var buf bytes.Buffer
-	if err := Scenarios(h, &buf); err != nil {
+	if err := Scenarios(context.Background(), h, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -97,7 +97,7 @@ func TestScenarioCellsCacheAndMetisMaterializes(t *testing.T) {
 
 func TestBaselineHasScenarioSection(t *testing.T) {
 	h := NewHarness(Params{Quick: true, N: 1200, Seed: 1, Workloads: []string{"hotspot"}})
-	b, err := CollectBaseline(h)
+	b, err := CollectBaseline(context.Background(), h)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestBaselineHasScenarioSection(t *testing.T) {
 func TestTableIQuick(t *testing.T) {
 	h := quickHarness()
 	var buf bytes.Buffer
-	if err := TableI(h, &buf); err != nil {
+	if err := TableI(context.Background(), h, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -183,7 +183,7 @@ func TestTableIQuick(t *testing.T) {
 func TestTableIIQuick(t *testing.T) {
 	h := quickHarness()
 	var buf bytes.Buffer
-	if err := TableII(h, &buf); err != nil {
+	if err := TableII(context.Background(), h, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "warm start") {
@@ -194,7 +194,7 @@ func TestTableIIQuick(t *testing.T) {
 func TestFig2Quick(t *testing.T) {
 	h := quickHarness()
 	var buf bytes.Buffer
-	if err := Fig2(h, &buf); err != nil {
+	if err := Fig2(context.Background(), h, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"avg-degree", "P(in<3)", "prefix"} {
@@ -211,7 +211,7 @@ func TestSimFiguresQuick(t *testing.T) {
 	h := quickHarness()
 	for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
 		var buf bytes.Buffer
-		if err := Experiments[name](h, &buf); err != nil {
+		if err := Experiments[name](context.Background(), h, &buf); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -227,7 +227,7 @@ func TestAblationsQuick(t *testing.T) {
 	h := quickHarness()
 	for _, name := range []string{"ablation-l2s", "ablation-alpha", "ablation-weight", "ablation-backend"} {
 		var buf bytes.Buffer
-		if err := Experiments[name](h, &buf); err != nil {
+		if err := Experiments[name](context.Background(), h, &buf); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if !strings.Contains(buf.String(), "Ablation") {
@@ -238,11 +238,11 @@ func TestAblationsQuick(t *testing.T) {
 
 func TestRunCacheReusesResults(t *testing.T) {
 	h := quickHarness()
-	a, err := h.row("OmniLedger", 4, 1000)
+	a, err := h.row(context.Background(), "OmniLedger", 4, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := h.row("OmniLedger", 4, 1000)
+	b, err := h.row(context.Background(), "OmniLedger", 4, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +311,7 @@ func TestWorkloadThreadsThroughSweeps(t *testing.T) {
 	}
 	for _, name := range []string{"fig5", "table1", "ablation-alpha"} {
 		var buf bytes.Buffer
-		if err := Experiments[name](h, &buf); err != nil {
+		if err := Experiments[name](context.Background(), h, &buf); err != nil {
 			t.Fatalf("%s with workload: %v", name, err)
 		}
 		if !strings.Contains(buf.String(), "workload="+spec) {
@@ -355,7 +355,7 @@ func TestStreamingGridSweep(t *testing.T) {
 	}
 	// Fig5 renders from the same streamed cells.
 	var buf bytes.Buffer
-	if err := Fig5(h, &buf); err != nil {
+	if err := Fig5(context.Background(), h, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Fig. 5") {

@@ -10,9 +10,9 @@ import (
 
 // Fig3 prints, per strategy, the latency and throughput grid over
 // (shard count × transaction rate) — the paper's Fig. 3 heat plots.
-func Fig3(h *Harness, w io.Writer) error {
+func Fig3(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(GridSweep(p)); err != nil {
+	if err := h.warm(ctx, GridSweep(p)); err != nil {
 		return err
 	}
 	shards, rates := simGrids(p)
@@ -27,7 +27,7 @@ func Fig3(h *Harness, w io.Writer) error {
 		for _, k := range shards {
 			fmt.Fprintf(w, "%-7d", k)
 			for _, r := range rates {
-				row, err := h.row(s, k, r)
+				row, err := h.row(ctx, s, k, r)
 				if err != nil {
 					return err
 				}
@@ -44,7 +44,7 @@ func Fig3(h *Harness, w io.Writer) error {
 		for _, k := range shards {
 			fmt.Fprintf(w, "%-7d", k)
 			for _, r := range rates {
-				row, err := h.row(s, k, r)
+				row, err := h.row(ctx, s, k, r)
 				if err != nil {
 					return err
 				}
@@ -58,9 +58,9 @@ func Fig3(h *Harness, w io.Writer) error {
 
 // Fig4 prints system throughput: (a) at the largest shard count across
 // rates, and (b) the maximum over the whole grid per strategy.
-func Fig4(h *Harness, w io.Writer) error {
+func Fig4(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(GridSweep(p)); err != nil {
+	if err := h.warm(ctx, GridSweep(p)); err != nil {
 		return err
 	}
 	shards, rates := simGrids(p)
@@ -74,7 +74,7 @@ func Fig4(h *Harness, w io.Writer) error {
 	for _, r := range rates {
 		fmt.Fprintf(w, "%-10.0f", r)
 		for _, s := range placers(p) {
-			row, err := h.row(s, kMax, r)
+			row, err := h.row(ctx, s, kMax, r)
 			if err != nil {
 				return err
 			}
@@ -89,7 +89,7 @@ func Fig4(h *Harness, w io.Writer) error {
 		bestK, bestR := 0, 0.0
 		for _, k := range shards {
 			for _, r := range rates {
-				row, err := h.row(s, k, r)
+				row, err := h.row(ctx, s, k, r)
 				if err != nil {
 					return err
 				}
@@ -106,9 +106,9 @@ func Fig4(h *Harness, w io.Writer) error {
 
 // Fig5 prints the committed-transactions timeline at the peak
 // configuration (paper: 16 shards, 6000 tps, 50 s windows).
-func Fig5(h *Harness, w io.Writer) error {
+func Fig5(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(PeakSweep(p)); err != nil {
+	if err := h.warm(ctx, PeakSweep(p)); err != nil {
 		return err
 	}
 	k, r := maxGrid(p)
@@ -121,7 +121,7 @@ func Fig5(h *Harness, w io.Writer) error {
 	series := make(map[string][]int64, len(placers(p)))
 	maxLen := 0
 	for _, s := range placers(p) {
-		row, err := h.row(s, k, r)
+		row, err := h.row(ctx, s, k, r)
 		if err != nil {
 			return err
 		}
@@ -146,15 +146,15 @@ func Fig5(h *Harness, w io.Writer) error {
 
 // Fig6 prints each strategy's max and min shard queue sizes over time at
 // the peak configuration.
-func Fig6(h *Harness, w io.Writer) error {
+func Fig6(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(PeakSweep(p)); err != nil {
+	if err := h.warm(ctx, PeakSweep(p)); err != nil {
 		return err
 	}
 	k, r := maxGrid(p)
 	fmt.Fprintf(w, "== Fig. 6 — max/min shard queue sizes over time (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	for _, s := range placers(p) {
-		row, err := h.row(s, k, r)
+		row, err := h.row(ctx, s, k, r)
 		if err != nil {
 			return err
 		}
@@ -172,9 +172,9 @@ func Fig6(h *Harness, w io.Writer) error {
 
 // Fig7 prints the queue max/min ratio over time — the temporal-balance
 // comparison.
-func Fig7(h *Harness, w io.Writer) error {
+func Fig7(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(PeakSweep(p)); err != nil {
+	if err := h.warm(ctx, PeakSweep(p)); err != nil {
 		return err
 	}
 	k, r := maxGrid(p)
@@ -187,7 +187,7 @@ func Fig7(h *Harness, w io.Writer) error {
 	ratios := make(map[string][]float64, len(placers(p)))
 	maxLen := 0
 	for _, s := range placers(p) {
-		row, err := h.row(s, k, r)
+		row, err := h.row(ctx, s, k, r)
 		if err != nil {
 			return err
 		}
@@ -212,9 +212,9 @@ func Fig7(h *Harness, w io.Writer) error {
 }
 
 // latencyFigure factors Figs. 8 and 9 (average vs maximum latency).
-func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(experiment.Row) float64) error {
+func latencyFigure(ctx context.Context, h *Harness, w io.Writer, title, paperNote string, pick func(experiment.Row) float64) error {
 	p := h.Params()
-	if err := h.warm(GridSweep(p)); err != nil {
+	if err := h.warm(ctx, GridSweep(p)); err != nil {
 		return err
 	}
 	shards, rates := simGrids(p)
@@ -228,7 +228,7 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(e
 	for _, r := range rates {
 		fmt.Fprintf(w, "%-10.0f", r)
 		for _, s := range placers(p) {
-			row, err := h.row(s, kMax, r)
+			row, err := h.row(ctx, s, kMax, r)
 			if err != nil {
 				return err
 			}
@@ -240,7 +240,7 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(e
 	for _, r := range rates {
 		bestK := shards[len(shards)-1]
 		for _, k := range shards {
-			row, err := h.row("OptChain", k, r)
+			row, err := h.row(ctx, "OptChain", k, r)
 			if err != nil {
 				return err
 			}
@@ -251,7 +251,7 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(e
 		}
 		fmt.Fprintf(w, "rate %-6.0f @ k=%-3d", r, bestK)
 		for _, s := range placers(p) {
-			row, err := h.row(s, bestK, r)
+			row, err := h.row(ctx, s, bestK, r)
 			if err != nil {
 				return err
 			}
@@ -264,29 +264,29 @@ func latencyFigure(h *Harness, w io.Writer, title, paperNote string, pick func(e
 }
 
 // Fig8 prints average transaction latency.
-func Fig8(h *Harness, w io.Writer) error {
-	return latencyFigure(h, w, "Fig. 8 — average latency (s)",
+func Fig8(ctx context.Context, h *Harness, w io.Writer) error {
+	return latencyFigure(ctx, h, w, "Fig. 8 — average latency (s)",
 		"(paper: OptChain 8.7s at 4000tps/16 shards; OmniLedger 346.2s at 6000/16)",
 		func(r experiment.Row) float64 { return r.AvgLatencySec })
 }
 
 // Fig9 prints maximum transaction latency.
-func Fig9(h *Harness, w io.Writer) error {
-	return latencyFigure(h, w, "Fig. 9 — maximum latency (s)",
+func Fig9(ctx context.Context, h *Harness, w io.Writer) error {
+	return latencyFigure(ctx, h, w, "Fig. 9 — maximum latency (s)",
 		"(paper at 6000/16: OptChain 100.9s; OmniLedger 1309.5s; Metis 1345.9s; Greedy 628.9s)",
 		func(r experiment.Row) float64 { return r.MaxLatencySec })
 }
 
 // Fig10 prints the latency CDF at the peak configuration.
-func Fig10(h *Harness, w io.Writer) error {
+func Fig10(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(PeakSweep(p)); err != nil {
+	if err := h.warm(ctx, PeakSweep(p)); err != nil {
 		return err
 	}
 	k, r := maxGrid(p)
 	fmt.Fprintf(w, "== Fig. 10 — latency CDF (k=%d, rate=%.0f, workload=%s) ==\n", k, r, h.workloadLabel())
 	for _, s := range placers(p) {
-		row, err := h.row(s, k, r)
+		row, err := h.row(ctx, s, k, r)
 		if err != nil {
 			return err
 		}
@@ -304,10 +304,10 @@ func Fig10(h *Harness, w io.Writer) error {
 // shard count is offered more load than it can serve, and the steady-state
 // commit rate is the capacity. The stream grows with the offered rate so
 // the steady window stays long enough to measure.
-func Fig11(h *Harness, w io.Writer) error {
+func Fig11(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
 	sweep := SaturationSweep(p)
-	rows, err := h.Collect(context.Background(), sweep)
+	rows, err := h.Collect(ctx, sweep)
 	if err != nil {
 		return err
 	}

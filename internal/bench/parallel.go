@@ -16,6 +16,13 @@ import (
 // PlaceStream exhibits out of the box.
 const parallelEpochTxs = 1024
 
+// SingleCoreNote is the qualification stamped into the baseline's Parallel
+// section — and printed by cmd/optchain-bench for parallelism sweeps — when
+// the host has one core: speedup cannot exceed 1 there, so the column
+// measures fan-out overhead, not scaling (the ROADMAP PR-7 follow-on about
+// the honestly-flat committed curve).
+const SingleCoreNote = "single-core host (GOMAXPROCS=1) — speedup column not meaningful; parallel rows measure fan-out overhead, not scaling"
+
 // ParallelQualitySweep sweeps the epoch worker count on the offline
 // cross-TX objective: the decision-quality cost of concurrent placement,
 // measured against the serial replay (Parallelism 0) of the same stream.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -13,9 +14,9 @@ import (
 // adapt (burst, drift), and its floor (adversarial). Every cell streams its
 // scenario — nothing is materialized — which is why Metis sits this sweep
 // out.
-func Scenarios(h *Harness, w io.Writer) error {
+func Scenarios(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(ScenariosSweep(p)); err != nil {
+	if err := h.warm(ctx, ScenariosSweep(p)); err != nil {
 		return err
 	}
 	shards, rate := scenarioGrid(p)
@@ -28,7 +29,7 @@ func Scenarios(h *Harness, w io.Writer) error {
 		"scenario", "strategy", "steadyTPS", "commit%", "cross%", "retries", "queueMax")
 	for _, n := range names {
 		for _, s := range strategies {
-			row, err := h.scenarioRow(n, s, shards, rate)
+			row, err := h.scenarioRow(ctx, n, s, shards, rate)
 			if err != nil {
 				return err
 			}

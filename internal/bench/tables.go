@@ -12,7 +12,10 @@ import (
 // Fig2 prints the TaN-network characterization (paper Fig. 2 and §IV-A):
 // degree distributions, cumulative fractions, average degree over time, and
 // the node census.
-func Fig2(h *Harness, w io.Writer) error {
+func Fig2(ctx context.Context, h *Harness, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p := h.Params()
 	d, err := h.Dataset(p.TableN)
 	if err != nil {
@@ -88,9 +91,9 @@ func placementCell(strategy string, k, warm int) experiment.Cell {
 
 // TableI reproduces "Percentage of cross-TXs when running from scratch":
 // every strategy places the whole stream into empty shards.
-func TableI(h *Harness, w io.Writer) error {
+func TableI(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(TableISweep(p)); err != nil {
+	if err := h.warm(ctx, TableISweep(p)); err != nil {
 		return err
 	}
 	n := p.TableN
@@ -99,7 +102,7 @@ func TableI(h *Harness, w io.Writer) error {
 	for _, k := range tableShards(p) {
 		fmt.Fprintf(w, "%-4d", k)
 		for i, name := range tableINames {
-			row, err := h.Cell(context.Background(), placementCell(name, k, 0))
+			row, err := h.Cell(ctx, placementCell(name, k, 0))
 			if err != nil {
 				return err
 			}
@@ -138,9 +141,9 @@ func TableIISweep(p Params) experiment.Sweep {
 // TableII reproduces "Number of cross-TXs when running from a certain stage
 // of the system": a Metis partition seeds the shards and each online
 // strategy places the remaining window.
-func TableII(h *Harness, w io.Writer) error {
+func TableII(ctx context.Context, h *Harness, w io.Writer) error {
 	p := h.Params()
-	if err := h.warm(TableIISweep(p)); err != nil {
+	if err := h.warm(ctx, TableIISweep(p)); err != nil {
 		return err
 	}
 	n := p.TableN
@@ -151,7 +154,7 @@ func TableII(h *Harness, w io.Writer) error {
 	for _, k := range tableShards(p) {
 		fmt.Fprintf(w, "%-4d", k)
 		for i, name := range tableIINames {
-			row, err := h.Cell(context.Background(), placementCell(name, k, warm))
+			row, err := h.Cell(ctx, placementCell(name, k, warm))
 			if err != nil {
 				return err
 			}

@@ -276,9 +276,10 @@ type Result struct {
 	AvgConsensusSecs float64
 }
 
-// Run executes one simulation to completion (or the time cap).
+// Run executes one simulation to completion (or the time cap). It is the
+// deliberate no-context convenience over RunContext.
 func Run(cfg Config) (*Result, error) {
-	return RunContext(context.Background(), cfg)
+	return RunContext(context.Background(), cfg) //optchain:background
 }
 
 // RunContext executes one simulation under a context: cancellation or

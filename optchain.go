@@ -375,22 +375,26 @@ func NewBenchHarness(p BenchParams) *bench.Harness { return bench.NewHarness(p) 
 func ExperimentNames() []string { return bench.Names() }
 
 // RunExperiment executes one named experiment, writing its report to w.
-func RunExperiment(h *bench.Harness, name string, w io.Writer) error {
+// Cancelling ctx stops the run mid-grid; rows already rendered stay on w.
+func RunExperiment(ctx context.Context, h *bench.Harness, name string, w io.Writer) error {
 	fn, ok := bench.Experiments[name]
 	if !ok {
 		return fmt.Errorf("%w: %q (have %v)", ErrUnknownExperiment, name, bench.Names())
 	}
-	return fn(h, w)
+	return fn(ctx, h, w)
 }
 
-// RunAllExperiments executes every experiment in canonical order.
-func RunAllExperiments(h *bench.Harness, w io.Writer) error { return bench.RunAll(h, w) }
+// RunAllExperiments executes every experiment in canonical order under ctx.
+func RunAllExperiments(ctx context.Context, h *bench.Harness, w io.Writer) error {
+	return bench.RunAll(ctx, h, w)
+}
 
 // WriteBenchBaseline measures the hot-path micro-benchmarks (T2S score
 // maintenance, full placement, the event kernel) and one quick end-to-end
 // simulation per strategy × protocol, then writes the machine-readable
 // JSON report tracked as BENCH_baseline.json (`make bench-json`). See
-// PERFORMANCE.md for the schema and how the numbers are used.
-func WriteBenchBaseline(h *bench.Harness, w io.Writer) error {
-	return bench.WriteBaselineJSON(h, w)
+// PERFORMANCE.md for the schema and how the numbers are used. Cancelling
+// ctx aborts between cells; no partial record is written.
+func WriteBenchBaseline(ctx context.Context, h *bench.Harness, w io.Writer) error {
+	return bench.WriteBaselineJSON(ctx, h, w)
 }

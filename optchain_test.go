@@ -2,6 +2,7 @@ package optchain_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -157,13 +158,13 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	h := optchain.NewBenchHarness(optchain.BenchParams{Quick: true, N: 3000, TableN: 10000})
 	var buf bytes.Buffer
-	if err := optchain.RunExperiment(h, "fig2", &buf); err != nil {
+	if err := optchain.RunExperiment(context.Background(), h, "fig2", &buf); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() == 0 {
 		t.Fatal("fig2 produced no output")
 	}
-	if err := optchain.RunExperiment(h, "nope", &buf); err == nil {
+	if err := optchain.RunExperiment(context.Background(), h, "nope", &buf); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
