@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt fmt-check lint lint-json bench-smoke bench-json bench-scaling examples scenario-smoke fuzz-smoke sweep-smoke docs-check ci
+.PHONY: all build test test-race vet fmt fmt-check lint lint-json bench-smoke bench-json bench-scaling examples scenario-smoke fuzz-smoke sweep-smoke quality-gate cover docs-check ci
 
 all: build
 
@@ -88,9 +88,12 @@ scenario-smoke:
 	$(GO) run ./cmd/optchain-sim -workload "replay:smoke-replay.tan,mod=(burst:boost=4)" -txs 3000 -validators 8
 	rm -f smoke-replay.tan
 
-# Short fuzz pass over the dataset decoder (panic-safety + round-trip).
+# Short fuzz passes: the dataset decoder (panic-safety + round-trip) and
+# the quality-gate row decoders (DecodeRows and the row-cache loader must
+# reject arbitrary bytes with ErrBadCache, never panic).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/dataset
+	$(GO) test -run '^$$' -fuzz FuzzDiffRows -fuzztime 10s ./experiment
 
 # Tiny 2x2 streaming sweep through the JSONL reporter, validated with the
 # sweepcheck checker: the experiment layer's data path (streamed cells,
@@ -102,6 +105,36 @@ sweep-smoke:
 		&& $(GO) run ./internal/sweepcheck -rows 4 -streamed sweep-smoke.jsonl || rc=$$?; \
 	rm -f sweep-smoke.jsonl; exit $$rc
 
+# Placement-quality gate (see PERFORMANCE.md "Quality gates"). Four checks
+# in one pipeline:
+#   1. the quality sweep runs cold into a fresh row cache;
+#   2. it runs again resumed from that cache (sweepcheck validates the
+#      cache file: header line, pure cell rows, zero wall clocks);
+#   3. cold vs resumed rows must match at zero tolerance — the cache must
+#      reproduce execution exactly, not approximately;
+#   4. the resumed rows gate against the committed BENCH_baseline.json
+#      quality columns at loose 10% tolerances (-allow-missing skips the
+#      baseline's scenario cells, which this sweep does not run).
+# Any regression exits non-zero and fails CI.
+quality-gate:
+	@rc=0; \
+	rm -rf qg-cache qg-cold.jsonl qg-warm.jsonl; \
+	$(GO) run ./cmd/optchain-bench -quick -sweep quality -reporter jsonl -cache qg-cache -out qg-cold.jsonl \
+		&& $(GO) run ./cmd/optchain-bench -quick -sweep quality -reporter jsonl -cache qg-cache -out qg-warm.jsonl \
+		&& $(GO) run ./internal/sweepcheck -cache -rows 8 qg-cache/rows.jsonl \
+		&& $(GO) run ./cmd/optchain-bench -diff -tol-tps 0 -tol-cross 0 -tol-crosschunk 0 qg-cold.jsonl qg-warm.jsonl \
+		&& $(GO) run ./cmd/optchain-bench -diff -allow-missing -tol-tps 0.1 -tol-cross 0.1 -tol-crosschunk 0.1 BENCH_baseline.json qg-warm.jsonl \
+		|| rc=$$?; \
+	rm -rf qg-cache qg-cold.jsonl qg-warm.jsonl; exit $$rc
+
+# Per-package statement coverage with committed floors: the merged profile
+# lands in cover.out (CI uploads it as an artifact) and covercheck fails
+# the build when any tested package drops below COVERAGE_floors.txt — a
+# ratchet against coverage rot, raised as coverage grows.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./internal/covercheck -profile cover.out -floors COVERAGE_floors.txt
+
 # Documentation hygiene: examples stay gofmt-clean and the markdown surface
 # (README, SCENARIOS, PERFORMANCE) has no broken relative links.
 docs-check:
@@ -110,4 +143,4 @@ docs-check:
 	fi
 	$(GO) run ./internal/docscheck README.md SCENARIOS.md PERFORMANCE.md
 
-ci: fmt-check vet lint build test bench-smoke sweep-smoke docs-check
+ci: fmt-check vet lint build test bench-smoke sweep-smoke quality-gate docs-check

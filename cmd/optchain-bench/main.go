@@ -23,6 +23,22 @@
 //	optchain-bench -sweep peak -reporter csv
 //	optchain-bench -sweep smoke -reporter text
 //	optchain-bench -quick -sweep grid -stream -workload "mix:burst=0.5,bitcoin=0.5"
+//	optchain-bench -sweep grid -reporter jsonl -out grid.jsonl -cache .sweep-cache
+//	optchain-bench -diff old.jsonl new.jsonl
+//	optchain-bench -diff -allow-missing -tol-tps 0.1 BENCH_baseline.json new.jsonl
+//
+// -cache DIR persists every completed row as JSONL keyed by its stable
+// cell ID; re-running the same sweep (or an interrupted one) serves cached
+// rows instead of re-simulating, so a killed grid resumes where it died. A
+// corrupt cache or one written under a different seed fails loudly with
+// ErrBadCache rather than silently recomputing.
+//
+// -diff OLD NEW joins two row files on cell ID — jsonl sweep output, a row
+// cache, or a BENCH_baseline.json record — classifies each quality metric
+// against relative tolerances (-tol-tps, -tol-cross, -tol-crosschunk,
+// -tol-nstx), prints the verdict table, and exits non-zero on any
+// regression; `make quality-gate` wires this into CI. The `diff` reporter
+// (-reporter "diff:old=FILE,tps=0.05") gates a live sweep the same way.
 //
 // The -strategies, -protocol, -workload, and -workloads flags resolve
 // through the open registries, so strategies/protocols/workloads added with
@@ -76,8 +92,15 @@ func run() int {
 	var (
 		exp        = flag.String("experiment", "", "paper-layout experiment to run ('all' or a name; default 'all' unless -sweep is given)")
 		sweep      = flag.String("sweep", "", "registered sweep to stream through -reporter (see -list-sweeps)")
-		reporter   = flag.String("reporter", "", "reporter spec for -sweep: name[:key=value,...] (text, jsonl, csv, baseline; default text)")
+		reporter   = flag.String("reporter", "", "reporter spec for -sweep: name[:key=value,...] (text, jsonl, csv, baseline, diff; default text)")
 		out        = flag.String("out", "", "output file for -sweep (default stdout)")
+		cacheDir   = flag.String("cache", "", "row-cache directory for -sweep: completed rows persist keyed by cell ID and re-runs resume instead of re-simulating")
+		diffMode   = flag.Bool("diff", false, "compare two row files (OLD NEW as positional args; jsonl sweep output, a row cache, or BENCH_baseline.json) and exit non-zero on quality regression")
+		tolTPS     = flag.Float64("tol-tps", 0.05, "-diff relative tolerance on steady_tps (regresses downward)")
+		tolCross   = flag.Float64("tol-cross", 0.05, "-diff relative tolerance on cross_fraction (regresses upward)")
+		tolChunk   = flag.Float64("tol-crosschunk", 0.05, "-diff relative tolerance on cross_chunk_fraction (regresses upward)")
+		tolNsTx    = flag.Float64("tol-nstx", 0, "-diff relative tolerance on wall ns/tx (0 = not compared; host noise)")
+		allowMiss  = flag.Bool("allow-missing", false, "-diff: accept cells present in OLD but absent from NEW (gating a subset run against a fuller baseline)")
 		listSweeps = flag.Bool("list-sweeps", false, "list registered sweeps and reporters, then exit")
 		stream     = flag.Bool("stream", false, "drive simulation sweeps from streaming workload sources (no materialization; Metis cells still materialize)")
 		n          = flag.Int("n", 60_000, "transactions per simulation run")
@@ -109,9 +132,34 @@ func run() int {
 		fmt.Printf("reporters: %s\n", strings.Join(experiment.Reporters(), " "))
 		return 0
 	}
+	if *diffMode {
+		// -diff is an offline comparison; combining it with a run mode
+		// would leave one of the two silently undone.
+		for flagName, set := range map[string]bool{
+			"-sweep": *sweep != "", "-experiment": *exp != "", "-baseline-json": *baseline != "",
+			"-cache": *cacheDir != "", "-stream": *stream,
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "optchain-bench: %s and -diff are mutually exclusive\n", flagName)
+				return 2
+			}
+		}
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: optchain-bench -diff [-tol-tps F] [-tol-cross F] [-tol-crosschunk F] [-tol-nstx F] [-allow-missing] OLD NEW")
+			return 2
+		}
+		tol := experiment.Tolerances{
+			SteadyTPS:          *tolTPS,
+			CrossFraction:      *tolCross,
+			CrossChunkFraction: *tolChunk,
+			NsPerTx:            *tolNsTx,
+			AllowMissing:       *allowMiss,
+		}
+		return runDiff(flag.Arg(0), flag.Arg(1), tol)
+	}
 	// Reporter knobs without a sweep would be silently inert; fail instead.
 	if *sweep == "" {
-		for flagName, val := range map[string]string{"-reporter": *reporter, "-out": *out} {
+		for flagName, val := range map[string]string{"-reporter": *reporter, "-out": *out, "-cache": *cacheDir} {
 			if val != "" {
 				fmt.Fprintf(os.Stderr, "optchain-bench: %s %q requires -sweep (see -list-sweeps)\n", flagName, val)
 				return 2
@@ -147,6 +195,7 @@ func run() int {
 		Workers:    *workers,
 		Quick:      *quick,
 		Streaming:  *stream,
+		CacheDir:   *cacheDir,
 	}
 	if *protocol != "" {
 		if !optchain.HasProtocol(*protocol) {
@@ -243,6 +292,28 @@ func run() int {
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "done in %.1fs\n", time.Since(start).Seconds())
+	return 0
+}
+
+// runDiff joins two row files on cell identity, renders the verdict table,
+// and returns the process exit code: 0 when the gate passes, 1 on a
+// quality regression (or unusable input), so CI can gate directly on
+// `optchain-bench -diff old.jsonl new.jsonl`.
+func runDiff(oldPath, newPath string, tol experiment.Tolerances) int {
+	rep, err := experiment.DiffFiles(oldPath, newPath, tol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-bench: -diff: %v\n", err)
+		return 1
+	}
+	fmt.Printf("quality diff: old=%s new=%s\n", oldPath, newPath)
+	if err := rep.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-bench: -diff: %v\n", err)
+		return 1
+	}
+	if err := rep.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
+		return 1
+	}
 	return 0
 }
 

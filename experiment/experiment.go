@@ -74,6 +74,17 @@ var (
 	// ErrBadRegistration reports an invalid registry call (empty name, nil
 	// factory or builder, duplicate name) for reporters and sweeps.
 	ErrBadRegistration = errors.New("experiment: invalid registration")
+	// ErrBadCache reports an unusable row cache or diff input: a corrupt or
+	// truncated cache line, a duplicate cell ID, a schema mismatch, or a
+	// cache written under different parameters (seed, validators). Damage is
+	// never silently recomputed around — delete the cache directory to
+	// rebuild it from scratch.
+	ErrBadCache = errors.New("experiment: bad row cache")
+	// ErrQualityRegression reports a quality-gate failure: Diff found at
+	// least one joined cell whose metrics moved in the worse direction
+	// beyond tolerance, or cells missing from the new run when the
+	// tolerances require full coverage.
+	ErrQualityRegression = errors.New("experiment: placement quality regression")
 )
 
 // Params scales sweep execution. Zero values take defaults. The same value
@@ -115,6 +126,16 @@ type Params struct {
 	// sources instead of materialized datasets (see the package comment;
 	// Sweep.Streaming pins it per sweep).
 	Streaming bool
+	// CacheDir enables the persistent row cache: every completed cell's Row
+	// is appended to CacheDir/rows.jsonl keyed by its stable cell ID, and
+	// re-runs serve cached rows instead of re-simulating — an interrupted
+	// grid resumes where it died. Cached rows are flat data: WallSeconds is
+	// zeroed and Row.Result is nil (the figure renderers need Result and
+	// keep using the in-memory cache). The file binds to Seed and
+	// Validators; opening it under different values fails with ErrBadCache,
+	// as does any corrupt or truncated line — damage is loud, never a
+	// silent recompute. Empty disables persistence.
+	CacheDir string
 }
 
 func (p *Params) fillDefaults() {

@@ -34,6 +34,14 @@ type Runner struct {
 	// peak memory by the number of distinct shard counts if the table
 	// sweeps ran them all at once.
 	graphs sync.Mutex
+
+	// cacheOnce lazily opens the persistent row cache behind
+	// Params.CacheDir on the first cell execution, so a Runner that never
+	// runs a cell never touches the directory. cache and cacheErr are
+	// written once inside cacheOnce.Do and read-only after.
+	cacheOnce sync.Once
+	cache     *rowCache
+	cacheErr  error
 }
 
 type dataKey struct {
@@ -186,7 +194,7 @@ func (r *Runner) Cell(ctx context.Context, c Cell) (Row, error) {
 			e = &rowEntry{done: make(chan struct{})}
 			r.rows[id] = e
 			r.mu.Unlock()
-			row, err := r.executeCell(ctx, c, id)
+			row, err := r.cachedExecute(ctx, c, id)
 			r.mu.Lock()
 			if err != nil {
 				// Do not poison the cache (the error may be this caller's
@@ -215,6 +223,59 @@ func (r *Runner) Cell(ctx context.Context, c Cell) (Row, error) {
 			return Row{}, err
 		}
 	}
+}
+
+// rowCacheHandle lazily opens the persistent row cache (nil when
+// Params.CacheDir is unset). An unusable cache — corrupt line, parameter
+// mismatch — is a loud ErrBadCache on every cell, never a silent
+// recompute.
+func (r *Runner) rowCacheHandle() (*rowCache, error) {
+	if r.p.CacheDir == "" {
+		return nil, nil
+	}
+	r.cacheOnce.Do(func() {
+		r.cache, r.cacheErr = openRowCache(r.p.CacheDir, r.p)
+	})
+	return r.cache, r.cacheErr
+}
+
+// Close releases the persistent row-cache append handle, if one was
+// opened. Runners without Params.CacheDir need no cleanup; Close is safe
+// to call on them (and more than once).
+func (r *Runner) Close() error {
+	cache, err := r.rowCacheHandle()
+	if err != nil || cache == nil {
+		return nil
+	}
+	return cache.Close()
+}
+
+// cachedExecute serves one cell from the persistent row cache when
+// enabled, executing and persisting it otherwise. Served rows are flat
+// data: WallSeconds is zero and Result is nil (see Params.CacheDir).
+func (r *Runner) cachedExecute(ctx context.Context, c Cell, id string) (Row, error) {
+	cache, err := r.rowCacheHandle()
+	if err != nil {
+		return Row{}, err
+	}
+	if cache != nil {
+		if row, ok := cache.get(id); ok {
+			row.Cell = c
+			return row, nil
+		}
+	}
+	row, err := r.executeCell(ctx, c, id)
+	if err != nil {
+		return Row{}, err
+	}
+	if cache != nil {
+		// A row the cache cannot persist would silently vanish from the
+		// resume set; fail the cell instead.
+		if err := cache.put(row); err != nil {
+			return Row{}, err
+		}
+	}
+	return row, nil
 }
 
 // executeCell runs one cell for real and stamps its identity.

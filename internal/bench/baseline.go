@@ -167,6 +167,20 @@ func BaselineSimSweep(p Params) experiment.Sweep {
 	}
 }
 
+// QualitySweep is the cell set `make quality-gate` runs: the same strategy
+// × protocol cells as the baseline Sim section — so its rows join the
+// committed BENCH_baseline.json quality columns on cell ID — but cacheable
+// and parallel, because the gate compares deterministic quality metrics
+// (steady_tps, cross_fraction), not wall clocks, and its second run is the
+// resumed-from-cache proof.
+func QualitySweep(p Params) experiment.Sweep {
+	return experiment.Sweep{
+		Name:        "quality",
+		Description: "baseline-joinable strategy x protocol cells for the placement-quality gate (make quality-gate)",
+		Cells:       BaselineSimSweep(p).Cells,
+	}
+}
+
 // BaselineScenarioSweep is the Scenarios section: OptChain vs
 // OmniLedger-random on every workload scenario, streamed (no dataset
 // materialization), uncached for honest wall clocks.

@@ -259,6 +259,7 @@ func init() {
 		{"table2", TableIISweep},
 		{"alpha", AlphaSweep},
 		{"parallel-quality", ParallelQualitySweep},
+		{"quality", QualitySweep},
 		{"weight", WeightSweep},
 		{"backend", BackendSweep},
 		{"l2s", L2SSweep},

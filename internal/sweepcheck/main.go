@@ -7,11 +7,15 @@
 //
 // Usage:
 //
-//	sweepcheck [-rows N] [-streamed] FILE.jsonl
+//	sweepcheck [-rows N] [-streamed] [-cache] FILE.jsonl
 //
 // -rows N requires exactly N rows (0 skips the count check); -streamed
 // additionally requires every row to have streamed=true — the guarantee
-// the streaming grid variant makes (nothing materialized).
+// the streaming grid variant makes (nothing materialized). -cache
+// validates a row-cache file instead (experiment.Params.CacheDir layout,
+// `make quality-gate`): the first line must be an optchain-rowcache/v1
+// header, rows carry no sweep identity (cache entries are pure cell data),
+// and wall_seconds must be zero on every entry.
 package main
 
 import (
@@ -35,14 +39,27 @@ type row struct {
 	Streamed  *bool    `json:"streamed"`
 	Committed int      `json:"committed"`
 	SteadyTPS *float64 `json:"steady_tps"`
+	WallSecs  *float64 `json:"wall_seconds"`
+}
+
+// cacheSchema is the row-cache header tag this checker accepts (mirrors
+// experiment.CacheSchema; kept literal so the checker stays a leaf tool).
+const cacheSchema = "optchain-rowcache/v1"
+
+// header is the field subset of a row-cache header line the checker
+// validates.
+type header struct {
+	Schema     string `json:"schema"`
+	Validators int    `json:"validators"`
 }
 
 func main() {
 	rows := flag.Int("rows", 0, "require exactly this many rows (0 = any)")
 	streamed := flag.Bool("streamed", false, "require every row to be streamed (no materialization)")
+	cache := flag.Bool("cache", false, "validate a row-cache file (header line + pure cell rows with zero wall_seconds)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sweepcheck [-rows N] [-streamed] FILE.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: sweepcheck [-rows N] [-streamed] [-cache] FILE.jsonl")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -60,11 +77,27 @@ func main() {
 	}
 	seen := map[string]bool{}
 	n := 0
+	sawHeader := false
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	for line := 1; sc.Scan(); line++ {
 		text := sc.Text()
 		if len(text) == 0 {
+			continue
+		}
+		if *cache && !sawHeader {
+			sawHeader = true
+			var h header
+			if err := json.Unmarshal([]byte(text), &h); err != nil {
+				fail("line %d: cache header not JSON: %v", line, err)
+				continue
+			}
+			if h.Schema != cacheSchema {
+				fail("line %d: cache schema %q, want %q", line, h.Schema, cacheSchema)
+			}
+			if h.Validators < 1 {
+				fail("line %d: cache header validators = %d", line, h.Validators)
+			}
 			continue
 		}
 		var r row
@@ -81,11 +114,22 @@ func main() {
 		default:
 			seen[r.ID] = true
 		}
-		if r.Sweep == "" {
-			fail("line %d: missing sweep name", line)
-		}
-		if r.Index == nil {
-			fail("line %d: missing index", line)
+		if *cache {
+			// Cache entries are pure cell data: no sweep identity, no
+			// host-noise wall clock (the byte-identity guarantee).
+			if r.Sweep != "" {
+				fail("line %d: cache row %q carries sweep identity %q", line, r.ID, r.Sweep)
+			}
+			if r.WallSecs != nil && *r.WallSecs != 0 {
+				fail("line %d: cache row %q has nonzero wall_seconds %v", line, r.ID, *r.WallSecs)
+			}
+		} else {
+			if r.Sweep == "" {
+				fail("line %d: missing sweep name", line)
+			}
+			if r.Index == nil {
+				fail("line %d: missing index", line)
+			}
 		}
 		if r.Kind == "" || r.Strategy == "" || r.Workload == "" {
 			fail("line %d: missing kind/strategy/workload", line)
@@ -109,6 +153,9 @@ func main() {
 	}
 	if err := sc.Err(); err != nil {
 		fail("read: %v", err)
+	}
+	if *cache && !sawHeader {
+		fail("missing cache header line")
 	}
 	if *rows > 0 && n != *rows {
 		fail("row count %d, want %d", n, *rows)
