@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet fmt fmt-check lint lint-json bench-smoke bench-json bench-scaling examples scenario-smoke fuzz-smoke sweep-smoke quality-gate cover docs-check ci
+.PHONY: all build test test-race vet fmt fmt-check lint lint-json bench-smoke bench-json bench-scaling examples scenario-smoke fuzz-smoke sweep-smoke serve-smoke quality-gate cover docs-check ci
 
 all: build
 
@@ -105,6 +105,15 @@ sweep-smoke:
 		&& $(GO) run ./internal/sweepcheck -rows 4 -streamed sweep-smoke.jsonl || rc=$$?; \
 	rm -f sweep-smoke.jsonl; exit $$rc
 
+# HTTP gateway smoke (see PERFORMANCE.md "Serving placement"): servecheck
+# drives the serve package end to end over a real TCP listener — place a
+# workload over /v1/place with parent-id references, scrape /metrics, shut
+# down (writing the final state snapshot), restart with restore, and place
+# the rest — asserting every decision matches an uninterrupted reference
+# run. It prints the serving-path tail latencies into the CI log.
+serve-smoke:
+	$(GO) run ./internal/servecheck
+
 # Placement-quality gate (see PERFORMANCE.md "Quality gates"). Four checks
 # in one pipeline:
 #   1. the quality sweep runs cold into a fresh row cache;
@@ -143,4 +152,4 @@ docs-check:
 	fi
 	$(GO) run ./internal/docscheck README.md SCENARIOS.md PERFORMANCE.md
 
-ci: fmt-check vet lint build test bench-smoke sweep-smoke quality-gate docs-check
+ci: fmt-check vet lint build test bench-smoke sweep-smoke serve-smoke quality-gate docs-check

@@ -115,6 +115,7 @@ func run() int {
 		workloads  = flag.String("workloads", "", "workload-scenario set for the scenarios experiment and baseline; ','-separated, or ';'-separated when a spec contains commas (a trailing ';' forces that mode); default: all standalone registered")
 		list       = flag.Bool("list", false, "list experiment names and exit")
 		baseline   = flag.String("baseline-json", "", "measure hot paths and write the JSON performance record to this file instead of running experiments")
+		mergeCache = flag.String("merge-cache", "", "merge row caches: write the union of the positional input rows.jsonl files to this path (inputs must share seed/validators; diverging duplicate cells fail)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -130,6 +131,29 @@ func run() int {
 			fmt.Printf("  %-12s %s\n", name, experiment.SweepDescription(name))
 		}
 		fmt.Printf("reporters: %s\n", strings.Join(experiment.Reporters(), " "))
+		return 0
+	}
+	if *mergeCache != "" {
+		// -merge-cache is an offline file operation; combining it with a
+		// run or comparison mode would leave one of the two silently undone.
+		for flagName, set := range map[string]bool{
+			"-sweep": *sweep != "", "-experiment": *exp != "", "-baseline-json": *baseline != "",
+			"-cache": *cacheDir != "", "-stream": *stream, "-diff": *diffMode,
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "optchain-bench: %s and -merge-cache are mutually exclusive\n", flagName)
+				return 2
+			}
+		}
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: optchain-bench -merge-cache OUT IN1 [IN2 ...]")
+			return 2
+		}
+		if err := experiment.MergeCacheFiles(*mergeCache, flag.Args()...); err != nil {
+			fmt.Fprintf(os.Stderr, "optchain-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("merged %d cache file(s) into %s\n", flag.NArg(), *mergeCache)
 		return 0
 	}
 	if *diffMode {

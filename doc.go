@@ -153,6 +153,21 @@
 // -sweep/-reporter/-list-sweeps; see the experiment package documentation
 // and PERFORMANCE.md's "Running experiments".
 //
+// # State snapshots and serving
+//
+// Engine.WriteSnapshot serializes the engine's complete decision state —
+// configuration fingerprint, the strategy's placement.Snapshotter section,
+// and a trailing checksum — and Engine.ReadSnapshot restores it into a
+// freshly constructed engine of identical configuration, after which
+// every subsequent decision is bit-identical to the uninterrupted run's
+// (ErrBadSnapshot / ErrSnapshotUnsupported report damage and
+// non-snapshottable strategies). The sibling package optchain/serve
+// builds the placement-router deployment on top: an HTTP gateway
+// (cmd/optchain-serve) with request coalescing into PlaceBatch, bounded
+// admission (429 + Retry-After), Prometheus /metrics, and periodic atomic
+// snapshots restored on restart — see PERFORMANCE.md's
+// "Serving placement".
+//
 // # Registries
 //
 // Strategies, protocols, workload scenarios, reporters, and named sweeps

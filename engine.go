@@ -123,6 +123,7 @@ type Engine struct {
 
 	mu         sync.Mutex
 	placer     Placer                 // guarded by mu
+	placerN    int                    // guarded by mu — capacity hint the placer was built with
 	placed     int                    // guarded by mu
 	outs       []int32                // guarded by mu
 	cross      placement.CrossCounter // guarded by mu
@@ -543,6 +544,7 @@ func (e *Engine) ensurePlacerLocked() error {
 		return err
 	}
 	e.placer = p
+	e.placerN = n
 	return nil
 }
 

@@ -1,0 +1,177 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// cacheLine is one row of a cache file as read for merging: the parsed cell
+// ID plus the exact stored bytes. Merging compares bytes, not parsed
+// structs — rows are normalized before persisting (see rowCache.put), so
+// two caches that computed the same cell hold identical bytes, and any
+// byte-level disagreement means the caches came from diverging code or
+// corrupted storage.
+type cacheLine struct {
+	id   string
+	raw  []byte
+	path string
+	line int
+}
+
+// MergeCacheFiles merges several row-cache files (rows.jsonl, schema
+// optchain-rowcache/v1) into one at outPath, so sweeps fanned out across
+// machines — each filling its own cache directory — can be combined into a
+// single resumable cache. The first input's header becomes the output
+// header; every other input must agree on the binding fields (seed and
+// validators), as the row-cache contract requires. Rows keep first-seen
+// order. A cell ID appearing in several inputs is fine when the stored
+// bytes are identical (the normal fan-out overlap); the same ID with
+// differing bytes fails with ErrBadCache naming the cell and both files,
+// because silently picking one side would poison every future resume.
+//
+// The output is written atomically (temp file + rename), so outPath may be
+// one of the inputs.
+func MergeCacheFiles(outPath string, inPaths ...string) error {
+	if outPath == "" {
+		return fmt.Errorf("%w: merge needs an output path", ErrBadCache)
+	}
+	if len(inPaths) == 0 {
+		return fmt.Errorf("%w: merge needs at least one input cache", ErrBadCache)
+	}
+
+	var (
+		header []byte
+		bound  cacheHeader
+		order  []string
+		byID   = make(map[string]cacheLine)
+	)
+	for i, path := range inPaths {
+		h, rawHeader, lines, err := readCacheLines(path)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			header, bound = rawHeader, h
+		} else if h.Seed != bound.Seed || h.Validators != bound.Validators {
+			return fmt.Errorf("%w: %s written under seed=%d validators=%d, %s under seed=%d validators=%d",
+				ErrBadCache, inPaths[0], bound.Seed, bound.Validators, path, h.Seed, h.Validators)
+		}
+		for _, l := range lines {
+			prev, seen := byID[l.id]
+			if !seen {
+				byID[l.id] = l
+				order = append(order, l.id)
+				continue
+			}
+			if !bytes.Equal(prev.raw, l.raw) {
+				return fmt.Errorf("%w: cell %q differs between %s:%d and %s:%d — the caches diverged and cannot be merged",
+					ErrBadCache, l.id, prev.path, prev.line, l.path, l.line)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	buf.Write(header)
+	buf.WriteByte('\n')
+	for _, id := range order {
+		buf.Write(byID[id].raw)
+		buf.WriteByte('\n')
+	}
+	if err := writeCacheAtomic(outPath, buf.Bytes()); err != nil {
+		return fmt.Errorf("%w: write %s: %v", ErrBadCache, outPath, err)
+	}
+	return nil
+}
+
+// readCacheLines reads one cache file for merging: the validated header
+// (schema-checked, parsed) with its raw bytes, then every row line with its
+// parsed cell ID and raw bytes. Validation mirrors loadCacheRows — corrupt
+// lines, missing IDs, and within-file duplicates all fail with ErrBadCache.
+func readCacheLines(path string) (cacheHeader, []byte, []cacheLine, error) {
+	var h cacheHeader
+	f, err := os.Open(path)
+	if err != nil {
+		return h, nil, nil, fmt.Errorf("%w: open %s: %v", ErrBadCache, path, err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, nil, nil, fmt.Errorf("%w: read %s header: %v", ErrBadCache, path, err)
+		}
+		return h, nil, nil, fmt.Errorf("%w: %s is empty (no header)", ErrBadCache, path)
+	}
+	rawHeader := append([]byte(nil), sc.Bytes()...)
+	if err := json.Unmarshal(rawHeader, &h); err != nil || h.Schema == "" {
+		return h, nil, nil, fmt.Errorf("%w: %s line 1 is not a cache header (want schema %q)", ErrBadCache, path, CacheSchema)
+	}
+	if h.Schema != CacheSchema {
+		return h, nil, nil, fmt.Errorf("%w: %s has schema %q, want %q", ErrBadCache, path, h.Schema, CacheSchema)
+	}
+
+	var lines []cacheLine
+	seen := make(map[string]int)
+	for line := 2; sc.Scan(); line++ {
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var row Row
+		if err := json.Unmarshal(text, &row); err != nil {
+			return h, nil, nil, fmt.Errorf("%w: %s line %d corrupt: %v", ErrBadCache, path, line, err)
+		}
+		if row.ID == "" {
+			return h, nil, nil, fmt.Errorf("%w: %s line %d has no cell ID", ErrBadCache, path, line)
+		}
+		if first, dup := seen[row.ID]; dup {
+			return h, nil, nil, fmt.Errorf("%w: %s line %d duplicates cell %q (first at line %d)", ErrBadCache, path, line, row.ID, first)
+		}
+		seen[row.ID] = line
+		lines = append(lines, cacheLine{
+			id:   row.ID,
+			raw:  append([]byte(nil), text...),
+			path: path,
+			line: line,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, nil, fmt.Errorf("%w: read %s: %v", ErrBadCache, path, err)
+	}
+	return h, rawHeader, lines, nil
+}
+
+// writeCacheAtomic writes data to path via a same-directory temp file and
+// rename, so a merge interrupted mid-write never leaves a torn cache.
+func writeCacheAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".merge*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

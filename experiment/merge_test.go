@@ -1,0 +1,183 @@
+package experiment_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"optchain/experiment"
+)
+
+// fillCache runs sweep into dir's row cache and returns the cache path.
+func fillCache(t *testing.T, dir string, sweep experiment.Sweep, mutate func(*experiment.Params)) string {
+	t.Helper()
+	p := cacheParams(dir)
+	if mutate != nil {
+		mutate(&p)
+	}
+	r := experiment.NewRunner(p)
+	if _, err := r.Collect(context.Background(), sweep); err != nil {
+		t.Fatalf("fill cache %s: %v", dir, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close runner: %v", err)
+	}
+	return filepath.Join(dir, "rows.jsonl")
+}
+
+func mergeCells(strategies []string, shards []int) experiment.Sweep {
+	var cells []experiment.Cell
+	for i, s := range strategies {
+		cells = append(cells, experiment.Cell{Strategy: s, Shards: shards[i], Rate: 800})
+	}
+	return experiment.Sweep{Name: "merge", Cells: cells}
+}
+
+// TestMergeCacheFanOut is the distributed fan-out scenario: two workers
+// each fill a cache over an overlapping slice of the grid; the merged file
+// must be byte-identical to the cache an uninterrupted single run writes,
+// and a resumed run over it must serve every cell from cache.
+func TestMergeCacheFanOut(t *testing.T) {
+	in1 := fillCache(t, t.TempDir(), mergeCells([]string{"OptChain", "OptChain"}, []int{2, 4}), nil)
+	in2 := fillCache(t, t.TempDir(), mergeCells([]string{"OptChain", "OmniLedger"}, []int{4, 2}), nil)
+	full := mergeCells([]string{"OptChain", "OptChain", "OmniLedger"}, []int{2, 4, 2})
+	ref := fillCache(t, t.TempDir(), full, nil)
+
+	outDir := t.TempDir()
+	out := filepath.Join(outDir, "rows.jsonl")
+	if err := experiment.MergeCacheFiles(out, in1, in2); err != nil {
+		t.Fatalf("MergeCacheFiles: %v", err)
+	}
+	merged, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("read merged: %v", err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatalf("read reference: %v", err)
+	}
+	if !bytes.Equal(merged, want) {
+		t.Fatalf("merged cache differs from an uninterrupted run's:\n--- merged ---\n%s--- reference ---\n%s", merged, want)
+	}
+
+	// A run over the merged cache computes nothing.
+	warm := experiment.NewRunner(cacheParams(outDir))
+	rows, err := warm.Collect(context.Background(), full)
+	if err != nil {
+		t.Fatalf("run over merged cache: %v", err)
+	}
+	if err := warm.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.WallSeconds != 0 {
+			t.Fatalf("cell %s re-executed after merge (wall %v)", row.ID, row.WallSeconds)
+		}
+	}
+}
+
+// TestMergeCacheIdempotent: merging a file with itself (and into itself)
+// reproduces it unchanged — duplicates with identical bytes are the normal
+// fan-out overlap.
+func TestMergeCacheIdempotent(t *testing.T) {
+	in := fillCache(t, t.TempDir(), mergeCells([]string{"OptChain"}, []int{2}), nil)
+	orig, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := experiment.MergeCacheFiles(in, in, in); err != nil {
+		t.Fatalf("self-merge: %v", err)
+	}
+	after, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, after) {
+		t.Fatalf("self-merge changed the file:\n--- before ---\n%s--- after ---\n%s", orig, after)
+	}
+}
+
+// TestMergeCacheConflicts: diverging duplicate rows, binding mismatches,
+// and unreadable inputs all fail with ErrBadCache.
+func TestMergeCacheConflicts(t *testing.T) {
+	sweep := mergeCells([]string{"OptChain"}, []int{2})
+	in := fillCache(t, t.TempDir(), sweep, nil)
+	out := filepath.Join(t.TempDir(), "rows.jsonl")
+
+	t.Run("diverging duplicate", func(t *testing.T) {
+		data, err := os.ReadFile(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same cell ID, different stored bytes: tamper with a metric digit.
+		lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+		row := lines[len(lines)-1]
+		tampered := tamperDigit(t, row)
+		forged := filepath.Join(t.TempDir(), "rows.jsonl")
+		if err := os.WriteFile(forged, []byte(lines[0]+"\n"+tampered+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err = experiment.MergeCacheFiles(out, in, forged)
+		if !errors.Is(err, experiment.ErrBadCache) {
+			t.Fatalf("diverging duplicate: err=%v, want ErrBadCache", err)
+		}
+		if !strings.Contains(err.Error(), "differs between") {
+			t.Fatalf("conflict error does not name the divergence: %v", err)
+		}
+	})
+
+	t.Run("binding mismatch", func(t *testing.T) {
+		other := fillCache(t, t.TempDir(), sweep, func(p *experiment.Params) { p.Seed = 99 })
+		if err := experiment.MergeCacheFiles(out, in, other); !errors.Is(err, experiment.ErrBadCache) {
+			t.Fatalf("seed mismatch: err=%v, want ErrBadCache", err)
+		}
+	})
+
+	t.Run("missing input", func(t *testing.T) {
+		if err := experiment.MergeCacheFiles(out, in, filepath.Join(t.TempDir(), "absent.jsonl")); !errors.Is(err, experiment.ErrBadCache) {
+			t.Fatalf("missing input: err=%v, want ErrBadCache", err)
+		}
+	})
+
+	t.Run("no inputs", func(t *testing.T) {
+		if err := experiment.MergeCacheFiles(out); !errors.Is(err, experiment.ErrBadCache) {
+			t.Fatalf("no inputs: err=%v, want ErrBadCache", err)
+		}
+	})
+
+	t.Run("not a cache", func(t *testing.T) {
+		junk := filepath.Join(t.TempDir(), "rows.jsonl")
+		if err := os.WriteFile(junk, []byte("junk\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := experiment.MergeCacheFiles(out, junk); !errors.Is(err, experiment.ErrBadCache) {
+			t.Fatalf("junk input: err=%v, want ErrBadCache", err)
+		}
+	})
+}
+
+// tamperDigit flips one digit inside the row's metric section (after the
+// id field, so the cell identity is preserved).
+func tamperDigit(t *testing.T, row string) string {
+	t.Helper()
+	idEnd := strings.Index(row, `"id":"`)
+	if idEnd < 0 {
+		t.Fatalf("no id in row %q", row)
+	}
+	idEnd += len(`"id":"`)
+	idEnd += strings.Index(row[idEnd:], `"`)
+	for i := idEnd; i < len(row); i++ {
+		if row[i] >= '1' && row[i] <= '8' {
+			return row[:i] + string(row[i]+1) + row[i+1:]
+		}
+	}
+	t.Fatalf("no digit to tamper in %q", row)
+	return ""
+}

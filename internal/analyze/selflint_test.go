@@ -51,6 +51,14 @@ func TestPolicyRouting(t *testing.T) {
 		{"optchain/internal/analyze", "lockcheck", true},
 		{"optchain/cmd/optchain-bench", "determinism", false},
 		{"optchain/cmd/optchain-bench", "apierrors", false},
+		// The serving gateway is public API (typed sentinels) but not a
+		// decision package — it reads the wall clock for latency
+		// histograms; placement decisions stay inside the engine.
+		{"optchain/serve", "apierrors", true},
+		{"optchain/serve", "determinism", false},
+		{"optchain/serve", "spawncheck", true},
+		{"optchain/serve", "ctxcheck", true},
+		{"optchain/serve", "lockcheck", true},
 		// The concurrency-contract pack routes everywhere; spawncheck and
 		// ctxcheck additionally no-op inside package main at run time.
 		{"optchain", "forkpurity", true},

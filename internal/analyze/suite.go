@@ -29,12 +29,16 @@ var decisionPackages = []string{
 	"optchain/internal/workload",
 }
 
-// apiPackages are the exported surface: the root package and the experiment
-// harness. Only these are held to the typed-sentinel error contract —
-// internal packages may panic on invariant violations.
+// apiPackages are the exported surface: the root package, the experiment
+// harness, and the serving gateway. Only these are held to the
+// typed-sentinel error contract — internal packages may panic on invariant
+// violations. serve is deliberately NOT a decision package: it reads the
+// wall clock for latency histograms and snapshot timestamps, which the
+// determinism contract forbids; placement decisions stay inside the engine.
 var apiPackages = []string{
 	"optchain",
 	"optchain/experiment",
+	"optchain/serve",
 }
 
 func inList(path string, list []string) bool {

@@ -1,0 +1,234 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"optchain/serve"
+)
+
+func TestPlaceSingleRequest(t *testing.T) {
+	_, ts := newServer(t, serve.Config{})
+	resp, lines := postLines(t, ts, []string{`{"id":"genesis","outputs":2}`})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("%d response lines, want 1", len(lines))
+	}
+	r := lines[0]
+	if r.Error != "" || r.ID != "genesis" || r.Index != 0 || r.Shard < 0 || r.Shard >= testShards {
+		t.Fatalf("bad decision %+v", r)
+	}
+}
+
+func TestPlaceStreamOrderedWithParents(t *testing.T) {
+	s, ts := newServer(t, serve.Config{})
+	const n = 200
+	lines := make([]string, n)
+	for i := range lines {
+		req := serve.Request{ID: idOf(i), Outputs: 2}
+		if i > 0 {
+			req.Parents = []string{idOf(i - 1)}
+		}
+		if i > 10 {
+			req.Inputs = []int{i - 10} // absolute positions mix with parents
+		}
+		lines[i] = reqLine(t, req)
+	}
+	resp, out := postLines(t, ts, lines)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if len(out) != n {
+		t.Fatalf("%d response lines, want %d", len(out), n)
+	}
+	for i, r := range out {
+		if r.Error != "" {
+			t.Fatalf("line %d failed: %+v", i, r)
+		}
+		if r.Index != i {
+			t.Fatalf("line %d got index %d; single-connection streams must place in order", i, r.Index)
+		}
+		if r.Shard < 0 || r.Shard >= testShards {
+			t.Fatalf("line %d shard %d out of range", i, r.Shard)
+		}
+	}
+	if placed := s.Engine().Stats().Placed; placed != n {
+		t.Fatalf("engine placed %d, want %d", placed, n)
+	}
+}
+
+func TestPlaceBadLines(t *testing.T) {
+	cases := map[string]struct {
+		line     string
+		wantCode int
+	}{
+		"malformed json": {`{"outputs":`, http.StatusBadRequest},
+		"unknown parent": {`{"parents":["nope"],"outputs":1}`, http.StatusBadRequest},
+		"future input":   {`{"inputs":[99],"outputs":1}`, http.StatusBadRequest},
+		"negative input": {`{"inputs":[-1],"outputs":1}`, http.StatusBadRequest},
+		"negative outs":  {`{"outputs":-3}`, http.StatusBadRequest},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, ts := newServer(t, serve.Config{})
+			resp, out := postLines(t, ts, []string{c.line})
+			if resp.StatusCode != c.wantCode {
+				t.Fatalf("status %d, want %d", resp.StatusCode, c.wantCode)
+			}
+			if len(out) != 1 || out[0].Error == "" || out[0].Code != c.wantCode {
+				t.Fatalf("response %+v, want error line with code %d", out, c.wantCode)
+			}
+		})
+	}
+}
+
+func TestPlaceDuplicateIDFailsLineOnly(t *testing.T) {
+	_, ts := newServer(t, serve.Config{})
+	resp, out := postLines(t, ts, []string{
+		`{"id":"a","outputs":1}`,
+		`{"id":"a","outputs":1}`,
+		`{"id":"b","parents":["a"],"outputs":1}`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (multi-line bodies report per-line errors)", resp.StatusCode)
+	}
+	if len(out) != 3 {
+		t.Fatalf("%d lines, want 3", len(out))
+	}
+	if out[0].Error != "" || out[2].Error != "" {
+		t.Fatalf("valid lines failed: %+v", out)
+	}
+	if out[1].Code != http.StatusBadRequest || !strings.Contains(out[1].Error, "already names") {
+		t.Fatalf("duplicate id line: %+v, want 400", out[1])
+	}
+	// The duplicate consumed no stream position.
+	if out[2].Index != 1 {
+		t.Fatalf("line after duplicate got index %d, want 1", out[2].Index)
+	}
+}
+
+func TestPlaceEmptyBody(t *testing.T) {
+	_, ts := newServer(t, serve.Config{})
+	resp, err := http.Post(ts.URL+"/v1/place", "application/x-ndjson", strings.NewReader("\n \n"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newServer(t, serve.Config{})
+	lines := make([]string, 50)
+	for i := range lines {
+		lines[i] = reqLine(t, serve.Request{Outputs: 2})
+	}
+	if resp, _ := postLines(t, ts, lines); resp.StatusCode != http.StatusOK {
+		t.Fatalf("place: status %d", resp.StatusCode)
+	}
+	checks := map[string]float64{
+		"optchain_engine_placed_total":                           50,
+		`optchain_serve_lines_total{outcome="placed"}`:           50,
+		`optchain_serve_lines_total{outcome="rejected"}`:         0,
+		"optchain_serve_queue_capacity":                          float64(serve.DefaultQueueDepth),
+		`optchain_serve_place_latency_seconds_bucket{le="+Inf"}`: 50,
+	}
+	for series, want := range checks {
+		got, ok := scrapeMetric(t, ts, series)
+		if !ok {
+			t.Fatalf("series %s missing from /metrics", series)
+		}
+		if got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+	if v, ok := scrapeMetric(t, ts, "optchain_serve_batches_total"); !ok || v < 1 {
+		t.Errorf("optchain_serve_batches_total = %g, want >= 1", v)
+	}
+	if v, ok := scrapeMetric(t, ts, "optchain_serve_place_latency_seconds_count"); !ok || v != 50 {
+		t.Errorf("latency count = %g, want 50", v)
+	}
+}
+
+func TestHealthzLifecycle(t *testing.T) {
+	s, ts := newServer(t, serve.Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live server /healthz: %d, want 200", resp.StatusCode)
+	}
+	closeServer(t, s)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz after close: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed server /healthz: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestSnapshotEndpointNeedsStatePath(t *testing.T) {
+	_, ts := newServer(t, serve.Config{})
+	resp, err := http.Post(ts.URL+"/v1/snapshot", "text/plain", nil)
+	if err != nil {
+		t.Fatalf("POST /v1/snapshot: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot without StatePath: %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestPlaceAfterClose(t *testing.T) {
+	s, ts := newServer(t, serve.Config{})
+	closeServer(t, s)
+	if _, err := s.Place(context.Background(), serve.Request{Outputs: 1}); !errors.Is(err, serve.ErrServerClosed) {
+		t.Fatalf("Place after close: %v, want ErrServerClosed", err)
+	}
+	resp, lines := postLines(t, ts, []string{`{"outputs":1}`})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP place after close: %d (%+v), want 503", resp.StatusCode, lines)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := serve.New(serve.Config{}); !errors.Is(err, serve.ErrBadConfig) {
+		t.Fatalf("New without engine: %v, want ErrBadConfig", err)
+	}
+	if _, err := serve.New(serve.Config{Engine: newEngine(t, 16), QueueDepth: -1}); !errors.Is(err, serve.ErrBadConfig) {
+		t.Fatalf("New with negative queue: %v, want ErrBadConfig", err)
+	}
+}
+
+func TestProgrammaticPlace(t *testing.T) {
+	s, _ := newServer(t, serve.Config{})
+	ctx := context.Background()
+	a, err := s.Place(ctx, serve.Request{ID: "a", Outputs: 3})
+	if err != nil {
+		t.Fatalf("Place a: %v", err)
+	}
+	b, err := s.Place(ctx, serve.Request{ID: "b", Parents: []string{"a"}, Outputs: 1})
+	if err != nil {
+		t.Fatalf("Place b: %v", err)
+	}
+	if a.Index != 0 || b.Index != 1 {
+		t.Fatalf("indexes %d,%d want 0,1", a.Index, b.Index)
+	}
+	if _, err := s.Place(ctx, serve.Request{Parents: []string{"ghost"}, Outputs: 1}); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("unknown parent: %v, want ErrBadRequest", err)
+	}
+}
+
+func idOf(i int) string { return "tx-" + strconv.Itoa(i) }

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"optchain"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the enqueue-to-decision
+// latency histogram, log-spaced from 100µs to 2.5s; an implicit +Inf bucket
+// catches the rest. Hand-rolled Prometheus exposition — no client library.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// metrics aggregates the server-side counters exposed on /metrics alongside
+// the engine's own placement statistics.
+type metrics struct {
+	mu         sync.Mutex
+	httpByCode map[int]int64 // guarded by mu — HTTP responses by status code
+	placed     int64         // guarded by mu — requests answered with a decision
+	rejected   int64         // guarded by mu — admission-control rejections (429)
+	expired    int64         // guarded by mu — requests whose context expired while queued
+	invalids   int64         // guarded by mu — malformed / unresolvable requests
+	batches    int64         // guarded by mu — PlaceBatch calls issued
+	batchedTxs int64         // guarded by mu — transactions placed across all batches
+	latCounts  []int64       // guarded by mu — histogram bucket counts (+Inf last)
+	latSum     float64       // guarded by mu — histogram sum, seconds
+	snapshots  int64         // guarded by mu — state snapshots written
+	snapErrors int64         // guarded by mu — failed snapshot attempts
+	lastSnap   time.Time     // guarded by mu — completion time of the last snapshot
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		httpByCode: make(map[int]int64),
+		latCounts:  make([]int64, len(latencyBuckets)+1),
+	}
+}
+
+func (m *metrics) http(code int) {
+	m.mu.Lock()
+	m.httpByCode[code]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) place(lat time.Duration) {
+	sec := lat.Seconds()
+	m.mu.Lock()
+	m.placed++
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	m.latCounts[i]++
+	m.latSum += sec
+	m.mu.Unlock()
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) expire() {
+	m.mu.Lock()
+	m.expired++
+	m.mu.Unlock()
+}
+
+func (m *metrics) invalid() {
+	m.mu.Lock()
+	m.invalids++
+	m.mu.Unlock()
+}
+
+func (m *metrics) batch(txs int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchedTxs += int64(txs)
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() {
+	m.mu.Lock()
+	m.snapshots++
+	m.lastSnap = time.Now()
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshotError() {
+	m.mu.Lock()
+	m.snapErrors++
+	m.mu.Unlock()
+}
+
+// Quantile estimates the given latency quantile (0..1) from the histogram
+// by linear interpolation inside the covering bucket, the same estimate
+// Prometheus' histogram_quantile computes. It returns 0 before any
+// placement.
+func (m *metrics) Quantile(q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, c := range m.latCounts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen int64
+	for i, c := range m.latCounts {
+		if float64(seen+c) < rank {
+			seen += c
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBuckets[i-1]
+		}
+		hi := 2 * lo // crude cap for the +Inf bucket
+		if i < len(latencyBuckets) {
+			hi = latencyBuckets[i]
+		}
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(seen))/float64(c)
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// writeTo renders the Prometheus text exposition (version 0.0.4): the
+// engine's placement statistics plus the server's admission, batching,
+// latency, and snapshot counters. Label sets are emitted in sorted order so
+// consecutive scrapes of an idle server are byte-identical.
+func (m *metrics) writeTo(w io.Writer, eng *optchain.Engine, queueDepth, queueCap int) error {
+	st := eng.Stats()
+	var b []byte
+	line := func(format string, args ...any) {
+		b = fmt.Appendf(b, format, args...)
+	}
+
+	line("# HELP optchain_engine_placed_total Transactions placed on the engine's stream.\n")
+	line("# TYPE optchain_engine_placed_total counter\n")
+	line("optchain_engine_placed_total %d\n", st.Placed)
+	line("# HELP optchain_engine_cross_total Cross-shard transactions placed.\n")
+	line("# TYPE optchain_engine_cross_total counter\n")
+	line("optchain_engine_cross_total %d\n", st.Cross)
+	line("# HELP optchain_engine_cross_fraction Cross-shard fraction of placed transactions.\n")
+	line("# TYPE optchain_engine_cross_fraction gauge\n")
+	line("optchain_engine_cross_fraction %g\n", st.CrossFraction)
+	line("# HELP optchain_engine_shard_txs Transactions assigned to each shard.\n")
+	line("# TYPE optchain_engine_shard_txs gauge\n")
+	for shard, n := range st.ShardCounts {
+		line("optchain_engine_shard_txs{shard=\"%d\"} %d\n", shard, n)
+	}
+	line("# HELP optchain_engine_parallel_input_refs_total Input references seen by parallel placement epochs.\n")
+	line("# TYPE optchain_engine_parallel_input_refs_total counter\n")
+	line("optchain_engine_parallel_input_refs_total %d\n", st.ParallelInputRefs)
+	line("# HELP optchain_engine_cross_chunk_refs_total Parallel input references that crossed concurrent chunks.\n")
+	line("# TYPE optchain_engine_cross_chunk_refs_total counter\n")
+	line("optchain_engine_cross_chunk_refs_total %d\n", st.CrossChunkRefs)
+
+	m.mu.Lock()
+	line("# HELP optchain_serve_queue_depth Requests currently waiting in the ingest queue.\n")
+	line("# TYPE optchain_serve_queue_depth gauge\n")
+	line("optchain_serve_queue_depth %d\n", queueDepth)
+	line("# HELP optchain_serve_queue_capacity Ingest queue capacity (admission-control bound).\n")
+	line("# TYPE optchain_serve_queue_capacity gauge\n")
+	line("optchain_serve_queue_capacity %d\n", queueCap)
+	line("# HELP optchain_serve_requests_total HTTP responses by status code.\n")
+	line("# TYPE optchain_serve_requests_total counter\n")
+	codes := make([]int, 0, len(m.httpByCode))
+	for code := range m.httpByCode {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	for _, code := range codes {
+		line("optchain_serve_requests_total{code=\"%d\"} %d\n", code, m.httpByCode[code])
+	}
+	line("# HELP optchain_serve_lines_total Placement requests by outcome.\n")
+	line("# TYPE optchain_serve_lines_total counter\n")
+	line("optchain_serve_lines_total{outcome=\"placed\"} %d\n", m.placed)
+	line("optchain_serve_lines_total{outcome=\"rejected\"} %d\n", m.rejected)
+	line("optchain_serve_lines_total{outcome=\"expired\"} %d\n", m.expired)
+	line("optchain_serve_lines_total{outcome=\"invalid\"} %d\n", m.invalids)
+	line("# HELP optchain_serve_batches_total PlaceBatch calls issued by the dispatcher.\n")
+	line("# TYPE optchain_serve_batches_total counter\n")
+	line("optchain_serve_batches_total %d\n", m.batches)
+	line("# HELP optchain_serve_batched_txs_total Transactions placed across all dispatcher batches.\n")
+	line("# TYPE optchain_serve_batched_txs_total counter\n")
+	line("optchain_serve_batched_txs_total %d\n", m.batchedTxs)
+	line("# HELP optchain_serve_place_latency_seconds Enqueue-to-decision latency.\n")
+	line("# TYPE optchain_serve_place_latency_seconds histogram\n")
+	var cum int64
+	for i, bound := range latencyBuckets {
+		cum += m.latCounts[i]
+		line("optchain_serve_place_latency_seconds_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += m.latCounts[len(latencyBuckets)]
+	line("optchain_serve_place_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	line("optchain_serve_place_latency_seconds_sum %g\n", m.latSum)
+	line("optchain_serve_place_latency_seconds_count %d\n", cum)
+	line("# HELP optchain_serve_snapshots_total State snapshots written.\n")
+	line("# TYPE optchain_serve_snapshots_total counter\n")
+	line("optchain_serve_snapshots_total %d\n", m.snapshots)
+	line("# HELP optchain_serve_snapshot_errors_total Failed snapshot attempts.\n")
+	line("# TYPE optchain_serve_snapshot_errors_total counter\n")
+	line("optchain_serve_snapshot_errors_total %d\n", m.snapErrors)
+	if !m.lastSnap.IsZero() {
+		line("# HELP optchain_serve_last_snapshot_unix_seconds Completion time of the last snapshot.\n")
+		line("# TYPE optchain_serve_last_snapshot_unix_seconds gauge\n")
+		line("optchain_serve_last_snapshot_unix_seconds %d\n", m.lastSnap.Unix())
+	}
+	m.mu.Unlock()
+
+	_, err := w.Write(b)
+	return err
+}

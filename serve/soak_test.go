@@ -1,0 +1,230 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"optchain"
+	"optchain/serve"
+)
+
+// TestSoakWorkloadsOverHTTP drives the paper's workloads through the whole
+// HTTP ingest path with concurrent clients and a deliberately small queue,
+// so admission control triggers under the load spike: rejected requests are
+// retried after the advertised backoff, and the invariant under test is
+// that every transaction eventually gets exactly one decision — overload
+// sheds load onto the client, never drops accepted work. Mid-soak a
+// snapshot is taken through /v1/snapshot to prove it does not disturb the
+// stream. Run with -race in CI (make test-race).
+func TestSoakWorkloadsOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; skipped in -short")
+	}
+	for _, spec := range []string{"burst", "mix:bitcoin=0.6,hotspot=0.25,adversarial=0.15"} {
+		name := spec
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[:i]
+		}
+		t.Run(name, func(t *testing.T) { soakOne(t, spec) })
+	}
+}
+
+func soakOne(t *testing.T, spec string) {
+	const (
+		n       = 2000
+		workers = 16
+	)
+	d, err := optchain.MaterializeWorkload(spec, optchain.WorkloadParams{N: n, Seed: 11, Shards: testShards})
+	if err != nil {
+		t.Fatalf("materialize %s: %v", spec, err)
+	}
+	var txs []optchain.StreamTx
+	for tx := range optchain.DatasetStream(d) {
+		ins := make([]int, len(tx.Inputs))
+		copy(ins, tx.Inputs)
+		txs = append(txs, optchain.StreamTx{Inputs: ins, Outputs: tx.Outputs})
+	}
+
+	statePath := filepath.Join(t.TempDir(), "state.bin")
+	eng := newEngine(t, n)
+	s, err := serve.New(serve.Config{
+		Engine:     eng,
+		QueueDepth: 1, // deliberately tiny: concurrent clients must overflow it
+		MaxBatch:   8,
+		RetryAfter: time.Millisecond,
+		StatePath:  statePath,
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer closeServer(t, s)
+
+	// Parent-id scheduling: a transaction becomes ready once all the
+	// transactions whose outputs it spends have decisions. Concurrent
+	// clients make arrival order nondeterministic, so requests reference
+	// parents by id, never by absolute position.
+	children := make([][]int, n)
+	indeg := make([]int, n)
+	for i, tx := range txs {
+		seen := map[int]bool{}
+		for _, in := range tx.Inputs {
+			if !seen[in] {
+				seen[in] = true
+				children[in] = append(children[in], i)
+				indeg[i]++
+			}
+		}
+	}
+	ready := make(chan int, n)
+	for i := range txs {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		decided  = make(map[int]int) // tx -> shard
+		indexOf  = make(map[int]int) // tx -> stream index
+		retries  int
+		remain   = n
+		finished = make(chan struct{})
+	)
+	complete := func(tx, index, shard int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := decided[tx]; dup {
+			t.Errorf("tx %d decided twice", tx)
+			return
+		}
+		decided[tx] = shard
+		indexOf[tx] = index
+		for _, c := range children[tx] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready <- c
+			}
+		}
+		remain--
+		if remain == 0 {
+			close(finished)
+		}
+	}
+
+	client := ts.Client()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var tx int
+				select {
+				case tx = <-ready:
+				case <-finished:
+					return
+				}
+				req := serve.Request{ID: "t" + itoa(tx), Outputs: txs[tx].Outputs}
+				for _, in := range txs[tx].Inputs {
+					req.Parents = append(req.Parents, "t"+itoa(in))
+				}
+				line := reqLine(t, req)
+				for {
+					resp, err := client.Post(ts.URL+"/v1/place", "application/x-ndjson", strings.NewReader(line))
+					if err != nil {
+						t.Errorf("tx %d: %v", tx, err)
+						return
+					}
+					var r resLine
+					if err := decodeSingleLine(resp, &r); err != nil {
+						t.Errorf("tx %d: decode: %v", tx, err)
+						return
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						mu.Lock()
+						retries++
+						mu.Unlock()
+						time.Sleep(time.Duration(r.RetryAfterMS) * time.Millisecond)
+						continue
+					}
+					if resp.StatusCode != http.StatusOK || r.Error != "" {
+						t.Errorf("tx %d: status %d, line %+v", tx, resp.StatusCode, r)
+						return
+					}
+					complete(tx, r.Index, r.Shard)
+					break
+				}
+			}
+		}()
+	}
+
+	// Mid-soak snapshot: must not disturb the stream.
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		time.Sleep(20 * time.Millisecond)
+		resp, err := client.Post(ts.URL+"/v1/snapshot", "text/plain", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	select {
+	case <-finished:
+	case <-time.After(120 * time.Second):
+		mu.Lock()
+		t.Fatalf("soak stalled: %d of %d decided", n-remain, n)
+	}
+	wg.Wait()
+	<-snapDone
+
+	// Every transaction decided exactly once, every shard in range, and
+	// the engine agrees it placed exactly n.
+	if len(decided) != n {
+		t.Fatalf("%d decisions, want %d", len(decided), n)
+	}
+	usedIdx := make(map[int]bool, n)
+	for tx, shard := range decided {
+		if shard < 0 || shard >= testShards {
+			t.Fatalf("tx %d in shard %d, out of range", tx, shard)
+		}
+		if usedIdx[indexOf[tx]] {
+			t.Fatalf("stream index %d assigned twice", indexOf[tx])
+		}
+		usedIdx[indexOf[tx]] = true
+	}
+	st := eng.Stats()
+	if st.Placed != n {
+		t.Fatalf("engine placed %d, want %d — accepted work must never be dropped", st.Placed, n)
+	}
+	var total int64
+	for _, c := range st.ShardCounts {
+		total += c
+	}
+	if total != int64(n) {
+		t.Fatalf("shard counts sum to %d, want %d", total, n)
+	}
+	if _, err := os.Stat(statePath); err != nil {
+		t.Fatalf("mid-soak snapshot missing: %v", err)
+	}
+	if placedM, ok := scrapeMetric(t, ts, "optchain_engine_placed_total"); !ok || placedM != float64(n) {
+		t.Fatalf("metrics placed %g, want %d", placedM, n)
+	}
+	t.Logf("%s soak: %d txs, %d retries after 429, cross fraction %.3f",
+		t.Name(), n, retries, st.CrossFraction)
+}
+
+// decodeSingleLine reads the one-line body of a single-request response.
+func decodeSingleLine(resp *http.Response, r *resLine) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(r)
+}

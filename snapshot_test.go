@@ -1,0 +1,284 @@
+package optchain_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"optchain"
+)
+
+// snapshotStream materializes a deterministic mixed workload as StreamTx
+// values so tests can replay identical halves through multiple engines.
+func snapshotStream(t *testing.T, n int, shards int) []optchain.StreamTx {
+	t.Helper()
+	d, err := optchain.MaterializeWorkload(
+		"mix:bitcoin=0.6,hotspot=0.25,adversarial=0.15",
+		optchain.WorkloadParams{N: n, Seed: 7, Shards: shards})
+	if err != nil {
+		t.Fatalf("materialize workload: %v", err)
+	}
+	var txs []optchain.StreamTx
+	for tx := range optchain.DatasetStream(d) {
+		ins := make([]int, len(tx.Inputs))
+		copy(ins, tx.Inputs)
+		txs = append(txs, optchain.StreamTx{Inputs: ins, Outputs: tx.Outputs})
+	}
+	if len(txs) != n {
+		t.Fatalf("materialized %d txs, want %d", len(txs), n)
+	}
+	return txs
+}
+
+func snapshotEngine(t *testing.T, strategy string, n int, extra ...optchain.Option) *optchain.Engine {
+	t.Helper()
+	opts := append([]optchain.Option{
+		optchain.WithShards(8),
+		optchain.WithStrategy(strategy),
+		optchain.WithStreamCapacity(n),
+		optchain.WithSeed(1),
+	}, extra...)
+	e, err := optchain.New(opts...)
+	if err != nil {
+		t.Fatalf("New(%s): %v", strategy, err)
+	}
+	return e
+}
+
+// TestSnapshotRoundTripDecisionFidelity is the restore-fidelity proof: a
+// workload replays uninterrupted through engine A; engine B places the
+// first half and snapshots; a fresh engine C restores the snapshot and
+// places the second half. C's decisions must be bit-identical to A's on
+// the same suffix, and the final counters must agree exactly.
+func TestSnapshotRoundTripDecisionFidelity(t *testing.T) {
+	const n = 3000
+	txs := snapshotStream(t, n, 8)
+	half := n / 2
+	for _, strategy := range []string{"OptChain", "T2S", "Greedy", "OmniLedger"} {
+		t.Run(strategy, func(t *testing.T) {
+			a := snapshotEngine(t, strategy, n)
+			first, err := a.PlaceBatch(txs[:half], nil)
+			if err != nil {
+				t.Fatalf("A first half: %v", err)
+			}
+			want, err := a.PlaceBatch(txs[half:], nil)
+			if err != nil {
+				t.Fatalf("A second half: %v", err)
+			}
+
+			b := snapshotEngine(t, strategy, n)
+			bFirst, err := b.PlaceBatch(txs[:half], nil)
+			if err != nil {
+				t.Fatalf("B first half: %v", err)
+			}
+			for i := range first {
+				if first[i] != bFirst[i] {
+					t.Fatalf("A and B disagree at %d before any snapshot: %d vs %d", i, first[i], bFirst[i])
+				}
+			}
+			var snap bytes.Buffer
+			if err := b.WriteSnapshot(&snap); err != nil {
+				t.Fatalf("WriteSnapshot: %v", err)
+			}
+
+			c := snapshotEngine(t, strategy, n)
+			if err := c.ReadSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+				t.Fatalf("ReadSnapshot: %v", err)
+			}
+			if got, want := c.Stats(), b.Stats(); got.Placed != want.Placed ||
+				got.Cross != want.Cross || got.CrossFraction != want.CrossFraction {
+				t.Fatalf("restored stats %+v, want %+v", got, want)
+			}
+			got, err := c.PlaceBatch(txs[half:], nil)
+			if err != nil {
+				t.Fatalf("C second half: %v", err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("restored engine diverges at suffix position %d: shard %d, uninterrupted run chose %d",
+						half+i, got[i], want[i])
+				}
+			}
+			ga, gc := a.Stats(), c.Stats()
+			if ga.Placed != gc.Placed || ga.Cross != gc.Cross {
+				t.Fatalf("final stats diverge: uninterrupted %+v, restored %+v", ga, gc)
+			}
+		})
+	}
+}
+
+// TestSnapshotRoundTripParallel proves fidelity holds through the parallel
+// epoch path too, as long as both runs use the same batch boundaries.
+func TestSnapshotRoundTripParallel(t *testing.T) {
+	const n = 2000
+	txs := snapshotStream(t, n, 8)
+	half := n / 2
+	par := []optchain.Option{optchain.WithParallelism(2), optchain.WithBatchSize(256)}
+
+	a := snapshotEngine(t, "OptChain", n, par...)
+	if _, err := a.PlaceBatch(txs[:half], nil); err != nil {
+		t.Fatalf("A first half: %v", err)
+	}
+	want, err := a.PlaceBatch(txs[half:], nil)
+	if err != nil {
+		t.Fatalf("A second half: %v", err)
+	}
+
+	b := snapshotEngine(t, "OptChain", n, par...)
+	if _, err := b.PlaceBatch(txs[:half], nil); err != nil {
+		t.Fatalf("B first half: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := b.WriteSnapshot(&snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	c := snapshotEngine(t, "OptChain", n, par...)
+	if err := c.ReadSnapshot(&snap); err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	got, err := c.PlaceBatch(txs[half:], nil)
+	if err != nil {
+		t.Fatalf("C second half: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parallel restore diverges at %d: %d vs %d", half+i, got[i], want[i])
+		}
+	}
+	if as, cs := a.Stats(), c.Stats(); as.ParallelInputRefs != cs.ParallelInputRefs ||
+		as.CrossChunkRefs != cs.CrossChunkRefs {
+		t.Fatalf("epoch counters diverge: %+v vs %+v", as, cs)
+	}
+}
+
+// TestSnapshotEmptyEngine: snapshotting before any placement restores to a
+// state indistinguishable from fresh.
+func TestSnapshotEmptyEngine(t *testing.T) {
+	const n = 500
+	txs := snapshotStream(t, n, 8)
+	a := snapshotEngine(t, "OptChain", n)
+	var snap bytes.Buffer
+	if err := a.WriteSnapshot(&snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	b := snapshotEngine(t, "OptChain", n)
+	if err := b.ReadSnapshot(&snap); err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	want, err := a.PlaceBatch(txs, nil)
+	if err != nil {
+		t.Fatalf("A: %v", err)
+	}
+	got, err := b.PlaceBatch(txs, nil)
+	if err != nil {
+		t.Fatalf("B: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("empty-snapshot restore diverges at %d", i)
+		}
+	}
+}
+
+// TestSnapshotFingerprintMismatch: every decision-relevant configuration
+// disagreement is rejected with ErrBadSnapshot before any state is adopted.
+func TestSnapshotFingerprintMismatch(t *testing.T) {
+	const n = 200
+	txs := snapshotStream(t, n, 8)
+	src := snapshotEngine(t, "OptChain", n)
+	if _, err := src.PlaceBatch(txs[:100], nil); err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := src.WriteSnapshot(&snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	cases := map[string][]optchain.Option{
+		"strategy": {optchain.WithShards(8), optchain.WithStrategy("T2S"), optchain.WithStreamCapacity(n), optchain.WithSeed(1)},
+		"shards":   {optchain.WithShards(4), optchain.WithStrategy("OptChain"), optchain.WithStreamCapacity(n), optchain.WithSeed(1)},
+		"alpha":    {optchain.WithShards(8), optchain.WithStrategy("OptChain"), optchain.WithStreamCapacity(n), optchain.WithAlpha(0.9)},
+		"weight":   {optchain.WithShards(8), optchain.WithStrategy("OptChain"), optchain.WithStreamCapacity(n), optchain.WithL2SWeight(0.5)},
+	}
+	for name, opts := range cases {
+		t.Run(name, func(t *testing.T) {
+			e, err := optchain.New(opts...)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := e.ReadSnapshot(bytes.NewReader(snap.Bytes())); !errors.Is(err, optchain.ErrBadSnapshot) {
+				t.Fatalf("mismatched %s restored with err=%v, want ErrBadSnapshot", name, err)
+			}
+		})
+	}
+}
+
+// TestSnapshotRejectsNonFreshEngine: restore over existing placements fails.
+func TestSnapshotRejectsNonFreshEngine(t *testing.T) {
+	const n = 200
+	txs := snapshotStream(t, n, 8)
+	src := snapshotEngine(t, "OptChain", n)
+	if _, err := src.PlaceBatch(txs[:50], nil); err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := src.WriteSnapshot(&snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	busy := snapshotEngine(t, "OptChain", n)
+	if _, err := busy.PlaceBatch(txs[:10], nil); err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	if err := busy.ReadSnapshot(&snap); !errors.Is(err, optchain.ErrBadSnapshot) {
+		t.Fatalf("restore into used engine: err=%v, want ErrBadSnapshot", err)
+	}
+}
+
+// TestSnapshotUnsupportedStrategy: Metis replays an offline partition and
+// has no exportable online state.
+func TestSnapshotUnsupportedStrategy(t *testing.T) {
+	part := make([]int32, 100)
+	e, err := optchain.New(
+		optchain.WithShards(8),
+		optchain.WithStrategy("Metis"),
+		optchain.WithMetisPartition(part),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := e.WriteSnapshot(&bytes.Buffer{}); !errors.Is(err, optchain.ErrSnapshotUnsupported) {
+		t.Fatalf("Metis snapshot: err=%v, want ErrSnapshotUnsupported", err)
+	}
+}
+
+// TestSnapshotCorruption: flipped payload bytes and truncation both fail
+// with ErrBadSnapshot (checksum), as does garbage.
+func TestSnapshotCorruption(t *testing.T) {
+	const n = 300
+	txs := snapshotStream(t, n, 8)
+	src := snapshotEngine(t, "OptChain", n)
+	if _, err := src.PlaceBatch(txs[:150], nil); err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	var snap bytes.Buffer
+	if err := src.WriteSnapshot(&snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	raw := snap.Bytes()
+
+	flipped := bytes.Clone(raw)
+	flipped[len(flipped)/2] ^= 0x40
+	cases := map[string][]byte{
+		"flipped bit": flipped,
+		"truncated":   raw[:len(raw)-10],
+		"garbage":     []byte("not a snapshot at all"),
+		"empty":       nil,
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			e := snapshotEngine(t, "OptChain", n)
+			if err := e.ReadSnapshot(bytes.NewReader(data)); !errors.Is(err, optchain.ErrBadSnapshot) {
+				t.Fatalf("corrupt (%s): err=%v, want ErrBadSnapshot", name, err)
+			}
+		})
+	}
+}
